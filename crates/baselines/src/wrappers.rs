@@ -1,0 +1,159 @@
+//! Thin wrappers that run the global FA-tree engine of `dpsyn-core` under the
+//! different selection strategies, so that every flow in the benchmark harness has the
+//! same signature.
+
+use crate::flow::{BaselineError, FlowResult};
+use dpsyn_core::{Objective, SelectionStrategy, Synthesizer};
+use dpsyn_ir::{Expr, InputSpec};
+use dpsyn_tech::TechLibrary;
+
+fn run_engine(
+    flow: &str,
+    expr: &Expr,
+    spec: &InputSpec,
+    width: u32,
+    tech: &TechLibrary,
+    objective: Objective,
+    strategy: Option<SelectionStrategy>,
+) -> Result<FlowResult, BaselineError> {
+    let mut synthesizer = Synthesizer::new(expr, spec)
+        .objective(objective)
+        .technology(tech)
+        .output_width(width)
+        .name(flow);
+    if let Some(strategy) = strategy {
+        synthesizer = synthesizer.strategy(strategy);
+    }
+    Ok(FlowResult::from_synthesized(flow, synthesizer.run()?))
+}
+
+/// The paper's **FA_AOT**: the global FA-tree with earliest-arrival selection
+/// (timing-optimal).
+///
+/// # Errors
+///
+/// Returns an error if lowering or any analysis fails.
+pub fn fa_aot(
+    expr: &Expr,
+    spec: &InputSpec,
+    width: u32,
+    tech: &TechLibrary,
+) -> Result<FlowResult, BaselineError> {
+    run_engine("fa_aot", expr, spec, width, tech, Objective::Timing, None)
+}
+
+/// The paper's **FA_ALP**: the global FA-tree with largest-`|q|` selection (low power).
+///
+/// # Errors
+///
+/// Returns an error if lowering or any analysis fails.
+pub fn fa_alp(
+    expr: &Expr,
+    spec: &InputSpec,
+    width: u32,
+    tech: &TechLibrary,
+) -> Result<FlowResult, BaselineError> {
+    run_engine("fa_alp", expr, spec, width, tech, Objective::Power, None)
+}
+
+/// The classic fixed Wallace selection (Figure 2(a) of the paper): same global
+/// carry-save structure, but FA inputs are chosen in row order, ignoring arrival times
+/// and probabilities.
+///
+/// # Errors
+///
+/// Returns an error if lowering or any analysis fails.
+pub fn wallace_fixed(
+    expr: &Expr,
+    spec: &InputSpec,
+    width: u32,
+    tech: &TechLibrary,
+) -> Result<FlowResult, BaselineError> {
+    run_engine(
+        "wallace_fixed",
+        expr,
+        spec,
+        width,
+        tech,
+        Objective::Timing,
+        Some(SelectionStrategy::RowOrder),
+    )
+}
+
+/// The paper's **FA_random** power reference: FA inputs are picked pseudo-randomly
+/// (reproducible from `seed`).
+///
+/// # Errors
+///
+/// Returns an error if lowering or any analysis fails.
+pub fn fa_random(
+    expr: &Expr,
+    spec: &InputSpec,
+    width: u32,
+    tech: &TechLibrary,
+    seed: u64,
+) -> Result<FlowResult, BaselineError> {
+    run_engine(
+        "fa_random",
+        expr,
+        spec,
+        width,
+        tech,
+        Objective::Power,
+        Some(SelectionStrategy::Random(seed)),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpsyn_ir::parse_expr;
+    use dpsyn_sim::check_equivalence;
+
+    fn setup() -> (Expr, InputSpec, TechLibrary) {
+        (
+            parse_expr("a*b + c + 7").unwrap(),
+            InputSpec::builder()
+                .var_with_arrival("a", 4, 1.0)
+                .var("b", 4)
+                .var_with_probability("c", 4, 0.2)
+                .build()
+                .unwrap(),
+            TechLibrary::lcbg10pv_like(),
+        )
+    }
+
+    #[test]
+    fn wrappers_preserve_function() {
+        let (expr, spec, lib) = setup();
+        for result in [
+            fa_aot(&expr, &spec, 9, &lib).unwrap(),
+            fa_alp(&expr, &spec, 9, &lib).unwrap(),
+            wallace_fixed(&expr, &spec, 9, &lib).unwrap(),
+            fa_random(&expr, &spec, 9, &lib, 3).unwrap(),
+        ] {
+            check_equivalence(&result.netlist, &result.word_map, &expr, &spec, 9, 128, 5)
+                .unwrap_or_else(|error| panic!("{}: {error}", result.flow));
+        }
+    }
+
+    #[test]
+    fn fa_aot_is_at_least_as_fast_as_wallace_fixed() {
+        let (expr, spec, lib) = setup();
+        let ours = fa_aot(&expr, &spec, 9, &lib).unwrap();
+        let fixed = wallace_fixed(&expr, &spec, 9, &lib).unwrap();
+        assert!(ours.delay <= fixed.delay + 1e-9);
+    }
+
+    #[test]
+    fn fa_alp_is_no_worse_than_random_on_average() {
+        let (expr, spec, lib) = setup();
+        let low_power = fa_alp(&expr, &spec, 9, &lib).unwrap();
+        let mut random_total = 0.0;
+        let runs = 5;
+        for seed in 0..runs {
+            random_total += fa_random(&expr, &spec, 9, &lib, seed).unwrap().switching_energy;
+        }
+        assert!(low_power.switching_energy <= random_total / runs as f64 + 1e-9);
+    }
+}

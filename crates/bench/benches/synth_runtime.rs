@@ -1,0 +1,52 @@
+//! Criterion benchmark: end-to-end synthesis runtime of the three Table-1 flows on the
+//! paper's benchmark designs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dpsyn_baselines::{conventional, csa_opt, fa_aot};
+use dpsyn_tech::TechLibrary;
+
+fn bench_flows(criterion: &mut Criterion) {
+    let lib = TechLibrary::lcbg10pv_like();
+    let designs = vec![
+        dpsyn_designs::x2_x_y(),
+        dpsyn_designs::mixed_poly(),
+        dpsyn_designs::iir(),
+        dpsyn_designs::serial_adapter(),
+    ];
+    let mut group = criterion.benchmark_group("table1_flows");
+    group.sample_size(10);
+    for design in &designs {
+        group.bench_with_input(
+            BenchmarkId::new("fa_aot", design.name()),
+            design,
+            |bencher, design| {
+                bencher.iter(|| {
+                    fa_aot(design.expr(), design.spec(), design.output_width(), &lib).unwrap()
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("csa_opt", design.name()),
+            design,
+            |bencher, design| {
+                bencher.iter(|| {
+                    csa_opt(design.expr(), design.spec(), design.output_width(), &lib).unwrap()
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("conventional", design.name()),
+            design,
+            |bencher, design| {
+                bencher.iter(|| {
+                    conventional(design.expr(), design.spec(), design.output_width(), &lib)
+                        .unwrap()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_flows);
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! Ablation sweeps beyond the paper's tables: how the advantage of the fine-grained
+//! allocation grows with input arrival skew and with input probability skew.
+
+fn main() {
+    let lib = dpsyn_tech::TechLibrary::lcbg10pv_like();
+    println!("# arrival-skew sweep (8 x 12-bit operands, delay in ns)");
+    println!("{:>6} {:>10} {:>10} {:>10}", "skew", "fa_aot", "wallace", "csa_opt");
+    for point in dpsyn_bench::arrival_skew_sweep(&[0.0, 0.5, 1.0, 2.0, 4.0, 8.0], &lib, 7) {
+        println!(
+            "{:>6.1} {:>10.3} {:>10.3} {:>10.3}",
+            point.skew, point.ours, point.wallace, point.reference
+        );
+    }
+    println!();
+    println!("# probability-skew sweep (8 x 12-bit operands, switching energy)");
+    println!("{:>6} {:>10} {:>10} {:>10}", "skew", "fa_alp", "wallace", "fa_random");
+    for point in dpsyn_bench::probability_skew_sweep(&[0.0, 0.1, 0.2, 0.3, 0.4, 0.45], &lib, 7) {
+        println!(
+            "{:>6.2} {:>10.3} {:>10.3} {:>10.3}",
+            point.skew, point.ours, point.wallace, point.reference
+        );
+    }
+}

@@ -1,0 +1,17 @@
+//! Regenerates Figure 4 of the paper: the effect of FA input selection on switching
+//! energy for four single-bit addends with p = 0.1, 0.2, 0.3, 0.4 and Ws = Wc = 1.
+
+fn main() {
+    let result = dpsyn_bench::figure4();
+    println!("Figure 4 — effect of signal selection on power (Ws = Wc = 1)");
+    let probabilities = [0.1, 0.2, 0.3, 0.4];
+    for (index, energy) in result.energy_leaving_out.iter().enumerate() {
+        let marker = if index == result.sc_lp_leaves_out { "  <- SC_LP selection" } else { "" };
+        println!(
+            "  FA over the three addends other than p = {:.1}: E_switching = {:.4}{}",
+            probabilities[index], energy, marker
+        );
+    }
+    println!("paper reports E(T1) = 0.411 vs E(T2) = 0.400 for its two example trees;");
+    println!("the ordering (keeping the most skewed addends is cheaper) is what matters.");
+}

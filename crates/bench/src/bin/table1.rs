@@ -1,0 +1,10 @@
+//! Regenerates Table 1 of the paper: delay and area of the conventional flow, CSA_OPT
+//! and FA_AOT over the ten benchmark designs.
+
+fn main() {
+    let lib = dpsyn_tech::TechLibrary::lcbg10pv_like();
+    let designs = dpsyn_designs::table1_designs();
+    eprintln!("synthesizing {} designs with three flows each ...", designs.len());
+    let rows = dpsyn_bench::table1(&designs, &lib);
+    print!("{}", dpsyn_bench::format_table1(&rows));
+}

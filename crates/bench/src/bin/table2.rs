@@ -1,0 +1,10 @@
+//! Regenerates Table 2 of the paper: switching power of FA_random vs FA_ALP over the
+//! five filter/transform designs with random input signal probabilities.
+
+fn main() {
+    let lib = dpsyn_tech::TechLibrary::lcbg10pv_like();
+    let designs = dpsyn_designs::table2_designs();
+    eprintln!("synthesizing {} designs with random and power-driven selection ...", designs.len());
+    let rows = dpsyn_bench::table2(&designs, &lib, 2026, 5);
+    print!("{}", dpsyn_bench::format_table2(&rows));
+}

@@ -1,0 +1,498 @@
+//! The FA-tree allocation engine: reduces an addend matrix to two rows by allocating
+//! full/half adders column by column, selecting each adder's inputs according to a
+//! [`SelectionStrategy`].
+//!
+//! This is the netlist-building counterpart of the pure algorithms in
+//! [`crate::schedule`]; with [`SelectionStrategy::EarliestArrival`] it implements the
+//! paper's FA_AOT, with [`SelectionStrategy::LargestDeviation`] FA_ALP, with
+//! [`SelectionStrategy::RowOrder`] the fixed Wallace selection and with
+//! [`SelectionStrategy::Random`] the FA_random reference.
+
+use crate::strategy::{SelectionStrategy, SmallRng};
+use dpsyn_netlist::{CellKind, NetId, Netlist, NetlistError};
+use dpsyn_power::q_transform;
+use dpsyn_tech::TechLibrary;
+
+/// One leaf addend of a column: a net plus the (estimated) arrival time and signal
+/// probability the selection strategies operate on.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LeafAddend {
+    /// The net carrying the addend.
+    pub net: NetId,
+    /// Estimated arrival time of the addend (input arrival plus generation-gate delay).
+    pub arrival: f64,
+    /// Signal probability of the addend under the independence assumption.
+    pub probability: f64,
+}
+
+impl LeafAddend {
+    /// Creates a leaf addend.
+    pub fn new(net: NetId, arrival: f64, probability: f64) -> Self {
+        LeafAddend {
+            net,
+            arrival,
+            probability,
+        }
+    }
+}
+
+/// The outcome of reducing the whole matrix: the two operand rows for the final adder
+/// plus allocation statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReducedRows {
+    /// First operand row, one net per column (constant 0 where a column is empty).
+    pub row_a: Vec<NetId>,
+    /// Second operand row.
+    pub row_b: Vec<NetId>,
+    /// Number of full adders allocated in the tree.
+    pub fa_count: usize,
+    /// Number of half adders allocated in the tree.
+    pub ha_count: usize,
+    /// Estimated latest arrival time among the final-adder inputs — the quantity the
+    /// paper's modified objective (Section 3.3) minimises.
+    pub final_input_arrival: f64,
+    /// Estimated switching energy of the allocated adders (the paper's
+    /// `E_switching(T)` restricted to the FA-tree, before the final adder).
+    pub tree_switching_energy: f64,
+}
+
+#[derive(Debug, Clone)]
+struct WorkItem {
+    net: NetId,
+    arrival: f64,
+    probability: f64,
+    order: usize,
+}
+
+/// Reduces the addend columns to two rows by allocating FAs/HAs inside `netlist`.
+///
+/// `columns[j]` holds the leaf addends of bit weight `2^j`; carries produced while
+/// reducing column `j` are inserted into column `j + 1` (and dropped past the last
+/// column, i.e. the result is taken modulo `2^width`). Every column is reduced to at
+/// most two addends; the remaining addends form the two operand rows returned.
+///
+/// # Errors
+///
+/// Returns an error if any addend net does not belong to `netlist`.
+///
+/// # Example
+///
+/// ```
+/// # use std::error::Error;
+/// use dpsyn_core::{allocate_fa_tree, LeafAddend, SelectionStrategy};
+/// use dpsyn_netlist::Netlist;
+/// use dpsyn_tech::TechLibrary;
+///
+/// # fn main() -> Result<(), Box<dyn Error>> {
+/// let mut netlist = Netlist::new("column");
+/// let leaves: Vec<LeafAddend> = (0..4)
+///     .map(|index| {
+///         let net = netlist.add_input(format!("x{index}"));
+///         LeafAddend::new(net, index as f64, 0.5)
+///     })
+///     .collect();
+/// let rows = allocate_fa_tree(
+///     &mut netlist,
+///     vec![leaves],
+///     SelectionStrategy::EarliestArrival,
+///     &TechLibrary::unit(),
+/// )?;
+/// assert_eq!(rows.fa_count, 1);
+/// assert_eq!(rows.row_a.len(), 1);
+/// # Ok(())
+/// # }
+/// ```
+pub fn allocate_fa_tree(
+    netlist: &mut Netlist,
+    columns: Vec<Vec<LeafAddend>>,
+    strategy: SelectionStrategy,
+    tech: &TechLibrary,
+) -> Result<ReducedRows, NetlistError> {
+    let width = columns.len();
+    let fa_sum_delay = tech.fa_sum_delay();
+    let fa_carry_delay = tech.fa_carry_delay();
+    let ha_sum_delay = tech.output_delay(CellKind::Ha, 0);
+    let ha_carry_delay = tech.output_delay(CellKind::Ha, 1);
+    let fa_ws = tech.fa_sum_energy();
+    let fa_wc = tech.fa_carry_energy();
+    let ha_ws = tech.switch_energy(CellKind::Ha, 0);
+    let ha_wc = tech.switch_energy(CellKind::Ha, 1);
+
+    let mut rng = match strategy {
+        SelectionStrategy::Random(seed) => Some(SmallRng::new(seed)),
+        _ => None,
+    };
+    let mut order = 0usize;
+    let mut working: Vec<Vec<WorkItem>> = columns
+        .into_iter()
+        .map(|column| {
+            column
+                .into_iter()
+                .map(|leaf| {
+                    let item = WorkItem {
+                        net: leaf.net,
+                        arrival: leaf.arrival,
+                        probability: leaf.probability,
+                        order,
+                    };
+                    order += 1;
+                    item
+                })
+                .collect()
+        })
+        .collect();
+
+    let mut fa_count = 0usize;
+    let mut ha_count = 0usize;
+    let mut tree_switching_energy = 0.0f64;
+
+    for column in 0..width {
+        while working[column].len() >= 3 {
+            if working[column].len() > 3 {
+                let picked = select(&mut working[column], 3, strategy, rng.as_mut());
+                let latest = picked
+                    .iter()
+                    .map(|item| item.arrival)
+                    .fold(f64::NEG_INFINITY, f64::max);
+                let (qx, qy, qz) = (
+                    picked[0].probability - 0.5,
+                    picked[1].probability - 0.5,
+                    picked[2].probability - 0.5,
+                );
+                let outs = netlist.add_gate(
+                    CellKind::Fa,
+                    &[picked[0].net, picked[1].net, picked[2].net],
+                )?;
+                let q_sum = q_transform::fa_sum_q(qx, qy, qz);
+                let q_carry = q_transform::fa_carry_q(qx, qy, qz);
+                tree_switching_energy += fa_ws * q_transform::switching_from_q(q_sum)
+                    + fa_wc * q_transform::switching_from_q(q_carry);
+                working[column].push(WorkItem {
+                    net: outs[0],
+                    arrival: latest + fa_sum_delay,
+                    probability: q_sum + 0.5,
+                    order: bump(&mut order),
+                });
+                if column + 1 < width {
+                    working[column + 1].push(WorkItem {
+                        net: outs[1],
+                        arrival: latest + fa_carry_delay,
+                        probability: q_carry + 0.5,
+                        order: bump(&mut order),
+                    });
+                }
+                fa_count += 1;
+            } else {
+                let picked = select(&mut working[column], 2, strategy, rng.as_mut());
+                let latest = picked
+                    .iter()
+                    .map(|item| item.arrival)
+                    .fold(f64::NEG_INFINITY, f64::max);
+                let (qx, qy) = (picked[0].probability - 0.5, picked[1].probability - 0.5);
+                let outs = netlist.add_gate(CellKind::Ha, &[picked[0].net, picked[1].net])?;
+                let q_sum = q_transform::ha_sum_q(qx, qy);
+                let q_carry = q_transform::ha_carry_q(qx, qy);
+                tree_switching_energy += ha_ws * q_transform::switching_from_q(q_sum)
+                    + ha_wc * q_transform::switching_from_q(q_carry);
+                working[column].push(WorkItem {
+                    net: outs[0],
+                    arrival: latest + ha_sum_delay,
+                    probability: q_sum + 0.5,
+                    order: bump(&mut order),
+                });
+                if column + 1 < width {
+                    working[column + 1].push(WorkItem {
+                        net: outs[1],
+                        arrival: latest + ha_carry_delay,
+                        probability: q_carry + 0.5,
+                        order: bump(&mut order),
+                    });
+                }
+                ha_count += 1;
+            }
+        }
+    }
+
+    let mut row_a = Vec::with_capacity(width);
+    let mut row_b = Vec::with_capacity(width);
+    let mut final_input_arrival = 0.0f64;
+    for column in &working {
+        for item in column {
+            final_input_arrival = final_input_arrival.max(item.arrival);
+        }
+        row_a.push(
+            column
+                .first()
+                .map(|item| item.net)
+                .unwrap_or_else(|| netlist.constant(false)),
+        );
+        row_b.push(
+            column
+                .get(1)
+                .map(|item| item.net)
+                .unwrap_or_else(|| netlist.constant(false)),
+        );
+    }
+    Ok(ReducedRows {
+        row_a,
+        row_b,
+        fa_count,
+        ha_count,
+        final_input_arrival,
+        tree_switching_energy,
+    })
+}
+
+fn bump(order: &mut usize) -> usize {
+    *order += 1;
+    *order
+}
+
+/// Removes and returns `count` items from `items` according to the strategy.
+fn select(
+    items: &mut Vec<WorkItem>,
+    count: usize,
+    strategy: SelectionStrategy,
+    mut rng: Option<&mut SmallRng>,
+) -> Vec<WorkItem> {
+    let mut picked = Vec::with_capacity(count);
+    for _ in 0..count {
+        let index = match strategy {
+            SelectionStrategy::EarliestArrival => items
+                .iter()
+                .enumerate()
+                .min_by(|a, b| {
+                    a.1.arrival
+                        .total_cmp(&b.1.arrival)
+                        // Tie-break on the largest |q| (the paper's combined rule) ...
+                        .then_with(|| {
+                            (b.1.probability - 0.5)
+                                .abs()
+                                .total_cmp(&(a.1.probability - 0.5).abs())
+                        })
+                        // ... and finally on insertion order for determinism.
+                        .then_with(|| a.1.order.cmp(&b.1.order))
+                })
+                .map(|(index, _)| index)
+                .expect("caller guarantees enough items"),
+            SelectionStrategy::LargestDeviation => items
+                .iter()
+                .enumerate()
+                .max_by(|a, b| {
+                    (a.1.probability - 0.5)
+                        .abs()
+                        .total_cmp(&(b.1.probability - 0.5).abs())
+                        .then_with(|| b.1.arrival.total_cmp(&a.1.arrival))
+                        .then_with(|| b.1.order.cmp(&a.1.order))
+                })
+                .map(|(index, _)| index)
+                .expect("caller guarantees enough items"),
+            SelectionStrategy::RowOrder => items
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, item)| item.order)
+                .map(|(index, _)| index)
+                .expect("caller guarantees enough items"),
+            SelectionStrategy::Random(_) => {
+                let rng = rng.as_deref_mut().expect("random strategy has an rng");
+                rng.next_index(items.len())
+            }
+        };
+        picked.push(items.swap_remove(index));
+    }
+    picked
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn single_column(arrivals: &[f64], probabilities: &[f64]) -> (Netlist, Vec<LeafAddend>) {
+        let mut netlist = Netlist::new("column");
+        let leaves = arrivals
+            .iter()
+            .zip(probabilities.iter())
+            .enumerate()
+            .map(|(index, (arrival, probability))| {
+                let net = netlist.add_input(format!("x{index}"));
+                LeafAddend::new(net, *arrival, *probability)
+            })
+            .collect();
+        (netlist, leaves)
+    }
+
+    #[test]
+    fn earliest_arrival_matches_sc_t_estimate() {
+        let arrivals = [7.0, 2.0, 3.0, 2.0, 9.0];
+        let probabilities = [0.5; 5];
+        let (mut netlist, leaves) = single_column(&arrivals, &probabilities);
+        let lib = TechLibrary::unit();
+        let rows = allocate_fa_tree(
+            &mut netlist,
+            vec![leaves],
+            SelectionStrategy::EarliestArrival,
+            &lib,
+        )
+        .unwrap();
+        let expected = crate::schedule::sc_t(&arrivals, 2.0, 1.0, 1.0, 1.0);
+        let expected_latest = expected.remaining.iter().copied().fold(0.0, f64::max);
+        assert!((rows.final_input_arrival - expected_latest).abs() < 1e-9);
+        assert_eq!(rows.fa_count, expected.fa_count);
+        assert_eq!(rows.ha_count, expected.ha_count);
+    }
+
+    #[test]
+    fn largest_deviation_matches_sc_lp_energy() {
+        let probabilities = [0.1, 0.2, 0.3, 0.4, 0.5, 0.9];
+        let arrivals = [0.0; 6];
+        let (mut netlist, leaves) = single_column(&arrivals, &probabilities);
+        let lib = TechLibrary::unit();
+        let rows = allocate_fa_tree(
+            &mut netlist,
+            vec![leaves],
+            SelectionStrategy::LargestDeviation,
+            &lib,
+        )
+        .unwrap();
+        let expected = crate::schedule::sc_lp(&probabilities, 1.0, 1.0, 1.0, 1.0);
+        assert!((rows.tree_switching_energy - expected.switching_energy).abs() < 1e-9);
+        assert_eq!(rows.fa_count, expected.fa_count);
+    }
+
+    #[test]
+    fn carries_flow_into_the_next_column() {
+        // Two columns of three addends each: the FA of column 0 sends a carry into
+        // column 1, which then has four addends and needs reduction too.
+        let mut netlist = Netlist::new("two_columns");
+        let make = |netlist: &mut Netlist, name: &str| {
+            let net = netlist.add_input(name.to_string());
+            LeafAddend::new(net, 0.0, 0.5)
+        };
+        let column0 = vec![
+            make(&mut netlist, "a0"),
+            make(&mut netlist, "b0"),
+            make(&mut netlist, "c0"),
+            make(&mut netlist, "d0"),
+        ];
+        let column1 = vec![
+            make(&mut netlist, "a1"),
+            make(&mut netlist, "b1"),
+            make(&mut netlist, "c1"),
+        ];
+        let lib = TechLibrary::unit();
+        let rows = allocate_fa_tree(
+            &mut netlist,
+            vec![column0, column1],
+            SelectionStrategy::EarliestArrival,
+            &lib,
+        )
+        .unwrap();
+        // Column 0: 4 addends -> 1 FA. Column 1: 3 addends + 1 carry = 4 -> 1 FA.
+        assert_eq!(rows.fa_count, 2);
+        assert_eq!(rows.ha_count, 0);
+        assert_eq!(rows.row_a.len(), 2);
+        assert!(netlist.validate().is_ok());
+    }
+
+    #[test]
+    fn carries_out_of_the_last_column_are_dropped() {
+        let mut netlist = Netlist::new("truncate");
+        let leaves: Vec<LeafAddend> = (0..5)
+            .map(|index| {
+                let net = netlist.add_input(format!("x{index}"));
+                LeafAddend::new(net, 0.0, 0.5)
+            })
+            .collect();
+        let lib = TechLibrary::unit();
+        let rows = allocate_fa_tree(
+            &mut netlist,
+            vec![leaves],
+            SelectionStrategy::EarliestArrival,
+            &lib,
+        )
+        .unwrap();
+        assert_eq!(rows.row_a.len(), 1);
+        assert_eq!(rows.row_b.len(), 1);
+        // One FA and one HA for five addends, with the carries simply unconnected.
+        assert_eq!(rows.fa_count, 1);
+        assert_eq!(rows.ha_count, 1);
+    }
+
+    #[test]
+    fn empty_columns_yield_constant_rows() {
+        let mut netlist = Netlist::new("empty");
+        let lib = TechLibrary::unit();
+        let rows = allocate_fa_tree(
+            &mut netlist,
+            vec![Vec::new(), Vec::new()],
+            SelectionStrategy::EarliestArrival,
+            &lib,
+        )
+        .unwrap();
+        assert_eq!(rows.fa_count, 0);
+        assert_eq!(rows.row_a.len(), 2);
+        assert_eq!(rows.row_a[0], rows.row_b[0]);
+        assert_eq!(rows.final_input_arrival, 0.0);
+    }
+
+    #[test]
+    fn all_strategies_allocate_the_same_number_of_adders() {
+        // Different selections change *which* addends feed each adder, never how many
+        // adders are needed — a structural invariant worth pinning down.
+        let arrivals = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0];
+        let probabilities = [0.1, 0.9, 0.4, 0.6, 0.3, 0.7, 0.5];
+        let lib = TechLibrary::unit();
+        let mut counts = Vec::new();
+        for strategy in [
+            SelectionStrategy::EarliestArrival,
+            SelectionStrategy::LargestDeviation,
+            SelectionStrategy::RowOrder,
+            SelectionStrategy::Random(7),
+        ] {
+            let (mut netlist, leaves) = single_column(&arrivals, &probabilities);
+            let rows = allocate_fa_tree(&mut netlist, vec![leaves], strategy, &lib).unwrap();
+            counts.push((rows.fa_count, rows.ha_count));
+        }
+        assert!(counts.windows(2).all(|pair| pair[0] == pair[1]));
+    }
+
+    #[test]
+    fn random_strategy_is_reproducible() {
+        let arrivals = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0];
+        let probabilities = [0.5; 6];
+        let lib = TechLibrary::unit();
+        let run = |seed: u64| {
+            let (mut netlist, leaves) = single_column(&arrivals, &probabilities);
+            let rows =
+                allocate_fa_tree(&mut netlist, vec![leaves], SelectionStrategy::Random(seed), &lib)
+                    .unwrap();
+            rows.final_input_arrival
+        };
+        assert_eq!(run(11), run(11));
+    }
+
+    #[test]
+    fn earliest_arrival_never_loses_to_row_order_on_final_arrival() {
+        // Sanity version of Theorem 1: over a bundle of pseudo-random single-column
+        // profiles, the timing-driven selection's estimated final arrival is never worse
+        // than the fixed row-order selection's.
+        let lib = TechLibrary::unit();
+        for seed in 0..25u64 {
+            let mut rng = SmallRng::new(seed + 1);
+            let size = 4 + rng.next_index(8);
+            let arrivals: Vec<f64> = (0..size).map(|_| rng.next_index(12) as f64).collect();
+            let probabilities = vec![0.5; size];
+            let run = |strategy: SelectionStrategy| {
+                let (mut netlist, leaves) = single_column(&arrivals, &probabilities);
+                allocate_fa_tree(&mut netlist, vec![leaves], strategy, &lib)
+                    .unwrap()
+                    .final_input_arrival
+            };
+            let optimal = run(SelectionStrategy::EarliestArrival);
+            let fixed = run(SelectionStrategy::RowOrder);
+            let random = run(SelectionStrategy::Random(seed));
+            assert!(optimal <= fixed + 1e-9, "seed {seed}: {optimal} vs {fixed}");
+            assert!(optimal <= random + 1e-9, "seed {seed}: {optimal} vs {random}");
+        }
+    }
+}

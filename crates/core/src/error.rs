@@ -1,0 +1,101 @@
+//! Error type for the synthesis engine.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while synthesizing an expression into an FA-tree netlist.
+#[derive(Debug)]
+pub enum SynthesisError {
+    /// Lowering the expression to the addend matrix failed.
+    Ir(dpsyn_ir::IrError),
+    /// Building the netlist failed.
+    Netlist(dpsyn_netlist::NetlistError),
+    /// Static timing analysis of the result failed.
+    Timing(dpsyn_timing::TimingError),
+    /// Power analysis of the result failed.
+    Power(dpsyn_power::PowerError),
+    /// The technology library does not cover a required cell.
+    Tech(dpsyn_tech::TechError),
+    /// The expression lowered to an empty addend matrix and there is nothing to build.
+    EmptyExpression,
+}
+
+impl fmt::Display for SynthesisError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SynthesisError::Ir(error) => write!(f, "expression lowering failed: {error}"),
+            SynthesisError::Netlist(error) => write!(f, "netlist construction failed: {error}"),
+            SynthesisError::Timing(error) => write!(f, "timing analysis failed: {error}"),
+            SynthesisError::Power(error) => write!(f, "power analysis failed: {error}"),
+            SynthesisError::Tech(error) => write!(f, "technology library problem: {error}"),
+            SynthesisError::EmptyExpression => {
+                write!(f, "the expression reduces to the constant zero; nothing to synthesize")
+            }
+        }
+    }
+}
+
+impl Error for SynthesisError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SynthesisError::Ir(error) => Some(error),
+            SynthesisError::Netlist(error) => Some(error),
+            SynthesisError::Timing(error) => Some(error),
+            SynthesisError::Power(error) => Some(error),
+            SynthesisError::Tech(error) => Some(error),
+            SynthesisError::EmptyExpression => None,
+        }
+    }
+}
+
+impl From<dpsyn_ir::IrError> for SynthesisError {
+    fn from(error: dpsyn_ir::IrError) -> Self {
+        SynthesisError::Ir(error)
+    }
+}
+
+impl From<dpsyn_netlist::NetlistError> for SynthesisError {
+    fn from(error: dpsyn_netlist::NetlistError) -> Self {
+        SynthesisError::Netlist(error)
+    }
+}
+
+impl From<dpsyn_timing::TimingError> for SynthesisError {
+    fn from(error: dpsyn_timing::TimingError) -> Self {
+        SynthesisError::Timing(error)
+    }
+}
+
+impl From<dpsyn_power::PowerError> for SynthesisError {
+    fn from(error: dpsyn_power::PowerError) -> Self {
+        SynthesisError::Power(error)
+    }
+}
+
+impl From<dpsyn_tech::TechError> for SynthesisError {
+    fn from(error: dpsyn_tech::TechError) -> Self {
+        SynthesisError::Tech(error)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let error = SynthesisError::EmptyExpression;
+        assert!(error.to_string().contains("constant zero"));
+        assert!(error.source().is_none());
+        let error =
+            SynthesisError::Ir(dpsyn_ir::IrError::UnknownVariable("ghost".to_string()));
+        assert!(error.to_string().contains("ghost"));
+        assert!(error.source().is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SynthesisError>();
+    }
+}

@@ -1,0 +1,114 @@
+//! Final (carry-propagating) adder selection.
+
+use dpsyn_modules::builders::AdderKind;
+use dpsyn_netlist::{NetId, Netlist, NetlistError};
+use std::fmt;
+
+/// The architecture of the final adder placed at the root of the FA-tree.
+///
+/// The paper notes the final adder "can be implemented with any of several types of
+/// modules"; the default here is the carry-lookahead adder, matching what a logic
+/// optimiser would pick for the timing-critical root.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum FinalAdderKind {
+    /// Ripple-carry chain (smallest, slowest).
+    Ripple,
+    /// Carry-lookahead adder with 4-bit blocks (default).
+    #[default]
+    CarryLookahead,
+    /// Carry-select adder with 4-bit blocks.
+    CarrySelect,
+}
+
+impl FinalAdderKind {
+    /// All final-adder kinds.
+    pub fn all() -> [FinalAdderKind; 3] {
+        [
+            FinalAdderKind::Ripple,
+            FinalAdderKind::CarryLookahead,
+            FinalAdderKind::CarrySelect,
+        ]
+    }
+
+    /// Builds the final adder over the two reduced rows and returns exactly `width`
+    /// result bits (the paper's modulo-`2^width` semantics).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the row nets do not belong to `netlist`.
+    pub fn build(
+        self,
+        netlist: &mut Netlist,
+        row_a: &[NetId],
+        row_b: &[NetId],
+        width: usize,
+    ) -> Result<Vec<NetId>, NetlistError> {
+        let kind = match self {
+            FinalAdderKind::Ripple => AdderKind::Ripple,
+            FinalAdderKind::CarryLookahead => AdderKind::CarryLookahead,
+            FinalAdderKind::CarrySelect => AdderKind::CarrySelect,
+        };
+        let mut sum = kind.generate(netlist, row_a, row_b, None)?;
+        sum.truncate(width);
+        while sum.len() < width {
+            sum.push(netlist.constant(false));
+        }
+        Ok(sum)
+    }
+}
+
+impl fmt::Display for FinalAdderKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FinalAdderKind::Ripple => write!(f, "ripple"),
+            FinalAdderKind::CarryLookahead => write!(f, "carry-lookahead"),
+            FinalAdderKind::CarrySelect => write!(f, "carry-select"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpsyn_netlist::{Word, WordMap};
+    use dpsyn_sim::Simulator;
+    use std::collections::BTreeMap;
+
+    #[test]
+    fn every_kind_adds_correctly_and_truncates() {
+        for kind in FinalAdderKind::all() {
+            let width = 4usize;
+            let mut netlist = Netlist::new("final");
+            let a: Vec<_> = (0..width).map(|i| netlist.add_input(format!("a{i}"))).collect();
+            let b: Vec<_> = (0..width).map(|i| netlist.add_input(format!("b{i}"))).collect();
+            let sum = kind.build(&mut netlist, &a, &b, width).unwrap();
+            assert_eq!(sum.len(), width);
+            for net in &sum {
+                netlist.mark_output(*net);
+            }
+            let map = WordMap::new(
+                vec![Word::new("a", a), Word::new("b", b)],
+                Word::new("s", sum),
+            );
+            let simulator = Simulator::compile(&netlist).unwrap();
+            for a in [0u64, 3, 9, 15] {
+                for b in [0u64, 5, 12, 15] {
+                    let mut values = BTreeMap::new();
+                    values.insert("a".to_string(), a);
+                    values.insert("b".to_string(), b);
+                    assert_eq!(
+                        simulator.evaluate_words(&map, &values),
+                        (a + b) & 0xF,
+                        "{kind} {a}+{b}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn default_is_carry_lookahead() {
+        assert_eq!(FinalAdderKind::default(), FinalAdderKind::CarryLookahead);
+        assert_eq!(FinalAdderKind::default().to_string(), "carry-lookahead");
+    }
+}

@@ -1,0 +1,225 @@
+//! Leaf-addend construction: primary inputs, partial-product AND networks and constant
+//! addends, annotated with the arrival times and probabilities the selection strategies
+//! need.
+
+use crate::allocation::LeafAddend;
+use dpsyn_ir::{Addend, AddendMatrix, BitRef, InputSpec};
+use dpsyn_netlist::{CellKind, NetId, Netlist, NetlistError, Word};
+use dpsyn_tech::TechLibrary;
+use std::collections::BTreeMap;
+
+/// The leaf structures of a synthesized design: the per-column leaf addends and the
+/// input words created for the primary inputs.
+#[derive(Debug, Clone)]
+pub(crate) struct Leaves {
+    pub(crate) columns: Vec<Vec<LeafAddend>>,
+    pub(crate) input_words: Vec<Word>,
+}
+
+/// Builds the primary inputs and the addend-generation logic (partial-product AND trees,
+/// inverters for complemented addends, constant sources) for every addend of `matrix`.
+///
+/// Identical products appearing in several columns (as happens whenever a coefficient
+/// has more than one set bit) share a single generation network.
+pub(crate) fn build_leaves(
+    netlist: &mut Netlist,
+    matrix: &AddendMatrix,
+    spec: &InputSpec,
+    tech: &TechLibrary,
+) -> Result<Leaves, NetlistError> {
+    // Primary inputs: one net per bit of every declared variable.
+    let mut bit_nets: BTreeMap<BitRef, NetId> = BTreeMap::new();
+    let mut input_words = Vec::new();
+    for var in spec.vars() {
+        let bits: Vec<NetId> = (0..var.width())
+            .map(|bit| {
+                let net = netlist.add_input(format!("{}[{}]", var.name(), bit));
+                bit_nets.insert(BitRef::new(var.name(), bit), net);
+                net
+            })
+            .collect();
+        input_words.push(Word::new(var.name(), bits));
+    }
+
+    // Shared generation networks, keyed by the (sorted) literal set and complement flag.
+    let mut cache: BTreeMap<(Vec<BitRef>, bool), LeafAddend> = BTreeMap::new();
+    let mut columns: Vec<Vec<LeafAddend>> = vec![Vec::new(); matrix.width() as usize];
+    for (column, addends) in matrix.columns() {
+        for addend in addends {
+            let leaf = match addend {
+                Addend::One => LeafAddend::new(netlist.constant(true), 0.0, 1.0),
+                Addend::Product {
+                    literals,
+                    complement,
+                } => {
+                    let key = (literals.clone(), *complement);
+                    if let Some(existing) = cache.get(&key) {
+                        existing.clone()
+                    } else {
+                        let leaf =
+                            build_product(netlist, literals, *complement, spec, tech, &bit_nets)?;
+                        cache.insert(key, leaf.clone());
+                        leaf
+                    }
+                }
+            };
+            columns[column as usize].push(leaf);
+        }
+    }
+    Ok(Leaves {
+        columns,
+        input_words,
+    })
+}
+
+/// Builds the AND tree (plus optional output inverter) of one product addend and
+/// annotates it with its estimated arrival time and probability.
+fn build_product(
+    netlist: &mut Netlist,
+    literals: &[BitRef],
+    complement: bool,
+    spec: &InputSpec,
+    tech: &TechLibrary,
+    bit_nets: &BTreeMap<BitRef, NetId>,
+) -> Result<LeafAddend, NetlistError> {
+    let nets: Vec<NetId> = literals
+        .iter()
+        .map(|literal| {
+            bit_nets
+                .get(literal)
+                .copied()
+                .expect("lowering validated every literal against the input spec")
+        })
+        .collect();
+    let mut arrival = literals
+        .iter()
+        .filter_map(|literal| spec.bit_profile(&literal.var, literal.bit))
+        .map(|profile| profile.arrival)
+        .fold(0.0, f64::max);
+    let mut probability: f64 = literals
+        .iter()
+        .map(|literal| {
+            spec.bit_profile(&literal.var, literal.bit)
+                .map(|profile| profile.probability)
+                .unwrap_or(0.5)
+        })
+        .product();
+    // Balanced AND tree over the literal nets.
+    let mut level = nets;
+    while level.len() > 1 {
+        let mut next = Vec::with_capacity(level.len().div_ceil(2));
+        for pair in level.chunks(2) {
+            if pair.len() == 2 {
+                next.push(netlist.add_gate(CellKind::And2, &[pair[0], pair[1]])?[0]);
+            } else {
+                next.push(pair[0]);
+            }
+        }
+        level = next;
+    }
+    arrival += tech.and_tree_delay(literals.len());
+    let mut net = level[0];
+    if complement {
+        net = netlist.add_gate(CellKind::Not, &[net])?[0];
+        arrival += tech.output_delay(CellKind::Not, 0);
+        probability = 1.0 - probability;
+    }
+    Ok(LeafAddend::new(net, arrival, probability))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpsyn_ir::{parse_expr, LoweringOptions};
+
+    fn lower(source: &str, spec: &InputSpec, width: u32) -> AddendMatrix {
+        parse_expr(source)
+            .unwrap()
+            .lower(spec, &LoweringOptions::with_width(width))
+            .unwrap()
+    }
+
+    #[test]
+    fn plain_addition_creates_no_generation_gates() {
+        let spec = InputSpec::builder().var("x", 3).var("y", 3).build().unwrap();
+        let matrix = lower("x + y", &spec, 4);
+        let mut netlist = Netlist::new("leaves");
+        let lib = TechLibrary::unit();
+        let leaves = build_leaves(&mut netlist, &matrix, &spec, &lib).unwrap();
+        assert_eq!(leaves.input_words.len(), 2);
+        assert_eq!(netlist.count_kind(CellKind::And2), 0);
+        assert_eq!(leaves.columns[0].len(), 2);
+    }
+
+    #[test]
+    fn partial_products_share_generation_logic_across_columns() {
+        // 3·x·y: the same x_i·y_j product feeds two columns (coefficient bits 0 and 1)
+        // but must be generated only once.
+        let spec = InputSpec::builder().var("x", 2).var("y", 2).build().unwrap();
+        let matrix = lower("3*x*y", &spec, 6);
+        let mut netlist = Netlist::new("leaves");
+        let lib = TechLibrary::unit();
+        let leaves = build_leaves(&mut netlist, &matrix, &spec, &lib).unwrap();
+        // Four distinct x_i·y_j products -> exactly four AND gates despite eight
+        // matrix addends.
+        assert_eq!(netlist.count_kind(CellKind::And2), 4);
+        let total: usize = leaves.columns.iter().map(Vec::len).sum();
+        assert_eq!(total, 8);
+    }
+
+    #[test]
+    fn complemented_addends_get_an_inverter_and_flipped_probability() {
+        let spec = InputSpec::builder()
+            .var_with_probability("x", 2, 0.9)
+            .var_with_probability("y", 2, 0.9)
+            .build()
+            .unwrap();
+        let matrix = lower("x - y", &spec, 3);
+        let mut netlist = Netlist::new("leaves");
+        let lib = TechLibrary::unit();
+        let leaves = build_leaves(&mut netlist, &matrix, &spec, &lib).unwrap();
+        assert_eq!(netlist.count_kind(CellKind::Not), 2);
+        let complemented: Vec<&LeafAddend> = leaves
+            .columns
+            .iter()
+            .flatten()
+            .filter(|leaf| (leaf.probability - 0.1).abs() < 1e-9)
+            .collect();
+        assert_eq!(complemented.len(), 2);
+    }
+
+    #[test]
+    fn arrival_estimates_include_generation_delay() {
+        let spec = InputSpec::builder()
+            .var_with_arrival("x", 2, 1.0)
+            .var_with_arrival("y", 2, 3.0)
+            .build()
+            .unwrap();
+        let matrix = lower("x * y", &spec, 4);
+        let mut netlist = Netlist::new("leaves");
+        let lib = TechLibrary::lcbg10pv_like();
+        let leaves = build_leaves(&mut netlist, &matrix, &spec, &lib).unwrap();
+        let and_delay = lib.and_tree_delay(2);
+        for leaf in leaves.columns.iter().flatten() {
+            assert!((leaf.arrival - (3.0 + and_delay)).abs() < 1e-9);
+            assert!((leaf.probability - 0.25).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn constant_addends_are_constant_one_nets() {
+        let spec = InputSpec::builder().var("x", 2).build().unwrap();
+        let matrix = lower("x + 5", &spec, 4);
+        let mut netlist = Netlist::new("leaves");
+        let lib = TechLibrary::unit();
+        let leaves = build_leaves(&mut netlist, &matrix, &spec, &lib).unwrap();
+        let constants: usize = leaves
+            .columns
+            .iter()
+            .flatten()
+            .filter(|leaf| leaf.probability == 1.0)
+            .count();
+        assert_eq!(constants, 2); // bits 0 and 2 of the constant 5
+        assert_eq!(netlist.count_kind(CellKind::Const1), 1);
+    }
+}

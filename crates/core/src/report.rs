@@ -1,0 +1,150 @@
+//! Synthesis reports: the delay / area / power summary of one synthesized design.
+
+use crate::strategy::{Objective, SelectionStrategy};
+use std::fmt;
+
+/// Quality-of-results summary of one synthesized design.
+///
+/// Delay comes from static timing analysis with the design's input arrival profile,
+/// area is the summed cell area, and the switching energy / power figures come from the
+/// analytic probability propagation with the design's input probabilities — i.e. the
+/// same three quantities the paper's Tables 1 and 2 report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SynthesisReport {
+    /// Name of the design.
+    pub name: String,
+    /// The objective the design was synthesized for.
+    pub objective: Objective,
+    /// The selection strategy actually used.
+    pub strategy: SelectionStrategy,
+    /// Critical delay in library time units (ns for the built-in libraries).
+    pub delay: f64,
+    /// Total cell area in library area units.
+    pub area: f64,
+    /// Weighted switching energy `Σ W·p(1−p)` over every cell output.
+    pub switching_energy: f64,
+    /// Power figure on the milliwatt-like scale of the paper's Table 2.
+    pub power_mw: f64,
+    /// Number of full adders in the carry-save tree (excluding the final adder).
+    pub tree_fa_count: usize,
+    /// Number of half adders in the carry-save tree (excluding the final adder).
+    pub tree_ha_count: usize,
+    /// Estimated latest arrival among the final-adder inputs (the paper's modified
+    /// objective of Section 3.3).
+    pub final_input_arrival: f64,
+    /// Total cell count of the netlist.
+    pub cell_count: usize,
+    /// Total net count of the netlist.
+    pub net_count: usize,
+    /// Structural logic depth (cells on the longest path).
+    pub logic_depth: usize,
+    /// Output width in bits.
+    pub output_width: u32,
+}
+
+impl SynthesisReport {
+    /// Delay improvement of this design over `baseline`, as a fraction
+    /// (`0.25` = 25 % faster). Negative when this design is slower.
+    pub fn delay_improvement_over(&self, baseline: &SynthesisReport) -> f64 {
+        if baseline.delay == 0.0 {
+            0.0
+        } else {
+            (baseline.delay - self.delay) / baseline.delay
+        }
+    }
+
+    /// Area improvement of this design over `baseline`, as a fraction.
+    pub fn area_improvement_over(&self, baseline: &SynthesisReport) -> f64 {
+        if baseline.area == 0.0 {
+            0.0
+        } else {
+            (baseline.area - self.area) / baseline.area
+        }
+    }
+
+    /// Switching-energy improvement of this design over `baseline`, as a fraction.
+    pub fn power_improvement_over(&self, baseline: &SynthesisReport) -> f64 {
+        if baseline.switching_energy == 0.0 {
+            0.0
+        } else {
+            (baseline.switching_energy - self.switching_energy) / baseline.switching_energy
+        }
+    }
+}
+
+impl fmt::Display for SynthesisReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "design `{}` ({} objective, {} selection)",
+            self.name, self.objective, self.strategy
+        )?;
+        writeln!(f, "  delay          : {:.3} ns", self.delay)?;
+        writeln!(f, "  area           : {:.1} units", self.area)?;
+        writeln!(f, "  switching      : {:.4}", self.switching_energy)?;
+        writeln!(f, "  power (scaled) : {:.2} mW", self.power_mw)?;
+        writeln!(
+            f,
+            "  csa tree       : {} FAs, {} HAs, final-adder inputs ready at {:.3} ns",
+            self.tree_fa_count, self.tree_ha_count, self.final_input_arrival
+        )?;
+        writeln!(
+            f,
+            "  netlist        : {} cells, {} nets, depth {}, {} output bits",
+            self.cell_count, self.net_count, self.logic_depth, self.output_width
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(delay: f64, area: f64, energy: f64) -> SynthesisReport {
+        SynthesisReport {
+            name: "test".to_string(),
+            objective: Objective::Timing,
+            strategy: SelectionStrategy::EarliestArrival,
+            delay,
+            area,
+            switching_energy: energy,
+            power_mw: energy * 10.0,
+            tree_fa_count: 4,
+            tree_ha_count: 1,
+            final_input_arrival: delay * 0.8,
+            cell_count: 10,
+            net_count: 20,
+            logic_depth: 5,
+            output_width: 8,
+        }
+    }
+
+    #[test]
+    fn improvements_are_fractions_of_the_baseline() {
+        let ours = report(3.0, 80.0, 1.0);
+        let baseline = report(4.0, 100.0, 2.0);
+        assert!((ours.delay_improvement_over(&baseline) - 0.25).abs() < 1e-12);
+        assert!((ours.area_improvement_over(&baseline) - 0.2).abs() < 1e-12);
+        assert!((ours.power_improvement_over(&baseline) - 0.5).abs() < 1e-12);
+        // Degradation shows up as a negative improvement.
+        assert!(baseline.delay_improvement_over(&ours) < 0.0);
+    }
+
+    #[test]
+    fn zero_baselines_do_not_divide_by_zero() {
+        let ours = report(3.0, 80.0, 1.0);
+        let degenerate = report(0.0, 0.0, 0.0);
+        assert_eq!(ours.delay_improvement_over(&degenerate), 0.0);
+        assert_eq!(ours.area_improvement_over(&degenerate), 0.0);
+        assert_eq!(ours.power_improvement_over(&degenerate), 0.0);
+    }
+
+    #[test]
+    fn display_mentions_the_key_figures() {
+        let text = report(3.0, 80.0, 1.0).to_string();
+        assert!(text.contains("delay"));
+        assert!(text.contains("3.000"));
+        assert!(text.contains("80.0"));
+        assert!(text.contains("FAs"));
+    }
+}

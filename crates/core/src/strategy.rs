@@ -1,0 +1,134 @@
+//! Optimisation objectives and addend-selection strategies.
+
+use std::fmt;
+
+/// The synthesis objective, which determines the default addend-selection strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Objective {
+    /// Minimise the critical delay (the paper's FA_AOT). Default.
+    #[default]
+    Timing,
+    /// Minimise switching power (the paper's FA_ALP).
+    Power,
+}
+
+impl Objective {
+    /// The selection strategy the paper associates with this objective: earliest arrival
+    /// for timing (ties broken by largest `|q|`), largest `|q|` for power (ties broken
+    /// by earliest arrival).
+    pub fn default_strategy(self) -> SelectionStrategy {
+        match self {
+            Objective::Timing => SelectionStrategy::EarliestArrival,
+            Objective::Power => SelectionStrategy::LargestDeviation,
+        }
+    }
+}
+
+impl fmt::Display for Objective {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Objective::Timing => write!(f, "timing"),
+            Objective::Power => write!(f, "power"),
+        }
+    }
+}
+
+/// How the three (or two) inputs of each new FA (HA) are chosen from a column's addends.
+///
+/// `EarliestArrival` and `LargestDeviation` are the paper's SC_T and SC_LP selection
+/// rules; `RowOrder` reproduces the fixed, arrival-blind selection of the classic
+/// Wallace scheme; `Random` is the FA_random reference of the paper's power experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum SelectionStrategy {
+    /// Pick the addends with the earliest arrival times (ties: largest `|q|`).
+    #[default]
+    EarliestArrival,
+    /// Pick the addends with the largest `|p − 0.5|` (ties: earliest arrival).
+    LargestDeviation,
+    /// Pick addends in their original row order, ignoring arrival and probability.
+    RowOrder,
+    /// Pick addends pseudo-randomly (reproducible from the seed).
+    Random(u64),
+}
+
+impl SelectionStrategy {
+    /// A short name used in reports and benchmark tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            SelectionStrategy::EarliestArrival => "earliest-arrival",
+            SelectionStrategy::LargestDeviation => "largest-deviation",
+            SelectionStrategy::RowOrder => "row-order",
+            SelectionStrategy::Random(_) => "random",
+        }
+    }
+}
+
+impl fmt::Display for SelectionStrategy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+/// A small deterministic xorshift generator so random selection does not require an
+/// external dependency in the core crate.
+#[derive(Debug, Clone)]
+pub(crate) struct SmallRng {
+    state: u64,
+}
+
+impl SmallRng {
+    pub(crate) fn new(seed: u64) -> Self {
+        SmallRng {
+            state: seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).max(1),
+        }
+    }
+
+    pub(crate) fn next_index(&mut self, bound: usize) -> usize {
+        debug_assert!(bound > 0);
+        self.state ^= self.state << 13;
+        self.state ^= self.state >> 7;
+        self.state ^= self.state << 17;
+        (self.state % bound as u64) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn objectives_map_to_paper_strategies() {
+        assert_eq!(
+            Objective::Timing.default_strategy(),
+            SelectionStrategy::EarliestArrival
+        );
+        assert_eq!(
+            Objective::Power.default_strategy(),
+            SelectionStrategy::LargestDeviation
+        );
+        assert_eq!(Objective::default(), Objective::Timing);
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(SelectionStrategy::EarliestArrival.to_string(), "earliest-arrival");
+        assert_eq!(SelectionStrategy::Random(3).to_string(), "random");
+        assert_eq!(Objective::Power.to_string(), "power");
+    }
+
+    #[test]
+    fn small_rng_is_deterministic_and_in_bounds() {
+        let mut first = SmallRng::new(42);
+        let mut second = SmallRng::new(42);
+        for _ in 0..100 {
+            let bound = 7;
+            let a = first.next_index(bound);
+            assert_eq!(a, second.next_index(bound));
+            assert!(a < bound);
+        }
+        // Different seeds eventually diverge.
+        let mut third = SmallRng::new(43);
+        let diverged = (0..20).any(|_| third.next_index(1000) != SmallRng::new(42).next_index(1000));
+        assert!(diverged);
+    }
+}

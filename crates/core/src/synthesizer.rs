@@ -1,0 +1,447 @@
+//! The high-level synthesis entry point.
+
+use crate::allocation::allocate_fa_tree;
+use crate::error::SynthesisError;
+use crate::final_adder::FinalAdderKind;
+use crate::leaves::build_leaves;
+use crate::report::SynthesisReport;
+use crate::strategy::{Objective, SelectionStrategy};
+use dpsyn_ir::{Expr, InputSpec, LoweringOptions};
+use dpsyn_netlist::{Netlist, Word, WordMap};
+use dpsyn_power::ProbabilityAnalysis;
+use dpsyn_tech::TechLibrary;
+use dpsyn_timing::TimingAnalysis;
+use std::collections::BTreeMap;
+
+/// Builder-style front end for the whole synthesis flow: expression → addend matrix →
+/// FA-tree → final adder → analysed netlist.
+///
+/// See the [crate-level documentation](crate) for a complete example.
+#[derive(Debug, Clone)]
+pub struct Synthesizer<'a> {
+    expr: &'a Expr,
+    spec: &'a InputSpec,
+    tech: Option<&'a TechLibrary>,
+    objective: Objective,
+    strategy: Option<SelectionStrategy>,
+    final_adder: FinalAdderKind,
+    width: Option<u32>,
+    csd: bool,
+    name: String,
+}
+
+impl<'a> Synthesizer<'a> {
+    /// Creates a synthesizer for `expr` under the input characteristics of `spec`.
+    pub fn new(expr: &'a Expr, spec: &'a InputSpec) -> Self {
+        Synthesizer {
+            expr,
+            spec,
+            tech: None,
+            objective: Objective::Timing,
+            strategy: None,
+            final_adder: FinalAdderKind::default(),
+            width: None,
+            csd: false,
+            name: "datapath".to_string(),
+        }
+    }
+
+    /// Sets the optimisation objective (default: [`Objective::Timing`]).
+    pub fn objective(mut self, objective: Objective) -> Self {
+        self.objective = objective;
+        self
+    }
+
+    /// Overrides the addend-selection strategy (default: the objective's strategy).
+    ///
+    /// This is how the baseline strategies (fixed row order, random selection) reuse the
+    /// same engine.
+    pub fn strategy(mut self, strategy: SelectionStrategy) -> Self {
+        self.strategy = Some(strategy);
+        self
+    }
+
+    /// Sets the technology library (default: [`TechLibrary::lcbg10pv_like`]).
+    pub fn technology(mut self, tech: &'a TechLibrary) -> Self {
+        self.tech = Some(tech);
+        self
+    }
+
+    /// Sets the final-adder architecture (default: carry-lookahead).
+    pub fn final_adder(mut self, kind: FinalAdderKind) -> Self {
+        self.final_adder = kind;
+        self
+    }
+
+    /// Sets an explicit output width; the result is computed modulo `2^width`.
+    /// Without it a width wide enough for the positive part of the expression is
+    /// inferred.
+    pub fn output_width(mut self, width: u32) -> Self {
+        self.width = Some(width);
+        self
+    }
+
+    /// Enables canonical-signed-digit recoding of constant coefficients.
+    pub fn csd_constants(mut self, enable: bool) -> Self {
+        self.csd = enable;
+        self
+    }
+
+    /// Sets the module name of the generated netlist (default `"datapath"`).
+    pub fn name(mut self, name: impl Into<String>) -> Self {
+        self.name = name.into();
+        self
+    }
+
+    /// Runs the full flow and returns the synthesized, analysed design.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SynthesisError`] when lowering fails (unknown variable, bad width),
+    /// when the expression reduces to the constant zero, or when any downstream
+    /// analysis fails.
+    pub fn run(&self) -> Result<SynthesizedDesign, SynthesisError> {
+        let default_tech;
+        let tech = match self.tech {
+            Some(tech) => tech,
+            None => {
+                default_tech = TechLibrary::lcbg10pv_like();
+                &default_tech
+            }
+        };
+        let mut options = match self.width {
+            Some(width) => LoweringOptions::with_width(width),
+            None => LoweringOptions::new(),
+        };
+        options = options.csd_constants(self.csd);
+        let matrix = self.expr.lower(self.spec, &options)?;
+        if matrix.total_addends() == 0 {
+            return Err(SynthesisError::EmptyExpression);
+        }
+        let width = matrix.width();
+        let strategy = self
+            .strategy
+            .unwrap_or_else(|| self.objective.default_strategy());
+
+        let mut netlist = Netlist::new(self.name.clone());
+        let leaves = build_leaves(&mut netlist, &matrix, self.spec, tech)?;
+        let rows = allocate_fa_tree(&mut netlist, leaves.columns, strategy, tech)?;
+        let outputs =
+            self.final_adder
+                .build(&mut netlist, &rows.row_a, &rows.row_b, width as usize)?;
+        for (bit, net) in outputs.iter().enumerate() {
+            netlist.set_net_name(*net, format!("out[{bit}]"));
+            netlist.mark_output(*net);
+        }
+        let word_map = WordMap::new(leaves.input_words, Word::new("out", outputs));
+        netlist.validate()?;
+
+        // Static timing analysis with the spec's per-bit arrival profile.
+        let mut arrivals = BTreeMap::new();
+        let mut probabilities = BTreeMap::new();
+        for word in word_map.inputs() {
+            for (bit, net) in word.bits().iter().enumerate() {
+                if let Some(profile) = self.spec.bit_profile(word.name(), bit as u32) {
+                    arrivals.insert(*net, profile.arrival);
+                    probabilities.insert(*net, profile.probability);
+                }
+            }
+        }
+        let timing = TimingAnalysis::new(tech)
+            .with_input_arrivals(arrivals)
+            .run(&netlist)?;
+        let power = ProbabilityAnalysis::new(tech)
+            .with_input_probabilities(probabilities)
+            .run(&netlist)?;
+        let area = tech.netlist_area(&netlist);
+        let report = SynthesisReport {
+            name: self.name.clone(),
+            objective: self.objective,
+            strategy,
+            delay: timing.critical_delay(),
+            area,
+            switching_energy: power.total_energy(),
+            power_mw: power.power_mw(),
+            tree_fa_count: rows.fa_count,
+            tree_ha_count: rows.ha_count,
+            final_input_arrival: rows.final_input_arrival,
+            cell_count: netlist.cell_count(),
+            net_count: netlist.net_count(),
+            logic_depth: netlist.logic_depth(),
+            output_width: width,
+        };
+        Ok(SynthesizedDesign {
+            netlist,
+            word_map,
+            report,
+            width,
+        })
+    }
+}
+
+/// A synthesized and analysed design: the netlist, its word-level interface and its
+/// quality-of-results report.
+#[derive(Debug, Clone)]
+pub struct SynthesizedDesign {
+    netlist: Netlist,
+    word_map: WordMap,
+    report: SynthesisReport,
+    width: u32,
+}
+
+impl SynthesizedDesign {
+    /// The synthesized bit-level netlist.
+    pub fn netlist(&self) -> &Netlist {
+        &self.netlist
+    }
+
+    /// The word-level interface (input words and the output word).
+    pub fn word_map(&self) -> &WordMap {
+        &self.word_map
+    }
+
+    /// The quality-of-results report.
+    pub fn report(&self) -> &SynthesisReport {
+        &self.report
+    }
+
+    /// The output width in bits.
+    pub fn output_width(&self) -> u32 {
+        self.width
+    }
+
+    /// Emits the design as structural Verilog (the paper's output format).
+    pub fn to_verilog(&self) -> String {
+        self.netlist.to_verilog()
+    }
+
+    /// Decomposes the design into its parts (netlist, interface, report).
+    pub fn into_parts(self) -> (Netlist, WordMap, SynthesisReport) {
+        (self.netlist, self.word_map, self.report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpsyn_ir::parse_expr;
+    use dpsyn_sim::check_equivalence;
+
+    fn spec_xyz() -> InputSpec {
+        InputSpec::builder()
+            .var("x", 3)
+            .var("y", 3)
+            .var("z", 3)
+            .build()
+            .unwrap()
+    }
+
+    fn check(source: &str, spec: &InputSpec, width: u32, objective: Objective) {
+        let expr = parse_expr(source).unwrap();
+        let lib = TechLibrary::lcbg10pv_like();
+        let design = Synthesizer::new(&expr, spec)
+            .objective(objective)
+            .technology(&lib)
+            .output_width(width)
+            .run()
+            .unwrap();
+        design.netlist().validate().unwrap();
+        check_equivalence(
+            design.netlist(),
+            design.word_map(),
+            &expr,
+            spec,
+            width,
+            256,
+            17,
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn timing_designs_are_functionally_correct() {
+        let spec = spec_xyz();
+        check("x + y + z", &spec, 5, Objective::Timing);
+        check("x*y + z", &spec, 7, Objective::Timing);
+        check("x + y - z + x*y - y*z + 10", &spec, 8, Objective::Timing);
+        check("x*x + 2*x + 1", &spec, 8, Objective::Timing);
+    }
+
+    #[test]
+    fn power_designs_are_functionally_correct() {
+        let spec = spec_xyz();
+        check("x*y + y*z + x", &spec, 8, Objective::Power);
+        check("x - y + 21", &spec, 6, Objective::Power);
+    }
+
+    #[test]
+    fn every_final_adder_kind_preserves_function() {
+        let expr = parse_expr("x*y + z").unwrap();
+        let spec = spec_xyz();
+        let lib = TechLibrary::unit();
+        for kind in FinalAdderKind::all() {
+            let design = Synthesizer::new(&expr, &spec)
+                .technology(&lib)
+                .final_adder(kind)
+                .output_width(7)
+                .run()
+                .unwrap();
+            check_equivalence(design.netlist(), design.word_map(), &expr, &spec, 7, 128, 3)
+                .unwrap();
+        }
+    }
+
+    #[test]
+    fn every_strategy_preserves_function() {
+        let expr = parse_expr("x*y - z + 5").unwrap();
+        let spec = spec_xyz();
+        let lib = TechLibrary::unit();
+        for strategy in [
+            SelectionStrategy::EarliestArrival,
+            SelectionStrategy::LargestDeviation,
+            SelectionStrategy::RowOrder,
+            SelectionStrategy::Random(5),
+        ] {
+            let design = Synthesizer::new(&expr, &spec)
+                .technology(&lib)
+                .strategy(strategy)
+                .output_width(7)
+                .run()
+                .unwrap();
+            check_equivalence(design.netlist(), design.word_map(), &expr, &spec, 7, 128, 3)
+                .unwrap();
+        }
+    }
+
+    #[test]
+    fn timing_objective_beats_fixed_selection_under_skewed_arrivals() {
+        // One late-arriving input: the timing-driven tree should finish earlier than the
+        // fixed row-order tree, as in Figure 2.
+        let expr = parse_expr("a + b + c + d + e + f").unwrap();
+        let spec = InputSpec::builder()
+            .var("a", 8)
+            .var("b", 8)
+            .var("c", 8)
+            .var("d", 8)
+            .var("e", 8)
+            .var_with_arrival("f", 8, 3.0)
+            .build()
+            .unwrap();
+        let lib = TechLibrary::lcbg10pv_like();
+        let timing = Synthesizer::new(&expr, &spec)
+            .technology(&lib)
+            .objective(Objective::Timing)
+            .run()
+            .unwrap();
+        let fixed = Synthesizer::new(&expr, &spec)
+            .technology(&lib)
+            .strategy(SelectionStrategy::RowOrder)
+            .run()
+            .unwrap();
+        assert!(
+            timing.report().delay <= fixed.report().delay + 1e-9,
+            "timing {} vs fixed {}",
+            timing.report().delay,
+            fixed.report().delay
+        );
+    }
+
+    #[test]
+    fn power_objective_beats_random_selection_for_skewed_probabilities() {
+        let expr = parse_expr("a + b + c + d + e + f").unwrap();
+        let spec = InputSpec::builder()
+            .var_with_probability("a", 8, 0.05)
+            .var_with_probability("b", 8, 0.9)
+            .var_with_probability("c", 8, 0.5)
+            .var_with_probability("d", 8, 0.2)
+            .var_with_probability("e", 8, 0.8)
+            .var_with_probability("f", 8, 0.35)
+            .build()
+            .unwrap();
+        let lib = TechLibrary::lcbg10pv_like();
+        let low_power = Synthesizer::new(&expr, &spec)
+            .technology(&lib)
+            .objective(Objective::Power)
+            .run()
+            .unwrap();
+        // Compare against the average of several random selections (the paper's
+        // FA_random reference).
+        let mut random_total = 0.0;
+        let runs = 5;
+        for seed in 0..runs {
+            let random = Synthesizer::new(&expr, &spec)
+                .technology(&lib)
+                .strategy(SelectionStrategy::Random(seed))
+                .run()
+                .unwrap();
+            random_total += random.report().switching_energy;
+        }
+        let random_average = random_total / runs as f64;
+        assert!(
+            low_power.report().switching_energy <= random_average,
+            "low power {} vs random average {}",
+            low_power.report().switching_energy,
+            random_average
+        );
+    }
+
+    #[test]
+    fn inferred_width_matches_matrix_width() {
+        let expr = parse_expr("x * y").unwrap();
+        let spec = InputSpec::builder().var("x", 3).var("y", 3).build().unwrap();
+        let design = Synthesizer::new(&expr, &spec).run().unwrap();
+        assert_eq!(design.output_width(), 6);
+        assert_eq!(design.word_map().output().width(), 6);
+    }
+
+    #[test]
+    fn zero_expression_is_rejected() {
+        let expr = parse_expr("x - x").unwrap();
+        let spec = InputSpec::builder().var("x", 3).build().unwrap();
+        let result = Synthesizer::new(&expr, &spec).output_width(4).run();
+        assert!(matches!(result, Err(SynthesisError::EmptyExpression)));
+    }
+
+    #[test]
+    fn unknown_variable_is_rejected() {
+        let expr = parse_expr("x + ghost").unwrap();
+        let spec = InputSpec::builder().var("x", 3).build().unwrap();
+        let result = Synthesizer::new(&expr, &spec).run();
+        assert!(matches!(result, Err(SynthesisError::Ir(_))));
+    }
+
+    #[test]
+    fn verilog_output_names_the_module() {
+        let expr = parse_expr("x + y").unwrap();
+        let spec = InputSpec::builder().var("x", 2).var("y", 2).build().unwrap();
+        let design = Synthesizer::new(&expr, &spec)
+            .name("my_datapath")
+            .run()
+            .unwrap();
+        let verilog = design.to_verilog();
+        assert!(verilog.contains("module my_datapath"));
+        let (netlist, map, report) = design.into_parts();
+        assert_eq!(netlist.outputs().len(), map.output().width() as usize);
+        assert_eq!(report.name, "my_datapath");
+    }
+
+    #[test]
+    fn report_counts_match_the_netlist() {
+        let expr = parse_expr("x*y + z").unwrap();
+        let spec = spec_xyz();
+        let lib = TechLibrary::unit();
+        let design = Synthesizer::new(&expr, &spec)
+            .technology(&lib)
+            .output_width(7)
+            .run()
+            .unwrap();
+        let report = design.report();
+        assert_eq!(report.cell_count, design.netlist().cell_count());
+        assert_eq!(report.net_count, design.netlist().net_count());
+        let fa_in_netlist = design.netlist().count_kind(dpsyn_netlist::CellKind::Fa);
+        // The netlist also contains the final adder's FAs (ripple blocks inside the
+        // carry-lookahead default do not use FA cells, so tree FAs are a lower bound).
+        assert!(fa_in_netlist >= report.tree_fa_count);
+        assert!((report.area - lib.netlist_area(design.netlist())).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,412 @@
+//! The benchmark designs of the DAC 2000 evaluation and synthetic workload generators.
+//!
+//! Table 1 of the paper evaluates ten arithmetic designs (five polynomial expressions
+//! and the arithmetic cores of five filter/transform designs); Table 2 reuses the five
+//! larger ones with random input signal probabilities. The original RTL of the filter
+//! designs is not public, so the arithmetic cores are reconstructed here from their
+//! standard textbook definitions at the bit widths the paper lists (see DESIGN.md for
+//! the substitution rationale).
+//!
+//! # Example
+//!
+//! ```
+//! let design = dpsyn_designs::x2_x_y();
+//! assert_eq!(design.name(), "x2_x_y");
+//! assert_eq!(design.output_width(), 17);
+//! assert!(design.spec().var("x").is_some());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod workloads;
+
+use dpsyn_ir::{Expr, InputSpec};
+
+/// One benchmark design: an expression, its input characteristics and an output width.
+#[derive(Debug, Clone)]
+pub struct Design {
+    name: String,
+    description: String,
+    expr: Expr,
+    spec: InputSpec,
+    output_width: u32,
+}
+
+impl Design {
+    /// Creates a design from its parts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `source` does not parse or references variables missing from `spec`;
+    /// the built-in designs are covered by tests, and workload generators construct
+    /// specs and expressions together.
+    pub fn new(
+        name: impl Into<String>,
+        description: impl Into<String>,
+        source: &str,
+        spec: InputSpec,
+        output_width: u32,
+    ) -> Self {
+        let name = name.into();
+        let expr = dpsyn_ir::parse_expr(source).expect("design expression parses");
+        for variable in expr.variables() {
+            assert!(
+                spec.var(&variable).is_some(),
+                "design `{name}` uses undeclared variable `{variable}`"
+            );
+        }
+        Design {
+            name,
+            description: description.into(),
+            expr,
+            spec,
+            output_width,
+        }
+    }
+
+    /// Short identifier used in tables.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Human-readable description (what the paper calls the design).
+    pub fn description(&self) -> &str {
+        &self.description
+    }
+
+    /// The arithmetic expression.
+    pub fn expr(&self) -> &Expr {
+        &self.expr
+    }
+
+    /// The input characteristics (widths, arrival times, signal probabilities).
+    pub fn spec(&self) -> &InputSpec {
+        &self.spec
+    }
+
+    /// The output width the paper reports for the design.
+    pub fn output_width(&self) -> u32 {
+        self.output_width
+    }
+
+    /// Returns a copy of the design whose input bits carry pseudo-random signal
+    /// probabilities (the setup of the paper's power experiment, Table 2).
+    pub fn with_random_probabilities(&self, seed: u64) -> Design {
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).max(1);
+        let mut next = || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            // Keep probabilities in [0.05, 0.95] to avoid degenerate constants.
+            0.05 + 0.9 * ((state >> 11) as f64 / (1u64 << 53) as f64)
+        };
+        let mut builder = InputSpec::builder();
+        for var in self.spec.vars() {
+            let profiles: Vec<dpsyn_ir::BitProfile> = var
+                .bits()
+                .iter()
+                .map(|bit| dpsyn_ir::BitProfile::new(bit.arrival, next()))
+                .collect();
+            builder = builder.var_with_profiles(var.name(), profiles);
+        }
+        Design {
+            name: self.name.clone(),
+            description: self.description.clone(),
+            expr: self.expr.clone(),
+            spec: builder.build().expect("probabilities stay within [0, 1]"),
+            output_width: self.output_width,
+        }
+    }
+}
+
+/// `X²` with a 3-bit X (first row of Table 1).
+pub fn x_squared() -> Design {
+    Design::new(
+        "x_squared",
+        "X^2 (X: 3-bit)",
+        "x*x",
+        InputSpec::builder().var("x", 3).build().expect("valid spec"),
+        6,
+    )
+}
+
+/// `X³` with a 4-bit X.
+pub fn x_cubed() -> Design {
+    Design::new(
+        "x_cubed",
+        "X^3 (X: 4-bit)",
+        "x*x*x",
+        InputSpec::builder().var("x", 4).build().expect("valid spec"),
+        12,
+    )
+}
+
+/// `X² + X + Y` with 8-bit operands and X arriving at 0.7 ns.
+pub fn x2_x_y() -> Design {
+    Design::new(
+        "x2_x_y",
+        "X^2 + X + Y (X,Y: 8-bit, X arrives at 0.7 ns)",
+        "x*x + x + y",
+        InputSpec::builder()
+            .var_with_arrival("x", 8, 0.7)
+            .var("y", 8)
+            .build()
+            .expect("valid spec"),
+        17,
+    )
+}
+
+/// `x² + 2xy + y² + 2x + 2y + 1` with 8-bit operands arriving at 1.0 ns.
+pub fn binomial_square() -> Design {
+    Design::new(
+        "binomial_square",
+        "x^2 + 2xy + y^2 + 2x + 2y + 1 (x,y: 8-bit, 1.0 ns)",
+        "x*x + 2*x*y + y*y + 2*x + 2*y + 1",
+        InputSpec::builder()
+            .var_with_arrival("x", 8, 1.0)
+            .var_with_arrival("y", 8, 1.0)
+            .build()
+            .expect("valid spec"),
+        18,
+    )
+}
+
+/// `x + y − z + x·y − y·z + 10` with 8-bit operands.
+pub fn mixed_poly() -> Design {
+    Design::new(
+        "mixed_poly",
+        "x + y - z + x*y - y*z + 10 (x,y,z: 8-bit)",
+        "x + y - z + x*y - y*z + 10",
+        InputSpec::builder()
+            .var("x", 8)
+            .var("y", 8)
+            .var("z", 8)
+            .build()
+            .expect("valid spec"),
+        17,
+    )
+}
+
+/// Arithmetic core of a second-order (biquad) IIR filter section, 16-bit output.
+///
+/// `y = b0·x + b1·x1 + b2·x2 + a1·y1 + a2·y2` with 8-bit data and coefficient words
+/// (the paper reports the 16-bit accumulation width).
+pub fn iir() -> Design {
+    Design::new(
+        "iir",
+        "2nd-order IIR filter arithmetic core (16-bit output)",
+        "b0*x + b1*x1 + b2*x2 + a1*y1 + a2*y2",
+        InputSpec::builder()
+            .var("x", 8)
+            .var("x1", 8)
+            .var("x2", 8)
+            .var("y1", 8)
+            .var("y2", 8)
+            .var("b0", 5)
+            .var("b1", 5)
+            .var("b2", 5)
+            .var("a1", 5)
+            .var("a2", 5)
+            .build()
+            .expect("valid spec"),
+        16,
+    )
+}
+
+/// State-vector update of a second-order Kalman filter, 32-bit output.
+///
+/// `x1' = a11·x1 + a12·x2 + b1·u + k1·e` with 12-bit state/gain words.
+pub fn kalman() -> Design {
+    Design::new(
+        "kalman",
+        "Kalman filter state-vector update (32-bit output)",
+        "a11*x1 + a12*x2 + b1*u + k1*e",
+        InputSpec::builder()
+            .var("x1", 12)
+            .var("x2", 12)
+            .var("u", 12)
+            .var("e", 12)
+            .var("a11", 12)
+            .var("a12", 12)
+            .var("b1", 12)
+            .var("k1", 12)
+            .build()
+            .expect("valid spec"),
+        32,
+    )
+}
+
+/// One output of an 8-point one-dimensional inverse DCT row computation, 32-bit output.
+///
+/// The eight cosine coefficients are the usual 13-bit fixed-point constants, so every
+/// term is a constant multiplication of a 16-bit input sample.
+pub fn idct() -> Design {
+    Design::new(
+        "idct",
+        "8-point 1-D IDCT row computation (32-bit output)",
+        "5793*f0 + 8035*f1 + 7568*f2 + 6811*f3 + 5793*f4 + 4551*f5 + 3135*f6 + 1598*f7",
+        InputSpec::builder()
+            .var("f0", 16)
+            .var("f1", 16)
+            .var("f2", 16)
+            .var("f3", 16)
+            .var("f4", 16)
+            .var("f5", 16)
+            .var("f6", 16)
+            .var("f7", 16)
+            .build()
+            .expect("valid spec"),
+        32,
+    )
+}
+
+/// Real part of a complex multiplication `(a + jb)(c + jd)`, 32-bit output.
+pub fn complex_mult() -> Design {
+    Design::new(
+        "complex",
+        "complex multiplication, real part a*c - b*d (32-bit output)",
+        "a*c - b*d + 32768",
+        InputSpec::builder()
+            .var("a", 15)
+            .var("b", 15)
+            .var("c", 15)
+            .var("d", 15)
+            .build()
+            .expect("valid spec"),
+        32,
+    )
+}
+
+/// A three-port serial adapter as used in wave-digital ladder filters, 16-bit output.
+///
+/// `b3 = a1 + a2 − a3 − g1·(a1 + a2 + a3)` with a short coefficient word; the structure
+/// is addition-dominated and fairly regular, which is why the paper's word-level
+/// CSA_OPT baseline comes close to FA_AOT on it.
+pub fn serial_adapter() -> Design {
+    Design::new(
+        "serial_adapter",
+        "3-port serial adapter of a ladder filter (16-bit output)",
+        "a1 + a2 - a3 - g1*(a1 + a2 + a3) + 4096",
+        InputSpec::builder()
+            .var("a1", 12)
+            .var("a2", 12)
+            .var("a3", 12)
+            .var("g1", 3)
+            .build()
+            .expect("valid spec"),
+        16,
+    )
+}
+
+/// The ten designs of Table 1, in the paper's row order.
+pub fn table1_designs() -> Vec<Design> {
+    vec![
+        x_squared(),
+        x_cubed(),
+        x2_x_y(),
+        binomial_square(),
+        mixed_poly(),
+        iir(),
+        kalman(),
+        idct(),
+        complex_mult(),
+        serial_adapter(),
+    ]
+}
+
+/// The five designs of Table 2 (power comparison), in the paper's row order.
+pub fn table2_designs() -> Vec<Design> {
+    vec![iir(), kalman(), idct(), complex_mult(), serial_adapter()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    #[test]
+    fn all_table1_designs_are_well_formed() {
+        let designs = table1_designs();
+        assert_eq!(designs.len(), 10);
+        for design in &designs {
+            assert!(!design.name().is_empty());
+            assert!(!design.description().is_empty());
+            assert!(design.output_width() >= 6);
+            // Every referenced variable is declared.
+            for variable in design.expr().variables() {
+                assert!(design.spec().var(&variable).is_some(), "{variable}");
+            }
+        }
+        // Names are unique.
+        let mut names: Vec<&str> = designs.iter().map(Design::name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 10);
+    }
+
+    #[test]
+    fn table2_is_the_filter_subset_of_table1() {
+        let table1: Vec<String> = table1_designs().iter().map(|d| d.name().to_string()).collect();
+        for design in table2_designs() {
+            assert!(table1.contains(&design.name().to_string()));
+        }
+        assert_eq!(table2_designs().len(), 5);
+    }
+
+    #[test]
+    fn arrival_annotations_match_the_paper() {
+        let design = x2_x_y();
+        assert_eq!(design.spec().var("x").unwrap().bit(0).arrival, 0.7);
+        assert_eq!(design.spec().var("y").unwrap().bit(0).arrival, 0.0);
+        let design = binomial_square();
+        assert_eq!(design.spec().max_arrival(), 1.0);
+    }
+
+    #[test]
+    fn golden_values_of_small_designs() {
+        let mut env = BTreeMap::new();
+        env.insert("x".to_string(), 5u64);
+        assert_eq!(x_squared().expr().evaluate(&env).unwrap(), 25);
+        assert_eq!(x_cubed().expr().evaluate(&env).unwrap(), 125);
+        env.insert("y".to_string(), 3u64);
+        assert_eq!(x2_x_y().expr().evaluate(&env).unwrap(), 33);
+        // (5 + 3 + 1)^2 = 81
+        assert_eq!(binomial_square().expr().evaluate(&env).unwrap(), 81);
+        env.insert("z".to_string(), 2u64);
+        assert_eq!(mixed_poly().expr().evaluate(&env).unwrap(), 5 + 3 - 2 + 15 - 6 + 10);
+    }
+
+    #[test]
+    fn random_probabilities_are_reproducible_and_legal() {
+        let design = iir();
+        let first = design.with_random_probabilities(42);
+        let second = design.with_random_probabilities(42);
+        let different = design.with_random_probabilities(43);
+        let collect = |d: &Design| -> Vec<f64> {
+            d.spec()
+                .vars()
+                .flat_map(|v| v.bits().iter().map(|b| b.probability))
+                .collect()
+        };
+        assert_eq!(collect(&first), collect(&second));
+        assert_ne!(collect(&first), collect(&different));
+        for p in collect(&first) {
+            assert!((0.05..=0.95).contains(&p));
+        }
+        // Arrival times are preserved.
+        assert_eq!(first.spec().max_arrival(), design.spec().max_arrival());
+    }
+
+    #[test]
+    #[should_panic(expected = "undeclared variable")]
+    fn undeclared_variable_is_caught_at_construction() {
+        Design::new(
+            "broken",
+            "broken",
+            "x + y",
+            InputSpec::builder().var("x", 4).build().unwrap(),
+            8,
+        );
+    }
+}

@@ -1,0 +1,211 @@
+//! Synthetic workload generators for ablation studies and runtime benchmarks.
+//!
+//! The paper's evaluation uses ten fixed designs; the ablation benches of this
+//! reproduction additionally sweep problem size, arrival-time skew and signal
+//! probability skew with the generators below. All generators are deterministic in
+//! their seed.
+
+use crate::Design;
+use dpsyn_ir::{BitProfile, InputSpec};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters of a synthetic multi-operand addition workload.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SumWorkload {
+    /// Number of operands added together.
+    pub operands: usize,
+    /// Bit width of every operand.
+    pub width: u32,
+    /// Largest input arrival time; per-bit arrivals are drawn uniformly from
+    /// `[0, max_arrival]`.
+    pub max_arrival: f64,
+    /// Signal-probability skew in `[0, 0.45]`: per-bit probabilities are drawn from
+    /// `[0.5 − skew, 0.5 + skew]`.
+    pub probability_skew: f64,
+}
+
+impl Default for SumWorkload {
+    fn default() -> Self {
+        SumWorkload {
+            operands: 8,
+            width: 16,
+            max_arrival: 2.0,
+            probability_skew: 0.4,
+        }
+    }
+}
+
+/// Generates a multi-operand addition `t0 + t1 + … + t_{n−1}` with random per-bit
+/// arrival times and probabilities.
+///
+/// # Panics
+///
+/// Panics when `operands` is zero or `width` is zero.
+pub fn random_sum(parameters: &SumWorkload, seed: u64) -> Design {
+    assert!(parameters.operands > 0, "at least one operand is required");
+    assert!(parameters.width > 0, "operands need at least one bit");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut builder = InputSpec::builder();
+    let mut source = String::new();
+    for operand in 0..parameters.operands {
+        let name = format!("t{operand}");
+        let profiles: Vec<BitProfile> = (0..parameters.width)
+            .map(|_| {
+                BitProfile::new(
+                    rng.gen_range(0.0..=parameters.max_arrival.max(f64::EPSILON)),
+                    0.5 + rng.gen_range(-parameters.probability_skew..=parameters.probability_skew),
+                )
+            })
+            .collect();
+        builder = builder.var_with_profiles(&name, profiles);
+        if operand > 0 {
+            source.push_str(" + ");
+        }
+        source.push_str(&name);
+    }
+    let output_width = parameters.width + (parameters.operands as f64).log2().ceil() as u32;
+    Design::new(
+        format!("sum_{}x{}", parameters.operands, parameters.width),
+        format!(
+            "synthetic sum of {} operands of {} bits (seed {seed})",
+            parameters.operands, parameters.width
+        ),
+        &source,
+        builder.build().expect("generated profiles are legal"),
+        output_width.min(63),
+    )
+}
+
+/// Generates a random sum-of-products expression: `terms` products of two operands plus
+/// one additive operand, all of the given width, with random arrival/probability
+/// profiles.
+///
+/// # Panics
+///
+/// Panics when `terms` or `width` is zero.
+pub fn random_sum_of_products(terms: usize, width: u32, seed: u64) -> Design {
+    assert!(terms > 0, "at least one product term is required");
+    assert!(width > 0, "operands need at least one bit");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut builder = InputSpec::builder();
+    let mut source = String::new();
+    for term in 0..terms {
+        let a = format!("a{term}");
+        let b = format!("b{term}");
+        for name in [&a, &b] {
+            let profiles: Vec<BitProfile> = (0..width)
+                .map(|_| BitProfile::new(rng.gen_range(0.0..2.0), rng.gen_range(0.1..0.9)))
+                .collect();
+            builder = builder.var_with_profiles(name, profiles);
+        }
+        if term > 0 {
+            source.push_str(" + ");
+        }
+        source.push_str(&format!("{a}*{b}"));
+    }
+    let output_width = (2 * width + (terms as f64).log2().ceil() as u32 + 1).min(63);
+    Design::new(
+        format!("sop_{terms}x{width}"),
+        format!("synthetic sum of {terms} products of {width}-bit operands (seed {seed})"),
+        &source,
+        builder.build().expect("generated profiles are legal"),
+        output_width,
+    )
+}
+
+/// Generates the Figure-2 style single-column workload: `operands` single-bit addends
+/// with the given arrival times (probabilities 0.5).
+pub fn single_column(arrivals: &[f64]) -> Design {
+    let mut builder = InputSpec::builder();
+    let mut source = String::new();
+    for (index, arrival) in arrivals.iter().enumerate() {
+        let name = format!("s{index}");
+        builder = builder.var_with_profiles(&name, vec![BitProfile::new(*arrival, 0.5)]);
+        if index > 0 {
+            source.push_str(" + ");
+        }
+        source.push_str(&name);
+    }
+    let width = (arrivals.len().max(2) as f64).log2().ceil() as u32 + 1;
+    Design::new(
+        format!("column_{}", arrivals.len()),
+        format!("single column of {} one-bit addends", arrivals.len()),
+        &source,
+        builder.build().expect("generated profiles are legal"),
+        width,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_sum_is_reproducible() {
+        let parameters = SumWorkload::default();
+        let first = random_sum(&parameters, 1);
+        let second = random_sum(&parameters, 1);
+        assert_eq!(first.expr(), second.expr());
+        let first_profiles: Vec<f64> = first
+            .spec()
+            .vars()
+            .flat_map(|v| v.bits().iter().map(|b| b.arrival))
+            .collect();
+        let second_profiles: Vec<f64> = second
+            .spec()
+            .vars()
+            .flat_map(|v| v.bits().iter().map(|b| b.arrival))
+            .collect();
+        assert_eq!(first_profiles, second_profiles);
+    }
+
+    #[test]
+    fn random_sum_respects_parameters() {
+        let parameters = SumWorkload {
+            operands: 5,
+            width: 9,
+            max_arrival: 3.0,
+            probability_skew: 0.2,
+        };
+        let design = random_sum(&parameters, 7);
+        assert_eq!(design.spec().len(), 5);
+        assert_eq!(design.spec().var("t0").unwrap().width(), 9);
+        for var in design.spec().vars() {
+            for bit in var.bits() {
+                assert!(bit.arrival <= 3.0);
+                assert!((bit.probability - 0.5).abs() <= 0.2 + 1e-12);
+            }
+        }
+        assert_eq!(design.output_width(), 9 + 3);
+    }
+
+    #[test]
+    fn random_sum_of_products_declares_all_operands() {
+        let design = random_sum_of_products(3, 6, 11);
+        assert_eq!(design.spec().len(), 6);
+        for variable in design.expr().variables() {
+            assert!(design.spec().var(&variable).is_some());
+        }
+    }
+
+    #[test]
+    fn single_column_matches_arrival_profile() {
+        let design = single_column(&[7.0, 2.0, 3.0, 2.0]);
+        assert_eq!(design.spec().len(), 4);
+        assert_eq!(design.spec().max_arrival(), 7.0);
+        assert_eq!(design.output_width(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one operand")]
+    fn zero_operands_panics() {
+        random_sum(
+            &SumWorkload {
+                operands: 0,
+                ..SumWorkload::default()
+            },
+            0,
+        );
+    }
+}

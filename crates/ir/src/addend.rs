@@ -1,0 +1,430 @@
+//! The bit-level addend matrix of the paper.
+
+use crate::InputSpec;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A reference to one bit of one input word.
+///
+/// # Example
+/// ```
+/// use dpsyn_ir::BitRef;
+/// let bit = BitRef::new("x", 3);
+/// assert_eq!(bit.to_string(), "x[3]");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct BitRef {
+    /// Name of the input word.
+    pub var: String,
+    /// Bit index inside the word (0 = LSB).
+    pub bit: u32,
+}
+
+impl BitRef {
+    /// Creates a bit reference.
+    pub fn new(var: impl Into<String>, bit: u32) -> Self {
+        BitRef {
+            var: var.into(),
+            bit,
+        }
+    }
+}
+
+impl fmt::Display for BitRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[{}]", self.var, self.bit)
+    }
+}
+
+/// One single-bit addend of the addend matrix.
+///
+/// An addend is either the constant 1 (arising from constant terms and from the `+1`
+/// corrections of two's-complement subtraction) or a — possibly complemented — product
+/// (logical AND) of one or more input bits. A plain input bit is a product of one
+/// literal; a multiplier partial product is a product of two literals; higher-order
+/// monomials such as `x·y·z` produce products of three or more literals.
+///
+/// # Example
+/// ```
+/// use dpsyn_ir::{Addend, BitRef};
+/// let pp = Addend::product(vec![BitRef::new("x", 1), BitRef::new("y", 2)]);
+/// assert_eq!(pp.literal_count(), 2);
+/// assert_eq!(pp.to_string(), "x[1]&y[2]");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Addend {
+    /// The constant logic value 1.
+    One,
+    /// A product of input-bit literals, optionally complemented at the output.
+    Product {
+        /// The literals participating in the AND, sorted and de-duplicated.
+        literals: Vec<BitRef>,
+        /// Whether the product is complemented (arises from subtraction lowering).
+        complement: bool,
+    },
+}
+
+impl Addend {
+    /// Creates a plain (non-complemented) single-bit literal addend.
+    pub fn literal(bit: BitRef) -> Self {
+        Addend::Product {
+            literals: vec![bit],
+            complement: false,
+        }
+    }
+
+    /// Creates a product addend from the given literals.
+    ///
+    /// Literals are sorted and de-duplicated (`x·x = x`).
+    pub fn product(literals: impl IntoIterator<Item = BitRef>) -> Self {
+        Self::product_with_complement(literals, false)
+    }
+
+    /// Creates a — possibly complemented — product addend from the given literals.
+    pub fn product_with_complement(
+        literals: impl IntoIterator<Item = BitRef>,
+        complement: bool,
+    ) -> Self {
+        let mut literals: Vec<BitRef> = literals.into_iter().collect();
+        literals.sort();
+        literals.dedup();
+        Addend::Product {
+            literals,
+            complement,
+        }
+    }
+
+    /// Number of distinct input-bit literals of this addend (0 for the constant 1).
+    pub fn literal_count(&self) -> usize {
+        match self {
+            Addend::One => 0,
+            Addend::Product { literals, .. } => literals.len(),
+        }
+    }
+
+    /// The literals of this addend (empty for the constant 1).
+    pub fn literals(&self) -> &[BitRef] {
+        match self {
+            Addend::One => &[],
+            Addend::Product { literals, .. } => literals,
+        }
+    }
+
+    /// Whether the product is complemented.
+    pub fn is_complemented(&self) -> bool {
+        matches!(
+            self,
+            Addend::Product {
+                complement: true,
+                ..
+            }
+        )
+    }
+
+    /// Whether this addend is the constant 1.
+    pub fn is_constant_one(&self) -> bool {
+        matches!(self, Addend::One)
+    }
+
+    /// Logic value of the addend under the given word-level assignment.
+    ///
+    /// Missing variables evaluate as zero.
+    pub fn evaluate(&self, env: &BTreeMap<String, u64>) -> bool {
+        match self {
+            Addend::One => true,
+            Addend::Product {
+                literals,
+                complement,
+            } => {
+                let value = literals.iter().all(|literal| {
+                    let word = env.get(&literal.var).copied().unwrap_or(0);
+                    (word >> literal.bit) & 1 == 1
+                });
+                value != *complement
+            }
+        }
+    }
+
+    /// Latest arrival time over the addend's literals (0.0 for the constant 1 or when a
+    /// literal is absent from the spec).
+    ///
+    /// Gate delays of the AND/NOT network that produces the addend are *not* included;
+    /// they depend on the technology library and are added by the synthesis engine.
+    pub fn max_input_arrival(&self, spec: &InputSpec) -> f64 {
+        self.literals()
+            .iter()
+            .filter_map(|literal| spec.bit_profile(&literal.var, literal.bit))
+            .map(|profile| profile.arrival)
+            .fold(0.0, f64::max)
+    }
+
+    /// Signal probability of the addend under the independence assumption of the paper's
+    /// power model (Section 4.1).
+    ///
+    /// The probability of a product is the product of the literal probabilities; a
+    /// complemented product has probability `1 − p`. Literals absent from the spec are
+    /// assumed unbiased (p = 0.5). The constant 1 has probability 1.
+    pub fn probability(&self, spec: &InputSpec) -> f64 {
+        match self {
+            Addend::One => 1.0,
+            Addend::Product {
+                literals,
+                complement,
+            } => {
+                let product: f64 = literals
+                    .iter()
+                    .map(|literal| {
+                        spec.bit_profile(&literal.var, literal.bit)
+                            .map(|profile| profile.probability)
+                            .unwrap_or(0.5)
+                    })
+                    .product();
+                if *complement {
+                    1.0 - product
+                } else {
+                    product
+                }
+            }
+        }
+    }
+}
+
+impl fmt::Display for Addend {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Addend::One => write!(f, "1"),
+            Addend::Product {
+                literals,
+                complement,
+            } => {
+                if *complement {
+                    write!(f, "~(")?;
+                }
+                let parts: Vec<String> = literals.iter().map(|l| l.to_string()).collect();
+                write!(f, "{}", parts.join("&"))?;
+                if *complement {
+                    write!(f, ")")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+/// The addend matrix: for every bit weight `2^j` (column `j`), the list of single-bit
+/// addends that must be summed into the final result.
+///
+/// This is Figure 1(a) of the paper generalised to arbitrary expressions: the matrix is
+/// produced by [`crate::Expr::lower`] and consumed by the FA-tree allocation algorithms.
+///
+/// # Example
+/// ```
+/// # fn main() -> Result<(), dpsyn_ir::IrError> {
+/// use dpsyn_ir::{Expr, InputSpec, LoweringOptions};
+/// let expr = Expr::var("x") + Expr::var("y") + Expr::var("z") + Expr::var("w");
+/// let spec = InputSpec::builder()
+///     .var("x", 2).var("y", 2).var("z", 1).var("w", 2)
+///     .build()?;
+/// let matrix = expr.lower(&spec, &LoweringOptions::with_width(4))?;
+/// // Column 0 receives x[0], y[0], z[0], w[0].
+/// assert_eq!(matrix.column(0).len(), 4);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct AddendMatrix {
+    width: u32,
+    columns: Vec<Vec<Addend>>,
+}
+
+impl AddendMatrix {
+    /// Creates an empty matrix of the given output width.
+    pub fn new(width: u32) -> Self {
+        AddendMatrix {
+            width,
+            columns: vec![Vec::new(); width as usize],
+        }
+    }
+
+    /// Output width in bits (number of columns).
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Adds an addend to column `column`; addends in columns at or beyond the output
+    /// width are discarded (modulo-`2^width` semantics).
+    pub fn push(&mut self, column: u32, addend: Addend) {
+        if column < self.width {
+            self.columns[column as usize].push(addend);
+        }
+    }
+
+    /// The addends of column `column` (empty slice when out of range).
+    pub fn column(&self, column: u32) -> &[Addend] {
+        self.columns
+            .get(column as usize)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Iterates over `(column, addends)` pairs.
+    pub fn columns(&self) -> impl Iterator<Item = (u32, &[Addend])> {
+        self.columns
+            .iter()
+            .enumerate()
+            .map(|(index, addends)| (index as u32, addends.as_slice()))
+    }
+
+    /// Total number of addends over all columns.
+    pub fn total_addends(&self) -> usize {
+        self.columns.iter().map(Vec::len).sum()
+    }
+
+    /// Height of the tallest column (maximum number of addends in any column).
+    pub fn max_column_height(&self) -> usize {
+        self.columns.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// Total number of distinct input bits referenced by the matrix.
+    pub fn referenced_bits(&self) -> usize {
+        let mut bits = std::collections::BTreeSet::new();
+        for column in &self.columns {
+            for addend in column {
+                for literal in addend.literals() {
+                    bits.insert(literal.clone());
+                }
+            }
+        }
+        bits.len()
+    }
+
+    /// Evaluates the matrix under the given word-level assignment, producing the value
+    /// `Σ_j 2^j · Σ_{a ∈ column j} a` modulo `2^width`.
+    ///
+    /// This is the semantic reference the FA-tree netlist must match.
+    pub fn evaluate(&self, env: &BTreeMap<String, u64>) -> u64 {
+        let mut total: u128 = 0;
+        for (column, addends) in self.columns() {
+            let ones = addends.iter().filter(|a| a.evaluate(env)).count() as u128;
+            total += ones << column;
+        }
+        let modulus: u128 = 1u128 << self.width;
+        (total % modulus) as u64
+    }
+}
+
+impl fmt::Display for AddendMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "addend matrix (width {}):", self.width)?;
+        for (column, addends) in self.columns().collect::<Vec<_>>().into_iter().rev() {
+            let parts: Vec<String> = addends.iter().map(|a| a.to_string()).collect();
+            writeln!(f, "  col {:>2}: {}", column, parts.join(", "))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::InputSpec;
+
+    fn env(pairs: &[(&str, u64)]) -> BTreeMap<String, u64> {
+        pairs
+            .iter()
+            .map(|(name, value)| (name.to_string(), *value))
+            .collect()
+    }
+
+    #[test]
+    fn product_dedups_and_sorts_literals() {
+        let addend = Addend::product(vec![
+            BitRef::new("y", 0),
+            BitRef::new("x", 1),
+            BitRef::new("x", 1),
+        ]);
+        assert_eq!(addend.literal_count(), 2);
+        assert_eq!(addend.literals()[0], BitRef::new("x", 1));
+    }
+
+    #[test]
+    fn addend_evaluation() {
+        let environment = env(&[("x", 0b10), ("y", 0b01)]);
+        assert!(Addend::One.evaluate(&environment));
+        assert!(Addend::literal(BitRef::new("x", 1)).evaluate(&environment));
+        assert!(!Addend::literal(BitRef::new("x", 0)).evaluate(&environment));
+        let product = Addend::product(vec![BitRef::new("x", 1), BitRef::new("y", 0)]);
+        assert!(product.evaluate(&environment));
+        let complemented =
+            Addend::product_with_complement(vec![BitRef::new("x", 1), BitRef::new("y", 0)], true);
+        assert!(!complemented.evaluate(&environment));
+    }
+
+    #[test]
+    fn addend_probability_under_independence() {
+        let spec = InputSpec::builder()
+            .var_with_probability("x", 2, 0.5)
+            .var_with_probability("y", 1, 0.25)
+            .build()
+            .unwrap();
+        let product = Addend::product(vec![BitRef::new("x", 0), BitRef::new("y", 0)]);
+        assert!((product.probability(&spec) - 0.125).abs() < 1e-12);
+        let complemented =
+            Addend::product_with_complement(vec![BitRef::new("x", 0), BitRef::new("y", 0)], true);
+        assert!((complemented.probability(&spec) - 0.875).abs() < 1e-12);
+        assert_eq!(Addend::One.probability(&spec), 1.0);
+    }
+
+    #[test]
+    fn addend_arrival_is_max_over_literals() {
+        let spec = InputSpec::builder()
+            .var_with_arrival("x", 2, 3.0)
+            .var_with_arrival("y", 1, 5.0)
+            .build()
+            .unwrap();
+        let product = Addend::product(vec![BitRef::new("x", 1), BitRef::new("y", 0)]);
+        assert_eq!(product.max_input_arrival(&spec), 5.0);
+        assert_eq!(Addend::One.max_input_arrival(&spec), 0.0);
+    }
+
+    #[test]
+    fn matrix_push_ignores_out_of_range_columns() {
+        let mut matrix = AddendMatrix::new(2);
+        matrix.push(0, Addend::One);
+        matrix.push(5, Addend::One);
+        assert_eq!(matrix.total_addends(), 1);
+        assert_eq!(matrix.column(5).len(), 0);
+    }
+
+    #[test]
+    fn matrix_evaluation_is_modular() {
+        let mut matrix = AddendMatrix::new(2);
+        // 1 + 1 + 2 + 2 = 6 = 0b110, truncated to 2 bits -> 2.
+        matrix.push(0, Addend::One);
+        matrix.push(0, Addend::One);
+        matrix.push(1, Addend::One);
+        matrix.push(1, Addend::One);
+        assert_eq!(matrix.evaluate(&env(&[])), 2);
+    }
+
+    #[test]
+    fn matrix_statistics() {
+        let mut matrix = AddendMatrix::new(3);
+        matrix.push(0, Addend::literal(BitRef::new("x", 0)));
+        matrix.push(0, Addend::literal(BitRef::new("y", 0)));
+        matrix.push(1, Addend::product(vec![BitRef::new("x", 0), BitRef::new("y", 1)]));
+        assert_eq!(matrix.total_addends(), 3);
+        assert_eq!(matrix.max_column_height(), 2);
+        assert_eq!(matrix.referenced_bits(), 3);
+        assert!(matrix.to_string().contains("col"));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Addend::One.to_string(), "1");
+        assert_eq!(
+            Addend::product_with_complement(vec![BitRef::new("a", 0)], true).to_string(),
+            "~(a[0])"
+        );
+    }
+}

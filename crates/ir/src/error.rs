@@ -1,0 +1,140 @@
+//! Error type shared by the IR crate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while parsing, validating or lowering arithmetic expressions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum IrError {
+    /// The expression references a variable that is not present in the [`crate::InputSpec`].
+    UnknownVariable(String),
+    /// A variable was declared twice in an input specification.
+    DuplicateVariable(String),
+    /// A variable was declared with a zero bit width.
+    ZeroWidth(String),
+    /// A per-bit profile list does not match the declared width.
+    ProfileLengthMismatch {
+        /// Variable whose profile is inconsistent.
+        variable: String,
+        /// Declared bit width.
+        width: u32,
+        /// Number of per-bit profiles supplied.
+        profiles: usize,
+    },
+    /// A signal probability was outside the closed interval `[0, 1]`.
+    InvalidProbability {
+        /// Variable whose profile is invalid.
+        variable: String,
+        /// Bit index of the offending profile.
+        bit: u32,
+        /// The offending probability value.
+        probability: f64,
+    },
+    /// An arrival time was negative or non-finite.
+    InvalidArrivalTime {
+        /// Variable whose profile is invalid.
+        variable: String,
+        /// Bit index of the offending profile.
+        bit: u32,
+        /// The offending arrival time.
+        arrival: f64,
+    },
+    /// The requested output width is zero or larger than 63 bits.
+    InvalidOutputWidth(u32),
+    /// The parser encountered an unexpected character.
+    UnexpectedCharacter {
+        /// Offending character.
+        character: char,
+        /// Byte offset in the source string.
+        position: usize,
+    },
+    /// The parser encountered an unexpected token.
+    UnexpectedToken {
+        /// Human readable description of the token found.
+        found: String,
+        /// Byte offset in the source string.
+        position: usize,
+    },
+    /// The parser reached the end of input while expecting more tokens.
+    UnexpectedEnd,
+    /// An integer literal overflowed the supported constant range.
+    ConstantOverflow(String),
+    /// Exponents must be small positive integers.
+    InvalidExponent(i64),
+}
+
+impl fmt::Display for IrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IrError::UnknownVariable(name) => {
+                write!(f, "unknown variable `{name}` (not present in the input spec)")
+            }
+            IrError::DuplicateVariable(name) => {
+                write!(f, "variable `{name}` declared more than once")
+            }
+            IrError::ZeroWidth(name) => write!(f, "variable `{name}` has zero bit width"),
+            IrError::ProfileLengthMismatch {
+                variable,
+                width,
+                profiles,
+            } => write!(
+                f,
+                "variable `{variable}` declares {width} bits but {profiles} bit profiles"
+            ),
+            IrError::InvalidProbability {
+                variable,
+                bit,
+                probability,
+            } => write!(
+                f,
+                "signal probability {probability} of `{variable}[{bit}]` is outside [0, 1]"
+            ),
+            IrError::InvalidArrivalTime {
+                variable,
+                bit,
+                arrival,
+            } => write!(
+                f,
+                "arrival time {arrival} of `{variable}[{bit}]` is negative or not finite"
+            ),
+            IrError::InvalidOutputWidth(width) => {
+                write!(f, "output width {width} is outside the supported range 1..=63")
+            }
+            IrError::UnexpectedCharacter {
+                character,
+                position,
+            } => write!(f, "unexpected character `{character}` at offset {position}"),
+            IrError::UnexpectedToken { found, position } => {
+                write!(f, "unexpected token {found} at offset {position}")
+            }
+            IrError::UnexpectedEnd => write!(f, "unexpected end of expression"),
+            IrError::ConstantOverflow(text) => {
+                write!(f, "integer literal `{text}` overflows the supported range")
+            }
+            IrError::InvalidExponent(value) => {
+                write!(f, "exponent {value} must be between 1 and 8")
+            }
+        }
+    }
+}
+
+impl Error for IrError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_concise() {
+        let message = IrError::UnknownVariable("foo".to_string()).to_string();
+        assert!(message.contains("foo"));
+        assert!(message.starts_with("unknown"));
+        assert!(!message.ends_with('.'));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<IrError>();
+    }
+}

@@ -1,0 +1,445 @@
+//! Arithmetic expression tree.
+
+use crate::error::IrError;
+use crate::lower::LoweringOptions;
+use crate::{AddendMatrix, InputSpec, Polynomial};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+use std::ops;
+
+/// An arithmetic expression over named unsigned variables and integer constants.
+///
+/// Supported operators are addition, subtraction, multiplication, unary negation and
+/// left shift by a constant (multiplication by a power of two). This is exactly the
+/// class of expressions the DAC 2000 paper targets: anything that "consists of
+/// additions/subtractions/multiplications globally".
+///
+/// Expressions are plain trees; structural sharing is not required because lowering
+/// first expands to a word-level [`Polynomial`].
+///
+/// # Example
+///
+/// ```
+/// use dpsyn_ir::Expr;
+///
+/// let x = Expr::var("x");
+/// let y = Expr::var("y");
+/// // (x + y + 1)^2 written out explicitly.
+/// let f = x.clone() * x.clone() + Expr::constant(2) * x.clone() * y.clone()
+///     + y.clone() * y.clone() + Expr::constant(2) * x + Expr::constant(2) * y
+///     + Expr::constant(1);
+/// assert_eq!(f.variables(), ["x".to_string(), "y".to_string()].into_iter().collect());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Expr {
+    /// A named unsigned input word.
+    Var(String),
+    /// A signed integer constant.
+    Const(i64),
+    /// Sum of two sub-expressions.
+    Add(Box<Expr>, Box<Expr>),
+    /// Difference of two sub-expressions (two's-complement subtraction).
+    Sub(Box<Expr>, Box<Expr>),
+    /// Product of two sub-expressions.
+    Mul(Box<Expr>, Box<Expr>),
+    /// Arithmetic negation.
+    Neg(Box<Expr>),
+    /// Left shift by a constant number of bits (multiplication by a power of two).
+    Shl(Box<Expr>, u32),
+}
+
+impl Expr {
+    /// Creates a variable reference.
+    ///
+    /// # Example
+    /// ```
+    /// use dpsyn_ir::Expr;
+    /// let x = Expr::var("x");
+    /// assert_eq!(x.to_string(), "x");
+    /// ```
+    pub fn var(name: impl Into<String>) -> Self {
+        Expr::Var(name.into())
+    }
+
+    /// Creates an integer constant.
+    ///
+    /// # Example
+    /// ```
+    /// use dpsyn_ir::Expr;
+    /// assert_eq!(Expr::constant(10).to_string(), "10");
+    /// ```
+    pub fn constant(value: i64) -> Self {
+        Expr::Const(value)
+    }
+
+    /// Raises the expression to a small positive integer power by repeated multiplication.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IrError::InvalidExponent`] when `exponent` is zero or larger than 8.
+    ///
+    /// # Example
+    /// ```
+    /// # fn main() -> Result<(), dpsyn_ir::IrError> {
+    /// use dpsyn_ir::Expr;
+    /// let x = Expr::var("x");
+    /// let cube = x.pow(3)?;
+    /// assert_eq!(cube.to_string(), "((x * x) * x)");
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn pow(&self, exponent: i64) -> Result<Self, IrError> {
+        if !(1..=8).contains(&exponent) {
+            return Err(IrError::InvalidExponent(exponent));
+        }
+        let mut acc = self.clone();
+        for _ in 1..exponent {
+            acc = acc * self.clone();
+        }
+        Ok(acc)
+    }
+
+    /// Returns the set of variable names referenced by the expression.
+    ///
+    /// # Example
+    /// ```
+    /// use dpsyn_ir::Expr;
+    /// let f = Expr::var("a") * Expr::var("b") + Expr::constant(1);
+    /// assert_eq!(f.variables().len(), 2);
+    /// ```
+    pub fn variables(&self) -> BTreeSet<String> {
+        let mut names = BTreeSet::new();
+        self.collect_variables(&mut names);
+        names
+    }
+
+    fn collect_variables(&self, names: &mut BTreeSet<String>) {
+        match self {
+            Expr::Var(name) => {
+                names.insert(name.clone());
+            }
+            Expr::Const(_) => {}
+            Expr::Add(a, b) | Expr::Sub(a, b) | Expr::Mul(a, b) => {
+                a.collect_variables(names);
+                b.collect_variables(names);
+            }
+            Expr::Neg(a) | Expr::Shl(a, _) => a.collect_variables(names),
+        }
+    }
+
+    /// Number of nodes in the expression tree (a rough size measure used in reports).
+    ///
+    /// # Example
+    /// ```
+    /// use dpsyn_ir::Expr;
+    /// assert_eq!((Expr::var("x") + Expr::var("y")).node_count(), 3);
+    /// ```
+    pub fn node_count(&self) -> usize {
+        match self {
+            Expr::Var(_) | Expr::Const(_) => 1,
+            Expr::Add(a, b) | Expr::Sub(a, b) | Expr::Mul(a, b) => {
+                1 + a.node_count() + b.node_count()
+            }
+            Expr::Neg(a) | Expr::Shl(a, _) => 1 + a.node_count(),
+        }
+    }
+
+    /// Counts word-level operations by kind: `(additions, subtractions, multiplications)`.
+    ///
+    /// Negations count as subtractions and constant shifts count as multiplications,
+    /// mirroring how a conventional RTL flow would bind them to modules.
+    ///
+    /// # Example
+    /// ```
+    /// use dpsyn_ir::Expr;
+    /// let f = Expr::var("x") * Expr::var("y") - Expr::var("z");
+    /// assert_eq!(f.operation_counts(), (0, 1, 1));
+    /// ```
+    pub fn operation_counts(&self) -> (usize, usize, usize) {
+        match self {
+            Expr::Var(_) | Expr::Const(_) => (0, 0, 0),
+            Expr::Add(a, b) => {
+                let (aa, asu, amu) = a.operation_counts();
+                let (ba, bs, bm) = b.operation_counts();
+                (aa + ba + 1, asu + bs, amu + bm)
+            }
+            Expr::Sub(a, b) => {
+                let (aa, asu, amu) = a.operation_counts();
+                let (ba, bs, bm) = b.operation_counts();
+                (aa + ba, asu + bs + 1, amu + bm)
+            }
+            Expr::Mul(a, b) => {
+                let (aa, asu, amu) = a.operation_counts();
+                let (ba, bs, bm) = b.operation_counts();
+                (aa + ba, asu + bs, amu + bm + 1)
+            }
+            Expr::Neg(a) => {
+                let (aa, asu, amu) = a.operation_counts();
+                (aa, asu + 1, amu)
+            }
+            Expr::Shl(a, _) => {
+                let (aa, asu, amu) = a.operation_counts();
+                (aa, asu, amu + 1)
+            }
+        }
+    }
+
+    /// Evaluates the expression over unbounded signed integers.
+    ///
+    /// This is the golden reference model used for equivalence checking; the synthesized
+    /// hardware computes the same value modulo `2^width`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IrError::UnknownVariable`] if a referenced variable is missing from `env`.
+    ///
+    /// # Example
+    /// ```
+    /// # fn main() -> Result<(), dpsyn_ir::IrError> {
+    /// use dpsyn_ir::Expr;
+    /// use std::collections::BTreeMap;
+    /// let f = Expr::var("x") * Expr::var("x") - Expr::constant(1);
+    /// let mut env = BTreeMap::new();
+    /// env.insert("x".to_string(), 5u64);
+    /// assert_eq!(f.evaluate(&env)?, 24);
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn evaluate(&self, env: &BTreeMap<String, u64>) -> Result<i128, IrError> {
+        Ok(match self {
+            Expr::Var(name) => i128::from(
+                *env.get(name)
+                    .ok_or_else(|| IrError::UnknownVariable(name.clone()))?,
+            ),
+            Expr::Const(value) => i128::from(*value),
+            Expr::Add(a, b) => a.evaluate(env)? + b.evaluate(env)?,
+            Expr::Sub(a, b) => a.evaluate(env)? - b.evaluate(env)?,
+            Expr::Mul(a, b) => a.evaluate(env)? * b.evaluate(env)?,
+            Expr::Neg(a) => -a.evaluate(env)?,
+            Expr::Shl(a, amount) => a.evaluate(env)? << amount,
+        })
+    }
+
+    /// Evaluates the expression modulo `2^width`, i.e. the value an unsigned `width`-bit
+    /// datapath produces.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IrError::InvalidOutputWidth`] when `width` is outside `1..=63` and
+    /// [`IrError::UnknownVariable`] if a referenced variable is missing from `env`.
+    ///
+    /// # Example
+    /// ```
+    /// # fn main() -> Result<(), dpsyn_ir::IrError> {
+    /// use dpsyn_ir::Expr;
+    /// use std::collections::BTreeMap;
+    /// let f = Expr::var("x") - Expr::constant(10);
+    /// let mut env = BTreeMap::new();
+    /// env.insert("x".to_string(), 3u64);
+    /// // 3 - 10 wraps to 2^8 - 7 in an 8-bit datapath.
+    /// assert_eq!(f.evaluate_mod(&env, 8)?, 249);
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn evaluate_mod(&self, env: &BTreeMap<String, u64>, width: u32) -> Result<u64, IrError> {
+        if width == 0 || width > 63 {
+            return Err(IrError::InvalidOutputWidth(width));
+        }
+        let value = self.evaluate(env)?;
+        let modulus = 1i128 << width;
+        Ok(value.rem_euclid(modulus) as u64)
+    }
+
+    /// Expands the expression into a word-level [`Polynomial`] (sum of monomials).
+    ///
+    /// # Example
+    /// ```
+    /// use dpsyn_ir::Expr;
+    /// let x = Expr::var("x");
+    /// let poly = ((x.clone() + Expr::constant(1)) * (x + Expr::constant(1))).to_polynomial();
+    /// // x^2 + 2x + 1
+    /// assert_eq!(poly.terms().len(), 3);
+    /// ```
+    pub fn to_polynomial(&self) -> Polynomial {
+        Polynomial::from_expr(self)
+    }
+
+    /// Lowers the expression to the bit-level [`AddendMatrix`] of the paper.
+    ///
+    /// This expands the expression to a polynomial, generates partial-product addends
+    /// for every monomial, converts negative contributions to complemented addends plus
+    /// a constant correction (two's complement) and truncates to the requested output
+    /// width.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the expression references variables missing from `spec` or
+    /// if the requested output width is invalid.
+    ///
+    /// # Example
+    /// ```
+    /// # fn main() -> Result<(), dpsyn_ir::IrError> {
+    /// use dpsyn_ir::{Expr, InputSpec, LoweringOptions};
+    /// let expr = Expr::var("x") + Expr::var("y");
+    /// let spec = InputSpec::builder().var("x", 2).var("y", 2).build()?;
+    /// let matrix = expr.lower(&spec, &LoweringOptions::with_width(3))?;
+    /// assert_eq!(matrix.width(), 3);
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn lower(
+        &self,
+        spec: &InputSpec,
+        options: &LoweringOptions,
+    ) -> Result<AddendMatrix, IrError> {
+        crate::lower::lower(self, spec, options)
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Var(name) => write!(f, "{name}"),
+            Expr::Const(value) => write!(f, "{value}"),
+            Expr::Add(a, b) => write!(f, "({a} + {b})"),
+            Expr::Sub(a, b) => write!(f, "({a} - {b})"),
+            Expr::Mul(a, b) => write!(f, "({a} * {b})"),
+            Expr::Neg(a) => write!(f, "(-{a})"),
+            Expr::Shl(a, amount) => write!(f, "({a} << {amount})"),
+        }
+    }
+}
+
+impl ops::Add for Expr {
+    type Output = Expr;
+    fn add(self, rhs: Expr) -> Expr {
+        Expr::Add(Box::new(self), Box::new(rhs))
+    }
+}
+
+impl ops::Sub for Expr {
+    type Output = Expr;
+    fn sub(self, rhs: Expr) -> Expr {
+        Expr::Sub(Box::new(self), Box::new(rhs))
+    }
+}
+
+impl ops::Mul for Expr {
+    type Output = Expr;
+    fn mul(self, rhs: Expr) -> Expr {
+        Expr::Mul(Box::new(self), Box::new(rhs))
+    }
+}
+
+impl ops::Neg for Expr {
+    type Output = Expr;
+    fn neg(self) -> Expr {
+        Expr::Neg(Box::new(self))
+    }
+}
+
+impl ops::Shl<u32> for Expr {
+    type Output = Expr;
+    fn shl(self, amount: u32) -> Expr {
+        Expr::Shl(Box::new(self), amount)
+    }
+}
+
+impl From<i64> for Expr {
+    fn from(value: i64) -> Self {
+        Expr::Const(value)
+    }
+}
+
+impl From<&str> for Expr {
+    fn from(name: &str) -> Self {
+        Expr::var(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn env(pairs: &[(&str, u64)]) -> BTreeMap<String, u64> {
+        pairs
+            .iter()
+            .map(|(name, value)| (name.to_string(), *value))
+            .collect()
+    }
+
+    #[test]
+    fn operators_build_expected_trees() {
+        let expr = Expr::var("a") + Expr::var("b") * Expr::constant(2);
+        assert_eq!(expr.to_string(), "(a + (b * 2))");
+    }
+
+    #[test]
+    fn evaluate_handles_all_operators() {
+        let expr = (Expr::var("a") - Expr::var("b")) * Expr::constant(3) + (-Expr::var("c"))
+            + (Expr::var("a") << 2);
+        let value = expr.evaluate(&env(&[("a", 7), ("b", 2), ("c", 4)])).unwrap();
+        assert_eq!(value, (7 - 2) * 3 - 4 + (7 << 2));
+    }
+
+    #[test]
+    fn evaluate_mod_wraps_negative_values() {
+        let expr = Expr::constant(0) - Expr::var("x");
+        assert_eq!(expr.evaluate_mod(&env(&[("x", 1)]), 4).unwrap(), 15);
+    }
+
+    #[test]
+    fn evaluate_mod_rejects_bad_width() {
+        let expr = Expr::var("x");
+        assert_eq!(
+            expr.evaluate_mod(&env(&[("x", 1)]), 0),
+            Err(IrError::InvalidOutputWidth(0))
+        );
+        assert_eq!(
+            expr.evaluate_mod(&env(&[("x", 1)]), 64),
+            Err(IrError::InvalidOutputWidth(64))
+        );
+    }
+
+    #[test]
+    fn evaluate_reports_missing_variable() {
+        let expr = Expr::var("missing");
+        assert_eq!(
+            expr.evaluate(&env(&[])),
+            Err(IrError::UnknownVariable("missing".to_string()))
+        );
+    }
+
+    #[test]
+    fn pow_expands_to_repeated_multiplication() {
+        let expr = Expr::var("x").pow(2).unwrap();
+        assert_eq!(expr.evaluate(&env(&[("x", 9)])).unwrap(), 81);
+    }
+
+    #[test]
+    fn pow_rejects_bad_exponent() {
+        assert_eq!(Expr::var("x").pow(0), Err(IrError::InvalidExponent(0)));
+        assert_eq!(Expr::var("x").pow(9), Err(IrError::InvalidExponent(9)));
+    }
+
+    #[test]
+    fn variables_are_deduplicated_and_sorted() {
+        let expr = Expr::var("b") * Expr::var("a") + Expr::var("b");
+        let vars: Vec<_> = expr.variables().into_iter().collect();
+        assert_eq!(vars, vec!["a".to_string(), "b".to_string()]);
+    }
+
+    #[test]
+    fn operation_counts_cover_all_kinds() {
+        let expr = (Expr::var("a") + Expr::var("b")) * Expr::var("c") - Expr::var("d");
+        assert_eq!(expr.operation_counts(), (1, 1, 1));
+        let expr = -(Expr::var("a") << 3);
+        assert_eq!(expr.operation_counts(), (0, 1, 1));
+    }
+
+    #[test]
+    fn node_count_matches_structure() {
+        let expr = Expr::var("a") * Expr::var("b") + Expr::constant(1);
+        assert_eq!(expr.node_count(), 5);
+    }
+}

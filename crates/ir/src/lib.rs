@@ -1,0 +1,85 @@
+//! Arithmetic expression IR and bit-level lowering for datapath synthesis.
+//!
+//! This crate is the front end of the reproduction of Um, Kim and Liu,
+//! *"A Fine-Grained Arithmetic Optimization Technique for High-Performance/Low-Power
+//! Data Path Synthesis"* (DAC 2000). It provides:
+//!
+//! * [`Expr`] — an arithmetic expression tree over `+`, `-`, `*`, constant shifts and
+//!   integer constants, together with a golden-model evaluator used for functional
+//!   equivalence checking.
+//! * [`parse_expr`] — a small text parser so designs can be written as
+//!   `"x*x + 2*x*y + y*y + 2*x + 2*y + 1"`.
+//! * [`InputSpec`] — per-variable bit widths and per-bit input characteristics
+//!   (arrival time and signal probability), exactly the information the paper's
+//!   algorithms consume.
+//! * [`Polynomial`] — word-level expansion of an expression into a sum of monomials.
+//! * [`AddendMatrix`] — the bit-level *addend matrix* of the paper: one column per bit
+//!   weight, each column holding single-bit addends (input bits, partial products,
+//!   complemented partial products from two's-complement subtraction, and constant ones).
+//!
+//! # Example
+//!
+//! ```
+//! # use std::error::Error;
+//! use dpsyn_ir::{parse_expr, InputSpec, LoweringOptions};
+//!
+//! # fn main() -> Result<(), Box<dyn Error>> {
+//! let expr = parse_expr("x*x + 2*x + 1")?;
+//! let spec = InputSpec::builder().var("x", 4).build()?;
+//! let matrix = expr.lower(&spec, &LoweringOptions::with_width(9))?;
+//! assert!(matrix.width() <= 9);
+//! // The lowering is value-preserving (mod 2^width).
+//! let mut env = std::collections::BTreeMap::new();
+//! env.insert("x".to_string(), 5u64);
+//! assert_eq!(matrix.evaluate(&env), expr.evaluate_mod(&env, 9)?);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod addend;
+mod error;
+mod expr;
+mod lower;
+mod parser;
+mod poly;
+mod profile;
+
+pub use addend::{Addend, AddendMatrix, BitRef};
+pub use error::IrError;
+pub use expr::Expr;
+pub use lower::LoweringOptions;
+pub use parser::parse_expr;
+pub use poly::{Monomial, Polynomial};
+pub use profile::{BitProfile, InputSpec, InputSpecBuilder, VarSpec};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    #[test]
+    fn crate_level_round_trip() {
+        let expr = parse_expr("a*b + c - 3").expect("parse");
+        let spec = InputSpec::builder()
+            .var("a", 3)
+            .var("b", 3)
+            .var("c", 4)
+            .build()
+            .expect("spec");
+        let width = 8;
+        let matrix = expr
+            .lower(&spec, &LoweringOptions::with_width(width))
+            .expect("lower");
+        let mut env = BTreeMap::new();
+        env.insert("a".to_string(), 5u64);
+        env.insert("b".to_string(), 6u64);
+        env.insert("c".to_string(), 9u64);
+        assert_eq!(
+            matrix.evaluate(&env),
+            expr.evaluate_mod(&env, width).expect("eval")
+        );
+    }
+}

@@ -1,0 +1,440 @@
+//! Lowering from expressions to the bit-level addend matrix.
+
+use crate::error::IrError;
+use crate::{Addend, AddendMatrix, BitRef, Expr, InputSpec, Polynomial};
+
+/// Options controlling how an expression is lowered to an [`AddendMatrix`].
+///
+/// # Example
+/// ```
+/// use dpsyn_ir::LoweringOptions;
+/// let options = LoweringOptions::with_width(16).csd_constants(true);
+/// assert_eq!(options.width(), Some(16));
+/// assert!(options.uses_csd());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct LoweringOptions {
+    width: Option<u32>,
+    csd: bool,
+}
+
+impl LoweringOptions {
+    /// Lower with an automatically inferred output width (wide enough to hold the
+    /// largest value the positive part of the expression can take, clamped to 63 bits).
+    pub fn new() -> Self {
+        LoweringOptions::default()
+    }
+
+    /// Lower to an explicit output width; the result is computed modulo `2^width`.
+    pub fn with_width(width: u32) -> Self {
+        LoweringOptions {
+            width: Some(width),
+            csd: false,
+        }
+    }
+
+    /// Enables canonical-signed-digit recoding of constant coefficients, which reduces
+    /// the number of partial-product addends for constants with long runs of ones
+    /// (an extension over the paper's plain binary decomposition).
+    pub fn csd_constants(mut self, enable: bool) -> Self {
+        self.csd = enable;
+        self
+    }
+
+    /// The explicit output width, if one was requested.
+    pub fn width(&self) -> Option<u32> {
+        self.width
+    }
+
+    /// Whether CSD recoding of constants is enabled.
+    pub fn uses_csd(&self) -> bool {
+        self.csd
+    }
+}
+
+/// Lowers `expr` to an addend matrix under `spec` and `options`.
+///
+/// See [`Expr::lower`] for the user-facing entry point.
+pub(crate) fn lower(
+    expr: &Expr,
+    spec: &InputSpec,
+    options: &LoweringOptions,
+) -> Result<AddendMatrix, IrError> {
+    for name in expr.variables() {
+        if spec.var(&name).is_none() {
+            return Err(IrError::UnknownVariable(name));
+        }
+    }
+    let poly = Polynomial::from_expr(expr);
+    let width = match options.width {
+        Some(width) => {
+            if width == 0 || width > 63 {
+                return Err(IrError::InvalidOutputWidth(width));
+            }
+            width
+        }
+        None => infer_width(&poly, spec),
+    };
+
+    let mut matrix = AddendMatrix::new(width);
+    // Constant correction accumulated from constant monomials and from the
+    // two's-complement rewriting of negative addends: -b·2^c = (~b)·2^c - 2^c.
+    let mut constant: i128 = 0;
+
+    for term in poly.terms() {
+        let coefficient = term.coefficient();
+        if term.is_constant() {
+            constant += i128::from(coefficient);
+            continue;
+        }
+        // Flatten x^2·y into the instance list [x, x, y].
+        let mut instances: Vec<&str> = Vec::new();
+        for (name, power) in term.factors() {
+            for _ in 0..*power {
+                instances.push(name.as_str());
+            }
+        }
+        let widths: Vec<u32> = instances
+            .iter()
+            .map(|name| {
+                spec.var(name)
+                    .map(|v| v.width())
+                    .ok_or_else(|| IrError::UnknownVariable((*name).to_string()))
+            })
+            .collect::<Result<_, _>>()?;
+
+        let digits = decompose_coefficient(coefficient, options.csd);
+
+        // Enumerate every combination of one bit per variable instance.
+        let mut bit_indices = vec![0u32; instances.len()];
+        loop {
+            let offset: u32 = bit_indices.iter().sum();
+            let literals: Vec<BitRef> = instances
+                .iter()
+                .zip(bit_indices.iter())
+                .map(|(name, bit)| BitRef::new(*name, *bit))
+                .collect();
+            for digit in &digits {
+                let column = u64::from(offset) + u64::from(digit.shift);
+                if column >= u64::from(width) {
+                    continue;
+                }
+                let column = column as u32;
+                if digit.negative {
+                    matrix.push(
+                        column,
+                        Addend::product_with_complement(literals.clone(), true),
+                    );
+                    constant -= 1i128 << column;
+                } else {
+                    matrix.push(column, Addend::product(literals.clone()));
+                }
+            }
+            // Advance the mixed-radix counter over bit indices.
+            let mut position = 0;
+            loop {
+                if position == bit_indices.len() {
+                    break;
+                }
+                bit_indices[position] += 1;
+                if bit_indices[position] < widths[position] {
+                    break;
+                }
+                bit_indices[position] = 0;
+                position += 1;
+            }
+            if position == bit_indices.len() {
+                break;
+            }
+        }
+    }
+
+    // Fold the accumulated constant into constant-one addends, modulo 2^width.
+    let modulus = 1i128 << width;
+    let folded = constant.rem_euclid(modulus) as u64;
+    for bit in 0..width {
+        if (folded >> bit) & 1 == 1 {
+            matrix.push(bit, Addend::One);
+        }
+    }
+    Ok(matrix)
+}
+
+/// One signed power-of-two digit of a coefficient decomposition.
+#[derive(Debug, Clone, Copy)]
+struct Digit {
+    shift: u32,
+    negative: bool,
+}
+
+/// Decomposes a signed coefficient into signed power-of-two digits.
+///
+/// With `csd = false` this is the plain binary decomposition of `|c|` with every digit
+/// carrying the sign of `c`. With `csd = true` the canonical signed-digit recoding is
+/// used, which guarantees no two adjacent non-zero digits and therefore at most
+/// `⌈(n+1)/2⌉` digits.
+fn decompose_coefficient(coefficient: i64, csd: bool) -> Vec<Digit> {
+    let negative = coefficient < 0;
+    let magnitude = coefficient.unsigned_abs();
+    if magnitude == 0 {
+        return Vec::new();
+    }
+    if !csd {
+        return (0..64)
+            .filter(|bit| (magnitude >> bit) & 1 == 1)
+            .map(|shift| Digit { shift, negative })
+            .collect();
+    }
+    // Canonical signed-digit recoding of the magnitude.
+    let mut digits = Vec::new();
+    let mut value = u128::from(magnitude);
+    let mut shift = 0u32;
+    while value != 0 {
+        if value & 1 == 1 {
+            // Look at the two low bits to decide between +1 and -1 (borrow).
+            if value & 0b11 == 0b11 {
+                digits.push(Digit {
+                    shift,
+                    negative: !negative,
+                });
+                value += 1;
+            } else {
+                digits.push(Digit { shift, negative });
+                value -= 1;
+            }
+        }
+        value >>= 1;
+        shift += 1;
+    }
+    digits
+}
+
+/// Infers an output width wide enough to hold the maximum value of the positive part of
+/// the polynomial (so purely positive expressions never wrap), clamped to 63 bits.
+fn infer_width(poly: &Polynomial, spec: &InputSpec) -> u32 {
+    let mut max_value: i128 = 0;
+    for term in poly.terms() {
+        if term.coefficient() <= 0 && !term.is_constant() {
+            continue;
+        }
+        let mut value = i128::from(term.coefficient().abs());
+        for (name, power) in term.factors() {
+            let width = spec.var(name).map(|v| v.width()).unwrap_or(1);
+            let max_word = (1i128 << width.min(63)) - 1;
+            for _ in 0..*power {
+                value = value.saturating_mul(max_word);
+            }
+        }
+        max_value = max_value.saturating_add(value);
+    }
+    let mut width = 1u32;
+    while width < 63 && (1i128 << width) <= max_value {
+        width += 1;
+    }
+    width
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_expr;
+    use std::collections::BTreeMap;
+
+    fn env(pairs: &[(&str, u64)]) -> BTreeMap<String, u64> {
+        pairs
+            .iter()
+            .map(|(name, value)| (name.to_string(), *value))
+            .collect()
+    }
+
+    fn check_equivalence(source: &str, spec: &InputSpec, width: u32) {
+        let expr = parse_expr(source).unwrap();
+        let matrix = expr
+            .lower(spec, &LoweringOptions::with_width(width))
+            .unwrap();
+        let matrix_csd = expr
+            .lower(spec, &LoweringOptions::with_width(width).csd_constants(true))
+            .unwrap();
+        // Exhaustively check all assignments when the input space is small enough,
+        // otherwise a fixed set of corner values.
+        let vars: Vec<_> = spec.vars().collect();
+        let total_bits: u32 = vars.iter().map(|v| v.width()).sum();
+        assert!(total_bits <= 12, "test helper expects a small input space");
+        for assignment in 0u64..(1 << total_bits) {
+            let mut environment = BTreeMap::new();
+            let mut cursor = assignment;
+            for var in &vars {
+                let mask = (1u64 << var.width()) - 1;
+                environment.insert(var.name().to_string(), cursor & mask);
+                cursor >>= var.width();
+            }
+            let expected = expr.evaluate_mod(&environment, width).unwrap();
+            assert_eq!(matrix.evaluate(&environment), expected, "binary lowering");
+            assert_eq!(matrix_csd.evaluate(&environment), expected, "csd lowering");
+        }
+    }
+
+    #[test]
+    fn addition_places_bits_in_columns() {
+        let spec = InputSpec::builder()
+            .var("x", 2)
+            .var("y", 2)
+            .var("z", 1)
+            .var("w", 2)
+            .build()
+            .unwrap();
+        let expr = parse_expr("x + y + z + w").unwrap();
+        let matrix = expr.lower(&spec, &LoweringOptions::with_width(4)).unwrap();
+        assert_eq!(matrix.column(0).len(), 4);
+        assert_eq!(matrix.column(1).len(), 3);
+        assert_eq!(matrix.column(2).len(), 0);
+    }
+
+    #[test]
+    fn multiplication_generates_partial_products() {
+        let spec = InputSpec::builder().var("x", 3).var("y", 3).build().unwrap();
+        let expr = parse_expr("x * y").unwrap();
+        let matrix = expr.lower(&spec, &LoweringOptions::with_width(6)).unwrap();
+        assert_eq!(matrix.total_addends(), 9);
+        assert_eq!(matrix.max_column_height(), 3);
+    }
+
+    #[test]
+    fn addition_equivalence_exhaustive() {
+        let spec = InputSpec::builder()
+            .var("x", 3)
+            .var("y", 3)
+            .var("z", 3)
+            .build()
+            .unwrap();
+        check_equivalence("x + y + z", &spec, 5);
+    }
+
+    #[test]
+    fn subtraction_equivalence_exhaustive() {
+        let spec = InputSpec::builder().var("x", 4).var("y", 4).build().unwrap();
+        check_equivalence("x - y", &spec, 5);
+        check_equivalence("x - y - 3", &spec, 6);
+    }
+
+    #[test]
+    fn multiplication_equivalence_exhaustive() {
+        let spec = InputSpec::builder().var("x", 3).var("y", 3).build().unwrap();
+        check_equivalence("x * y + x", &spec, 7);
+    }
+
+    #[test]
+    fn mixed_expression_equivalence() {
+        let spec = InputSpec::builder()
+            .var("x", 3)
+            .var("y", 3)
+            .var("z", 3)
+            .build()
+            .unwrap();
+        check_equivalence("x + y - z + x*y - y*z + 10", &spec, 8);
+    }
+
+    #[test]
+    fn square_equivalence() {
+        let spec = InputSpec::builder().var("x", 4).build().unwrap();
+        check_equivalence("x*x + 2*x + 1", &spec, 10);
+    }
+
+    #[test]
+    fn cube_equivalence() {
+        let spec = InputSpec::builder().var("x", 3).build().unwrap();
+        check_equivalence("x*x*x", &spec, 9);
+    }
+
+    #[test]
+    fn negative_constant_coefficient_equivalence() {
+        let spec = InputSpec::builder().var("x", 4).build().unwrap();
+        check_equivalence("21 - 7*x", &spec, 8);
+    }
+
+    #[test]
+    fn csd_reduces_addend_count_for_dense_constants() {
+        let spec = InputSpec::builder().var("x", 4).build().unwrap();
+        let expr = parse_expr("15 * x").unwrap();
+        let binary = expr.lower(&spec, &LoweringOptions::with_width(10)).unwrap();
+        let csd = expr
+            .lower(
+                &spec,
+                &LoweringOptions::with_width(10).csd_constants(true),
+            )
+            .unwrap();
+        // 15 = 1111b (4 digits) but 16 - 1 (2 digits) in CSD.
+        assert!(csd.total_addends() < binary.total_addends());
+    }
+
+    #[test]
+    fn zero_expression_yields_empty_matrix() {
+        let spec = InputSpec::builder().var("x", 3).build().unwrap();
+        let expr = parse_expr("x - x").unwrap();
+        let matrix = expr.lower(&spec, &LoweringOptions::with_width(4)).unwrap();
+        assert_eq!(matrix.total_addends(), 0);
+        assert_eq!(matrix.evaluate(&env(&[("x", 5)])), 0);
+    }
+
+    #[test]
+    fn unknown_variable_is_reported() {
+        let spec = InputSpec::builder().var("x", 3).build().unwrap();
+        let expr = parse_expr("x + ghost").unwrap();
+        let result = expr.lower(&spec, &LoweringOptions::with_width(4));
+        assert_eq!(result, Err(IrError::UnknownVariable("ghost".to_string())));
+    }
+
+    #[test]
+    fn invalid_width_is_reported() {
+        let spec = InputSpec::builder().var("x", 3).build().unwrap();
+        let expr = parse_expr("x").unwrap();
+        assert_eq!(
+            expr.lower(&spec, &LoweringOptions::with_width(0)),
+            Err(IrError::InvalidOutputWidth(0))
+        );
+        assert_eq!(
+            expr.lower(&spec, &LoweringOptions::with_width(64)),
+            Err(IrError::InvalidOutputWidth(64))
+        );
+    }
+
+    #[test]
+    fn inferred_width_holds_positive_maximum() {
+        let spec = InputSpec::builder().var("x", 3).var("y", 3).build().unwrap();
+        let expr = parse_expr("x * y").unwrap();
+        let matrix = expr.lower(&spec, &LoweringOptions::new()).unwrap();
+        // Max value 7*7 = 49 needs 6 bits.
+        assert_eq!(matrix.width(), 6);
+        let environment = env(&[("x", 7), ("y", 7)]);
+        assert_eq!(matrix.evaluate(&environment), 49);
+    }
+
+    #[test]
+    fn decompose_csd_has_no_adjacent_nonzero_digits() {
+        for value in 1..200i64 {
+            let digits = decompose_coefficient(value, true);
+            let mut reconstructed: i64 = 0;
+            let mut shifts: Vec<u32> = Vec::new();
+            for digit in &digits {
+                let magnitude = 1i64 << digit.shift;
+                reconstructed += if digit.negative { -magnitude } else { magnitude };
+                shifts.push(digit.shift);
+            }
+            assert_eq!(reconstructed, value, "csd reconstruction of {value}");
+            shifts.sort_unstable();
+            for pair in shifts.windows(2) {
+                assert!(pair[1] - pair[0] >= 2, "adjacent digits in csd of {value}");
+            }
+        }
+    }
+
+    #[test]
+    fn decompose_binary_matches_popcount() {
+        let digits = decompose_coefficient(0b1011, false);
+        assert_eq!(digits.len(), 3);
+        assert!(digits.iter().all(|d| !d.negative));
+        let digits = decompose_coefficient(-0b1011, false);
+        assert_eq!(digits.len(), 3);
+        assert!(digits.iter().all(|d| d.negative));
+    }
+}

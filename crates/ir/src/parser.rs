@@ -1,0 +1,387 @@
+//! A small recursive-descent parser for arithmetic expressions.
+//!
+//! Grammar (usual precedence, `^` binds tightest, `<<` binds loosest):
+//!
+//! ```text
+//! expr    := shift
+//! shift   := sum ("<<" integer)*
+//! sum     := product (("+" | "-") product)*
+//! product := unary ("*" unary)*
+//! unary   := "-" unary | power
+//! power   := atom ("^" integer)?
+//! atom    := identifier | integer | "(" expr ")"
+//! ```
+
+use crate::error::IrError;
+use crate::Expr;
+
+/// Parses an arithmetic expression from text.
+///
+/// Identifiers start with an ASCII letter or `_` and may contain letters, digits and
+/// `_`. Integers are decimal. Supported operators: `+`, `-` (binary and unary), `*`,
+/// `^` (small constant exponent), `<<` (constant left shift) and parentheses.
+///
+/// # Errors
+///
+/// Returns a descriptive [`IrError`] on malformed input.
+///
+/// # Example
+/// ```
+/// # fn main() -> Result<(), dpsyn_ir::IrError> {
+/// use dpsyn_ir::parse_expr;
+/// let expr = parse_expr("x^2 + 2*x*y + y^2 + 2*x + 2*y + 1")?;
+/// assert_eq!(expr.variables().len(), 2);
+/// # Ok(())
+/// # }
+/// ```
+pub fn parse_expr(source: &str) -> Result<Expr, IrError> {
+    let tokens = tokenize(source)?;
+    let mut parser = Parser { tokens, index: 0 };
+    let expr = parser.parse_shift()?;
+    if parser.index != parser.tokens.len() {
+        let (token, position) = &parser.tokens[parser.index];
+        return Err(IrError::UnexpectedToken {
+            found: token.describe(),
+            position: *position,
+        });
+    }
+    Ok(expr)
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Token {
+    Identifier(String),
+    Integer(i64),
+    Plus,
+    Minus,
+    Star,
+    Caret,
+    ShiftLeft,
+    OpenParen,
+    CloseParen,
+}
+
+impl Token {
+    fn describe(&self) -> String {
+        match self {
+            Token::Identifier(name) => format!("identifier `{name}`"),
+            Token::Integer(value) => format!("integer `{value}`"),
+            Token::Plus => "`+`".to_string(),
+            Token::Minus => "`-`".to_string(),
+            Token::Star => "`*`".to_string(),
+            Token::Caret => "`^`".to_string(),
+            Token::ShiftLeft => "`<<`".to_string(),
+            Token::OpenParen => "`(`".to_string(),
+            Token::CloseParen => "`)`".to_string(),
+        }
+    }
+}
+
+fn tokenize(source: &str) -> Result<Vec<(Token, usize)>, IrError> {
+    let mut tokens = Vec::new();
+    let bytes = source.as_bytes();
+    let mut index = 0;
+    while index < bytes.len() {
+        let byte = bytes[index];
+        match byte {
+            b' ' | b'\t' | b'\n' | b'\r' => index += 1,
+            b'+' => {
+                tokens.push((Token::Plus, index));
+                index += 1;
+            }
+            b'-' => {
+                tokens.push((Token::Minus, index));
+                index += 1;
+            }
+            b'*' => {
+                tokens.push((Token::Star, index));
+                index += 1;
+            }
+            b'^' => {
+                tokens.push((Token::Caret, index));
+                index += 1;
+            }
+            b'(' => {
+                tokens.push((Token::OpenParen, index));
+                index += 1;
+            }
+            b')' => {
+                tokens.push((Token::CloseParen, index));
+                index += 1;
+            }
+            b'<' => {
+                if index + 1 < bytes.len() && bytes[index + 1] == b'<' {
+                    tokens.push((Token::ShiftLeft, index));
+                    index += 2;
+                } else {
+                    return Err(IrError::UnexpectedCharacter {
+                        character: '<',
+                        position: index,
+                    });
+                }
+            }
+            b'0'..=b'9' => {
+                let start = index;
+                while index < bytes.len() && bytes[index].is_ascii_digit() {
+                    index += 1;
+                }
+                let text = &source[start..index];
+                let value: i64 = text
+                    .parse()
+                    .map_err(|_| IrError::ConstantOverflow(text.to_string()))?;
+                tokens.push((Token::Integer(value), start));
+            }
+            b'a'..=b'z' | b'A'..=b'Z' | b'_' => {
+                let start = index;
+                while index < bytes.len()
+                    && (bytes[index].is_ascii_alphanumeric() || bytes[index] == b'_')
+                {
+                    index += 1;
+                }
+                tokens.push((Token::Identifier(source[start..index].to_string()), start));
+            }
+            other => {
+                return Err(IrError::UnexpectedCharacter {
+                    character: other as char,
+                    position: index,
+                });
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+struct Parser {
+    tokens: Vec<(Token, usize)>,
+    index: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.index).map(|(token, _)| token)
+    }
+
+    fn advance(&mut self) -> Result<(Token, usize), IrError> {
+        let item = self
+            .tokens
+            .get(self.index)
+            .cloned()
+            .ok_or(IrError::UnexpectedEnd)?;
+        self.index += 1;
+        Ok(item)
+    }
+
+    fn parse_shift(&mut self) -> Result<Expr, IrError> {
+        let mut expr = self.parse_sum()?;
+        while self.peek() == Some(&Token::ShiftLeft) {
+            self.advance()?;
+            let (token, position) = self.advance()?;
+            match token {
+                Token::Integer(amount) if (0..=62).contains(&amount) => {
+                    expr = expr << (amount as u32);
+                }
+                other => {
+                    return Err(IrError::UnexpectedToken {
+                        found: other.describe(),
+                        position,
+                    });
+                }
+            }
+        }
+        Ok(expr)
+    }
+
+    fn parse_sum(&mut self) -> Result<Expr, IrError> {
+        let mut expr = self.parse_product()?;
+        loop {
+            match self.peek() {
+                Some(Token::Plus) => {
+                    self.advance()?;
+                    expr = expr + self.parse_product()?;
+                }
+                Some(Token::Minus) => {
+                    self.advance()?;
+                    expr = expr - self.parse_product()?;
+                }
+                _ => break,
+            }
+        }
+        Ok(expr)
+    }
+
+    fn parse_product(&mut self) -> Result<Expr, IrError> {
+        let mut expr = self.parse_unary()?;
+        while self.peek() == Some(&Token::Star) {
+            self.advance()?;
+            expr = expr * self.parse_unary()?;
+        }
+        Ok(expr)
+    }
+
+    fn parse_unary(&mut self) -> Result<Expr, IrError> {
+        if self.peek() == Some(&Token::Minus) {
+            self.advance()?;
+            return Ok(-self.parse_unary()?);
+        }
+        self.parse_power()
+    }
+
+    fn parse_power(&mut self) -> Result<Expr, IrError> {
+        let base = self.parse_atom()?;
+        if self.peek() == Some(&Token::Caret) {
+            self.advance()?;
+            let (token, position) = self.advance()?;
+            match token {
+                Token::Integer(exponent) => return base.pow(exponent),
+                other => {
+                    return Err(IrError::UnexpectedToken {
+                        found: other.describe(),
+                        position,
+                    });
+                }
+            }
+        }
+        Ok(base)
+    }
+
+    fn parse_atom(&mut self) -> Result<Expr, IrError> {
+        let (token, position) = self.advance()?;
+        match token {
+            Token::Identifier(name) => Ok(Expr::var(name)),
+            Token::Integer(value) => Ok(Expr::constant(value)),
+            Token::OpenParen => {
+                let expr = self.parse_shift()?;
+                let (token, position) = self.advance()?;
+                if token != Token::CloseParen {
+                    return Err(IrError::UnexpectedToken {
+                        found: token.describe(),
+                        position,
+                    });
+                }
+                Ok(expr)
+            }
+            other => Err(IrError::UnexpectedToken {
+                found: other.describe(),
+                position,
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    fn env(pairs: &[(&str, u64)]) -> BTreeMap<String, u64> {
+        pairs
+            .iter()
+            .map(|(name, value)| (name.to_string(), *value))
+            .collect()
+    }
+
+    #[test]
+    fn precedence_multiplication_over_addition() {
+        let expr = parse_expr("a + b * c").unwrap();
+        assert_eq!(
+            expr.evaluate(&env(&[("a", 1), ("b", 2), ("c", 3)])).unwrap(),
+            7
+        );
+    }
+
+    #[test]
+    fn parentheses_override_precedence() {
+        let expr = parse_expr("(a + b) * c").unwrap();
+        assert_eq!(
+            expr.evaluate(&env(&[("a", 1), ("b", 2), ("c", 3)])).unwrap(),
+            9
+        );
+    }
+
+    #[test]
+    fn unary_minus_and_subtraction() {
+        let expr = parse_expr("-a + b - -c").unwrap();
+        assert_eq!(
+            expr.evaluate(&env(&[("a", 5), ("b", 3), ("c", 2)])).unwrap(),
+            0
+        );
+    }
+
+    #[test]
+    fn power_expands() {
+        let expr = parse_expr("x^3 + 1").unwrap();
+        assert_eq!(expr.evaluate(&env(&[("x", 2)])).unwrap(), 9);
+    }
+
+    #[test]
+    fn shift_left() {
+        let expr = parse_expr("(x + 1) << 2").unwrap();
+        assert_eq!(expr.evaluate(&env(&[("x", 3)])).unwrap(), 16);
+    }
+
+    #[test]
+    fn identifiers_with_underscores_and_digits() {
+        let expr = parse_expr("x_1 * coef2").unwrap();
+        assert_eq!(
+            expr.variables().into_iter().collect::<Vec<_>>(),
+            vec!["coef2".to_string(), "x_1".to_string()]
+        );
+    }
+
+    #[test]
+    fn error_unexpected_character() {
+        assert!(matches!(
+            parse_expr("a $ b"),
+            Err(IrError::UnexpectedCharacter { character: '$', .. })
+        ));
+    }
+
+    #[test]
+    fn error_unexpected_end() {
+        assert_eq!(parse_expr("a + "), Err(IrError::UnexpectedEnd));
+        assert_eq!(parse_expr("(a + b"), Err(IrError::UnexpectedEnd));
+    }
+
+    #[test]
+    fn error_trailing_tokens() {
+        assert!(matches!(
+            parse_expr("a b"),
+            Err(IrError::UnexpectedToken { .. })
+        ));
+    }
+
+    #[test]
+    fn error_bad_exponent() {
+        assert!(matches!(parse_expr("x^0"), Err(IrError::InvalidExponent(0))));
+        assert!(matches!(parse_expr("x^y"), Err(IrError::UnexpectedToken { .. })));
+    }
+
+    #[test]
+    fn error_single_angle_bracket() {
+        assert!(matches!(
+            parse_expr("x < 2"),
+            Err(IrError::UnexpectedCharacter { character: '<', .. })
+        ));
+    }
+
+    #[test]
+    fn error_integer_overflow() {
+        assert!(matches!(
+            parse_expr("999999999999999999999999"),
+            Err(IrError::ConstantOverflow(_))
+        ));
+    }
+
+    #[test]
+    fn paper_benchmark_expressions_parse() {
+        for source in [
+            "x^2",
+            "x^3",
+            "x^2 + x + y",
+            "x^2 + 2*x*y + y^2 + 2*x + 2*y + 1",
+            "x + y - z + x*y - y*z + 10",
+        ] {
+            assert!(parse_expr(source).is_ok(), "failed to parse {source}");
+        }
+    }
+}

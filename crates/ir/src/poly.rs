@@ -1,0 +1,322 @@
+//! Word-level polynomial expansion of arithmetic expressions.
+
+use crate::Expr;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A single monomial: an integer coefficient times a product of variable powers.
+///
+/// Monomials are kept in a canonical form: variable factors are sorted by name and
+/// powers of the same variable are merged, so `x*y*x` and `x^2*y` compare equal.
+///
+/// # Example
+/// ```
+/// use dpsyn_ir::{Expr, Polynomial};
+/// let poly = (Expr::var("x") * Expr::var("y") * Expr::var("x")).to_polynomial();
+/// let term = &poly.terms()[0];
+/// assert_eq!(term.coefficient(), 1);
+/// assert_eq!(term.factors(), &[("x".to_string(), 2), ("y".to_string(), 1)]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Monomial {
+    coefficient: i64,
+    /// Sorted `(variable, power)` pairs with power ≥ 1.
+    factors: Vec<(String, u32)>,
+}
+
+impl Monomial {
+    /// Creates a constant monomial.
+    pub fn constant(value: i64) -> Self {
+        Monomial {
+            coefficient: value,
+            factors: Vec::new(),
+        }
+    }
+
+    /// Creates the monomial `1·name`.
+    pub fn variable(name: impl Into<String>) -> Self {
+        Monomial {
+            coefficient: 1,
+            factors: vec![(name.into(), 1)],
+        }
+    }
+
+    /// The integer coefficient (may be negative).
+    pub fn coefficient(&self) -> i64 {
+        self.coefficient
+    }
+
+    /// The sorted `(variable, power)` factors.
+    pub fn factors(&self) -> &[(String, u32)] {
+        &self.factors
+    }
+
+    /// Total degree of the monomial (sum of all powers).
+    ///
+    /// # Example
+    /// ```
+    /// use dpsyn_ir::Monomial;
+    /// assert_eq!(Monomial::constant(7).degree(), 0);
+    /// ```
+    pub fn degree(&self) -> u32 {
+        self.factors.iter().map(|(_, power)| power).sum()
+    }
+
+    /// Returns `true` for a constant (degree-zero) monomial.
+    pub fn is_constant(&self) -> bool {
+        self.factors.is_empty()
+    }
+
+    fn key(&self) -> Vec<(String, u32)> {
+        self.factors.clone()
+    }
+
+    fn multiply(&self, other: &Monomial) -> Monomial {
+        let mut powers: BTreeMap<String, u32> = BTreeMap::new();
+        for (name, power) in self.factors.iter().chain(other.factors.iter()) {
+            *powers.entry(name.clone()).or_insert(0) += power;
+        }
+        Monomial {
+            coefficient: self.coefficient.wrapping_mul(other.coefficient),
+            factors: powers.into_iter().collect(),
+        }
+    }
+}
+
+impl fmt::Display for Monomial {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.factors.is_empty() {
+            return write!(f, "{}", self.coefficient);
+        }
+        if self.coefficient != 1 {
+            write!(f, "{}*", self.coefficient)?;
+        }
+        let parts: Vec<String> = self
+            .factors
+            .iter()
+            .map(|(name, power)| {
+                if *power == 1 {
+                    name.clone()
+                } else {
+                    format!("{name}^{power}")
+                }
+            })
+            .collect();
+        write!(f, "{}", parts.join("*"))
+    }
+}
+
+/// A word-level polynomial: a sum of [`Monomial`]s with like terms combined.
+///
+/// The lowering pipeline expands an [`Expr`] to a `Polynomial` first, because the addend
+/// matrix of the paper is defined over a flat sum of (possibly negative) product terms.
+///
+/// # Example
+/// ```
+/// use dpsyn_ir::Expr;
+/// let x = Expr::var("x");
+/// let poly = ((x.clone() + Expr::constant(1)) * (x - Expr::constant(1))).to_polynomial();
+/// assert_eq!(poly.to_string(), "-1 + x^2");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Polynomial {
+    terms: Vec<Monomial>,
+}
+
+impl Polynomial {
+    /// The zero polynomial.
+    pub fn zero() -> Self {
+        Polynomial::default()
+    }
+
+    /// Expands an expression into a polynomial, combining like terms and dropping terms
+    /// with a zero coefficient.
+    pub fn from_expr(expr: &Expr) -> Self {
+        let terms = expand(expr);
+        Polynomial::from_terms(terms)
+    }
+
+    /// Builds a polynomial from raw monomials, combining like terms.
+    pub fn from_terms(terms: impl IntoIterator<Item = Monomial>) -> Self {
+        let mut combined: BTreeMap<Vec<(String, u32)>, i64> = BTreeMap::new();
+        for term in terms {
+            *combined.entry(term.key()).or_insert(0) += term.coefficient;
+        }
+        let terms = combined
+            .into_iter()
+            .filter(|(_, coefficient)| *coefficient != 0)
+            .map(|(factors, coefficient)| Monomial {
+                coefficient,
+                factors,
+            })
+            .collect();
+        Polynomial { terms }
+    }
+
+    /// The monomials of the polynomial in canonical (factor-sorted) order.
+    pub fn terms(&self) -> &[Monomial] {
+        &self.terms
+    }
+
+    /// Returns `true` for the zero polynomial.
+    pub fn is_zero(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// Largest total degree over all terms (0 for the zero polynomial).
+    pub fn degree(&self) -> u32 {
+        self.terms.iter().map(Monomial::degree).max().unwrap_or(0)
+    }
+
+    /// Evaluates the polynomial over unbounded integers.
+    ///
+    /// Missing variables evaluate as zero; this is only used by internal consistency
+    /// tests, the user-facing golden model is [`Expr::evaluate`].
+    pub fn evaluate(&self, env: &BTreeMap<String, u64>) -> i128 {
+        self.terms
+            .iter()
+            .map(|term| {
+                let mut product = i128::from(term.coefficient);
+                for (name, power) in &term.factors {
+                    let value = i128::from(env.get(name).copied().unwrap_or(0));
+                    for _ in 0..*power {
+                        product *= value;
+                    }
+                }
+                product
+            })
+            .sum()
+    }
+}
+
+impl fmt::Display for Polynomial {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.terms.is_empty() {
+            return write!(f, "0");
+        }
+        let parts: Vec<String> = self.terms.iter().map(|t| t.to_string()).collect();
+        write!(f, "{}", parts.join(" + "))
+    }
+}
+
+impl FromIterator<Monomial> for Polynomial {
+    fn from_iter<T: IntoIterator<Item = Monomial>>(iter: T) -> Self {
+        Polynomial::from_terms(iter)
+    }
+}
+
+fn expand(expr: &Expr) -> Vec<Monomial> {
+    match expr {
+        Expr::Var(name) => vec![Monomial::variable(name.clone())],
+        Expr::Const(value) => vec![Monomial::constant(*value)],
+        Expr::Add(a, b) => {
+            let mut terms = expand(a);
+            terms.extend(expand(b));
+            terms
+        }
+        Expr::Sub(a, b) => {
+            let mut terms = expand(a);
+            terms.extend(expand(b).into_iter().map(|mut t| {
+                t.coefficient = -t.coefficient;
+                t
+            }));
+            terms
+        }
+        Expr::Neg(a) => expand(a)
+            .into_iter()
+            .map(|mut t| {
+                t.coefficient = -t.coefficient;
+                t
+            })
+            .collect(),
+        Expr::Mul(a, b) => {
+            let left = expand(a);
+            let right = expand(b);
+            let mut terms = Vec::with_capacity(left.len() * right.len());
+            for lhs in &left {
+                for rhs in &right {
+                    terms.push(lhs.multiply(rhs));
+                }
+            }
+            terms
+        }
+        Expr::Shl(a, amount) => expand(a)
+            .into_iter()
+            .map(|mut t| {
+                t.coefficient = t.coefficient.wrapping_mul(1i64 << amount);
+                t
+            })
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    fn env(pairs: &[(&str, u64)]) -> BTreeMap<String, u64> {
+        pairs
+            .iter()
+            .map(|(name, value)| (name.to_string(), *value))
+            .collect()
+    }
+
+    #[test]
+    fn like_terms_are_combined() {
+        let x = Expr::var("x");
+        let poly = (x.clone() + x.clone() + x).to_polynomial();
+        assert_eq!(poly.terms().len(), 1);
+        assert_eq!(poly.terms()[0].coefficient(), 3);
+    }
+
+    #[test]
+    fn cancellation_yields_zero() {
+        let x = Expr::var("x");
+        let poly = (x.clone() - x).to_polynomial();
+        assert!(poly.is_zero());
+        assert_eq!(poly.to_string(), "0");
+    }
+
+    #[test]
+    fn binomial_square_expansion() {
+        let x = Expr::var("x");
+        let y = Expr::var("y");
+        let poly = ((x.clone() + y.clone()) * (x + y)).to_polynomial();
+        // x^2 + 2xy + y^2
+        assert_eq!(poly.terms().len(), 3);
+        assert_eq!(poly.degree(), 2);
+        let coeffs: Vec<i64> = poly.terms().iter().map(Monomial::coefficient).collect();
+        assert!(coeffs.contains(&2));
+    }
+
+    #[test]
+    fn shift_multiplies_coefficient() {
+        let poly = (Expr::var("x") << 3).to_polynomial();
+        assert_eq!(poly.terms()[0].coefficient(), 8);
+    }
+
+    #[test]
+    fn polynomial_evaluation_matches_expression() {
+        let expr = (Expr::var("a") + Expr::constant(2)) * (Expr::var("b") - Expr::constant(1));
+        let poly = expr.to_polynomial();
+        let environment = env(&[("a", 11), ("b", 7)]);
+        assert_eq!(poly.evaluate(&environment), expr.evaluate(&environment).unwrap());
+    }
+
+    #[test]
+    fn repeated_variable_merges_powers() {
+        let poly = (Expr::var("x") * Expr::var("x") * Expr::var("x")).to_polynomial();
+        assert_eq!(poly.terms()[0].factors(), &[("x".to_string(), 3)]);
+        assert_eq!(poly.terms()[0].degree(), 3);
+    }
+
+    #[test]
+    fn display_formats_terms() {
+        let poly = (Expr::constant(2) * Expr::var("x") * Expr::var("y") + Expr::constant(5))
+            .to_polynomial();
+        let text = poly.to_string();
+        assert!(text.contains("2*x*y"));
+        assert!(text.contains('5'));
+    }
+}

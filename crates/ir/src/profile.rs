@@ -1,0 +1,359 @@
+//! Per-bit input characteristics: arrival times and signal probabilities.
+
+use crate::error::IrError;
+use std::collections::BTreeMap;
+
+/// Timing and statistical characteristics of a single input bit.
+///
+/// The paper drives its timing algorithm with per-bit *arrival times* `t(x_{i,j})` and its
+/// power algorithm with per-bit *signal probabilities* `p(x_{i,j})` (probability that the
+/// bit is logic 1).
+///
+/// # Example
+/// ```
+/// use dpsyn_ir::BitProfile;
+/// let profile = BitProfile::new(0.7, 0.5);
+/// assert_eq!(profile.arrival, 0.7);
+/// assert_eq!(profile.probability, 0.5);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BitProfile {
+    /// Arrival time of the bit, in the time unit of the technology library (typically ns).
+    pub arrival: f64,
+    /// Probability that the bit is logic 1, in `[0, 1]`.
+    pub probability: f64,
+}
+
+impl BitProfile {
+    /// Creates a profile from an arrival time and a signal probability.
+    pub fn new(arrival: f64, probability: f64) -> Self {
+        BitProfile {
+            arrival,
+            probability,
+        }
+    }
+
+    /// The `q`-value `p − 0.5` used throughout Section 4 of the paper.
+    ///
+    /// # Example
+    /// ```
+    /// use dpsyn_ir::BitProfile;
+    /// assert_eq!(BitProfile::new(0.0, 0.1).q(), -0.4);
+    /// ```
+    pub fn q(&self) -> f64 {
+        self.probability - 0.5
+    }
+
+    /// Average switching activity `p·(1 − p)` of the bit under the paper's model.
+    ///
+    /// # Example
+    /// ```
+    /// use dpsyn_ir::BitProfile;
+    /// assert!((BitProfile::new(0.0, 0.5).switching_activity() - 0.25).abs() < 1e-12);
+    /// ```
+    pub fn switching_activity(&self) -> f64 {
+        self.probability * (1.0 - self.probability)
+    }
+}
+
+impl Default for BitProfile {
+    /// A bit arriving at time zero with an unbiased (p = 0.5) value.
+    fn default() -> Self {
+        BitProfile::new(0.0, 0.5)
+    }
+}
+
+/// Characteristics of one input word: width plus per-bit profiles.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VarSpec {
+    name: String,
+    bits: Vec<BitProfile>,
+}
+
+impl VarSpec {
+    /// Name of the variable.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Bit width of the variable.
+    pub fn width(&self) -> u32 {
+        self.bits.len() as u32
+    }
+
+    /// Per-bit profiles, least-significant bit first.
+    pub fn bits(&self) -> &[BitProfile] {
+        &self.bits
+    }
+
+    /// Profile of bit `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range; lowering only requests bits inside the width.
+    pub fn bit(&self, index: u32) -> BitProfile {
+        self.bits[index as usize]
+    }
+}
+
+/// Input specification for a whole design: every variable's width and bit profiles.
+///
+/// Build one with [`InputSpec::builder`].
+///
+/// # Example
+/// ```
+/// # fn main() -> Result<(), dpsyn_ir::IrError> {
+/// use dpsyn_ir::InputSpec;
+/// let spec = InputSpec::builder()
+///     .var("x", 8)
+///     .var_with_arrival("y", 8, 0.7)
+///     .build()?;
+/// assert_eq!(spec.var("y").unwrap().bit(3).arrival, 0.7);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct InputSpec {
+    vars: BTreeMap<String, VarSpec>,
+}
+
+impl InputSpec {
+    /// Starts building an input specification.
+    pub fn builder() -> InputSpecBuilder {
+        InputSpecBuilder::default()
+    }
+
+    /// Creates an empty specification (no variables).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Looks up a variable by name.
+    pub fn var(&self, name: &str) -> Option<&VarSpec> {
+        self.vars.get(name)
+    }
+
+    /// Iterates over all variables in name order.
+    pub fn vars(&self) -> impl Iterator<Item = &VarSpec> {
+        self.vars.values()
+    }
+
+    /// Number of declared variables.
+    pub fn len(&self) -> usize {
+        self.vars.len()
+    }
+
+    /// Returns `true` when no variable has been declared.
+    pub fn is_empty(&self) -> bool {
+        self.vars.is_empty()
+    }
+
+    /// Total number of input bits over all variables.
+    ///
+    /// # Example
+    /// ```
+    /// # fn main() -> Result<(), dpsyn_ir::IrError> {
+    /// use dpsyn_ir::InputSpec;
+    /// let spec = InputSpec::builder().var("a", 3).var("b", 5).build()?;
+    /// assert_eq!(spec.total_bits(), 8);
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn total_bits(&self) -> u32 {
+        self.vars.values().map(VarSpec::width).sum()
+    }
+
+    /// Latest arrival time over every declared input bit (0.0 for an empty spec).
+    pub fn max_arrival(&self) -> f64 {
+        self.vars
+            .values()
+            .flat_map(|v| v.bits.iter())
+            .map(|b| b.arrival)
+            .fold(0.0, f64::max)
+    }
+
+    /// Profile of a specific bit, if the variable exists and the bit is in range.
+    pub fn bit_profile(&self, name: &str, bit: u32) -> Option<BitProfile> {
+        self.vars
+            .get(name)
+            .and_then(|v| v.bits.get(bit as usize).copied())
+    }
+}
+
+/// Builder for [`InputSpec`].
+#[derive(Debug, Clone, Default)]
+pub struct InputSpecBuilder {
+    vars: Vec<(String, Vec<BitProfile>)>,
+}
+
+impl InputSpecBuilder {
+    /// Declares a variable of the given width with default per-bit profiles
+    /// (arrival 0.0, probability 0.5).
+    pub fn var(mut self, name: impl Into<String>, width: u32) -> Self {
+        self.vars
+            .push((name.into(), vec![BitProfile::default(); width as usize]));
+        self
+    }
+
+    /// Declares a variable whose bits all arrive at `arrival` with probability 0.5.
+    pub fn var_with_arrival(mut self, name: impl Into<String>, width: u32, arrival: f64) -> Self {
+        self.vars.push((
+            name.into(),
+            vec![BitProfile::new(arrival, 0.5); width as usize],
+        ));
+        self
+    }
+
+    /// Declares a variable whose bits all have signal probability `probability` and
+    /// arrival time zero.
+    pub fn var_with_probability(
+        mut self,
+        name: impl Into<String>,
+        width: u32,
+        probability: f64,
+    ) -> Self {
+        self.vars.push((
+            name.into(),
+            vec![BitProfile::new(0.0, probability); width as usize],
+        ));
+        self
+    }
+
+    /// Declares a variable with an explicit per-bit profile list (LSB first).
+    pub fn var_with_profiles(
+        mut self,
+        name: impl Into<String>,
+        profiles: impl IntoIterator<Item = BitProfile>,
+    ) -> Self {
+        self.vars.push((name.into(), profiles.into_iter().collect()));
+        self
+    }
+
+    /// Declares a variable with uniform arrival time and probability across its bits.
+    pub fn var_uniform(
+        mut self,
+        name: impl Into<String>,
+        width: u32,
+        arrival: f64,
+        probability: f64,
+    ) -> Self {
+        self.vars.push((
+            name.into(),
+            vec![BitProfile::new(arrival, probability); width as usize],
+        ));
+        self
+    }
+
+    /// Validates the collected declarations and produces the [`InputSpec`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when a variable is declared twice, has zero width, or has a
+    /// non-finite arrival time or an out-of-range probability.
+    pub fn build(self) -> Result<InputSpec, IrError> {
+        let mut vars = BTreeMap::new();
+        for (name, bits) in self.vars {
+            if bits.is_empty() {
+                return Err(IrError::ZeroWidth(name));
+            }
+            for (index, profile) in bits.iter().enumerate() {
+                if !(0.0..=1.0).contains(&profile.probability) || !profile.probability.is_finite()
+                {
+                    return Err(IrError::InvalidProbability {
+                        variable: name.clone(),
+                        bit: index as u32,
+                        probability: profile.probability,
+                    });
+                }
+                if !profile.arrival.is_finite() || profile.arrival < 0.0 {
+                    return Err(IrError::InvalidArrivalTime {
+                        variable: name.clone(),
+                        bit: index as u32,
+                        arrival: profile.arrival,
+                    });
+                }
+            }
+            if vars
+                .insert(name.clone(), VarSpec { name: name.clone(), bits })
+                .is_some()
+            {
+                return Err(IrError::DuplicateVariable(name));
+            }
+        }
+        Ok(InputSpec { vars })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_defaults_are_zero_arrival_unbiased() {
+        let spec = InputSpec::builder().var("x", 4).build().unwrap();
+        let var = spec.var("x").unwrap();
+        assert_eq!(var.width(), 4);
+        assert!(var.bits().iter().all(|b| b.arrival == 0.0 && b.probability == 0.5));
+    }
+
+    #[test]
+    fn builder_rejects_duplicates() {
+        let result = InputSpec::builder().var("x", 2).var("x", 3).build();
+        assert_eq!(result, Err(IrError::DuplicateVariable("x".to_string())));
+    }
+
+    #[test]
+    fn builder_rejects_zero_width() {
+        let result = InputSpec::builder().var("x", 0).build();
+        assert_eq!(result, Err(IrError::ZeroWidth("x".to_string())));
+    }
+
+    #[test]
+    fn builder_rejects_bad_probability() {
+        let result = InputSpec::builder()
+            .var_with_probability("x", 2, 1.5)
+            .build();
+        assert!(matches!(result, Err(IrError::InvalidProbability { .. })));
+    }
+
+    #[test]
+    fn builder_rejects_negative_arrival() {
+        let result = InputSpec::builder().var_with_arrival("x", 2, -1.0).build();
+        assert!(matches!(result, Err(IrError::InvalidArrivalTime { .. })));
+    }
+
+    #[test]
+    fn per_bit_profiles_are_preserved_in_order() {
+        let spec = InputSpec::builder()
+            .var_with_profiles(
+                "x",
+                vec![BitProfile::new(1.0, 0.1), BitProfile::new(2.0, 0.9)],
+            )
+            .build()
+            .unwrap();
+        assert_eq!(spec.bit_profile("x", 0), Some(BitProfile::new(1.0, 0.1)));
+        assert_eq!(spec.bit_profile("x", 1), Some(BitProfile::new(2.0, 0.9)));
+        assert_eq!(spec.bit_profile("x", 2), None);
+        assert_eq!(spec.bit_profile("y", 0), None);
+    }
+
+    #[test]
+    fn aggregate_queries() {
+        let spec = InputSpec::builder()
+            .var_with_arrival("a", 2, 3.0)
+            .var_with_arrival("b", 3, 1.0)
+            .build()
+            .unwrap();
+        assert_eq!(spec.total_bits(), 5);
+        assert_eq!(spec.max_arrival(), 3.0);
+        assert_eq!(spec.len(), 2);
+        assert!(!spec.is_empty());
+    }
+
+    #[test]
+    fn q_and_switching_activity() {
+        let profile = BitProfile::new(0.0, 0.2);
+        assert!((profile.q() + 0.3).abs() < 1e-12);
+        assert!((profile.switching_activity() - 0.16).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,101 @@
+//! Property-based tests for the expression IR and the addend-matrix lowering.
+
+use dpsyn_ir::{Expr, InputSpec, LoweringOptions};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+/// A small random expression over the variables `a`, `b`, `c`.
+fn arb_expr(depth: u32) -> BoxedStrategy<Expr> {
+    let leaf = prop_oneof![
+        Just(Expr::var("a")),
+        Just(Expr::var("b")),
+        Just(Expr::var("c")),
+        (-20i64..20).prop_map(Expr::constant),
+    ];
+    leaf.prop_recursive(depth, 24, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(x, y)| x + y),
+            (inner.clone(), inner.clone()).prop_map(|(x, y)| x - y),
+            (inner.clone(), inner.clone()).prop_map(|(x, y)| x * y),
+            inner.clone().prop_map(|x| -x),
+            (inner, 0u32..3).prop_map(|(x, amount)| x << amount),
+        ]
+    })
+    .boxed()
+}
+
+fn spec() -> InputSpec {
+    InputSpec::builder()
+        .var("a", 3)
+        .var("b", 3)
+        .var("c", 2)
+        .build()
+        .expect("spec")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// The addend matrix evaluates to the same value as the expression, modulo 2^width,
+    /// for every assignment and both coefficient decompositions.
+    #[test]
+    fn lowering_preserves_value(expr in arb_expr(3), a in 0u64..8, b in 0u64..8, c in 0u64..4,
+                                width in 4u32..14, csd in any::<bool>()) {
+        let spec = spec();
+        let options = LoweringOptions::with_width(width).csd_constants(csd);
+        let matrix = expr.lower(&spec, &options).expect("lowering succeeds");
+        let mut env = BTreeMap::new();
+        env.insert("a".to_string(), a);
+        env.insert("b".to_string(), b);
+        env.insert("c".to_string(), c);
+        prop_assert_eq!(matrix.evaluate(&env), expr.evaluate_mod(&env, width).expect("eval"));
+    }
+
+    /// Polynomial expansion is exact over the integers.
+    #[test]
+    fn polynomial_expansion_is_exact(expr in arb_expr(3), a in 0u64..8, b in 0u64..8, c in 0u64..4) {
+        let mut env = BTreeMap::new();
+        env.insert("a".to_string(), a);
+        env.insert("b".to_string(), b);
+        env.insert("c".to_string(), c);
+        prop_assert_eq!(expr.to_polynomial().evaluate(&env), expr.evaluate(&env).expect("eval"));
+    }
+
+    /// Parsing the display form of an expression gives a value-equivalent expression.
+    #[test]
+    fn display_round_trips_through_the_parser(expr in arb_expr(3), a in 0u64..8, b in 0u64..8, c in 0u64..4) {
+        let text = expr.to_string();
+        let reparsed = dpsyn_ir::parse_expr(&text).expect("display output parses");
+        let mut env = BTreeMap::new();
+        env.insert("a".to_string(), a);
+        env.insert("b".to_string(), b);
+        env.insert("c".to_string(), c);
+        prop_assert_eq!(reparsed.evaluate(&env).expect("eval"), expr.evaluate(&env).expect("eval"));
+    }
+
+    /// CSD recoding never increases the number of *product* addends (it may add a few
+    /// constant-one addends from the two's-complement corrections of its negative
+    /// digits, but the expensive partial products shrink or stay equal).
+    #[test]
+    fn csd_never_increases_product_addend_count(coefficient in 1i64..512, a in 0u64..8) {
+        let expr = Expr::constant(coefficient) * Expr::var("a");
+        let spec = spec();
+        let width = 16;
+        let binary = expr.lower(&spec, &LoweringOptions::with_width(width)).expect("binary");
+        let csd = expr
+            .lower(&spec, &LoweringOptions::with_width(width).csd_constants(true))
+            .expect("csd");
+        let products = |matrix: &dpsyn_ir::AddendMatrix| {
+            matrix
+                .columns()
+                .flat_map(|(_, addends)| addends.iter())
+                .filter(|addend| addend.literal_count() > 0)
+                .count()
+        };
+        prop_assert!(products(&csd) <= products(&binary));
+        // And both still evaluate to the same value.
+        let mut env = BTreeMap::new();
+        env.insert("a".to_string(), a);
+        prop_assert_eq!(csd.evaluate(&env), binary.evaluate(&env));
+    }
+}

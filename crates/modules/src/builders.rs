@@ -1,0 +1,201 @@
+//! Standalone module builders: wrap the generators into complete netlists with a
+//! word-level interface, for tests, examples and the conventional baseline.
+
+use crate::{adder, multiplier};
+use dpsyn_netlist::{NetId, Netlist, NetlistError, Word, WordMap};
+
+/// The adder architectures a conventional RTL flow can bind an addition to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AdderKind {
+    /// Ripple-carry chain of full adders (small, slow).
+    Ripple,
+    /// Carry-lookahead adder with 4-bit blocks (fast, large).
+    CarryLookahead,
+    /// Carry-select adder with 4-bit blocks (fast, largest).
+    CarrySelect,
+}
+
+impl AdderKind {
+    /// All adder kinds, in increasing order of expected speed.
+    pub fn all() -> [AdderKind; 3] {
+        [
+            AdderKind::Ripple,
+            AdderKind::CarryLookahead,
+            AdderKind::CarrySelect,
+        ]
+    }
+
+    /// Generates this adder inside an existing netlist and returns the sum bits.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the operand nets do not belong to `netlist`.
+    pub fn generate(
+        self,
+        netlist: &mut Netlist,
+        a: &[NetId],
+        b: &[NetId],
+        cin: Option<NetId>,
+    ) -> Result<Vec<NetId>, NetlistError> {
+        match self {
+            AdderKind::Ripple => adder::ripple_add(netlist, a, b, cin),
+            AdderKind::CarryLookahead => adder::carry_lookahead_add(netlist, a, b, cin),
+            AdderKind::CarrySelect => adder::carry_select_add(netlist, a, b, cin),
+        }
+    }
+}
+
+/// The multiplier architectures a conventional RTL flow can bind a multiplication to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MultiplierKind {
+    /// Carry-propagate array multiplier (small, slow).
+    Array,
+    /// Wallace-tree multiplier (fast, larger).
+    Wallace,
+}
+
+impl MultiplierKind {
+    /// All multiplier kinds.
+    pub fn all() -> [MultiplierKind; 2] {
+        [MultiplierKind::Array, MultiplierKind::Wallace]
+    }
+
+    /// Generates this multiplier inside an existing netlist and returns the product bits.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the operand nets do not belong to `netlist`.
+    pub fn generate(
+        self,
+        netlist: &mut Netlist,
+        a: &[NetId],
+        b: &[NetId],
+    ) -> Result<Vec<NetId>, NetlistError> {
+        match self {
+            MultiplierKind::Array => multiplier::array_multiply(netlist, a, b),
+            MultiplierKind::Wallace => multiplier::wallace_multiply(netlist, a, b),
+        }
+    }
+}
+
+fn input_word(netlist: &mut Netlist, name: &str, width: u32) -> (Word, Vec<NetId>) {
+    let bits: Vec<NetId> = (0..width)
+        .map(|bit| netlist.add_input(format!("{name}[{bit}]")))
+        .collect();
+    (Word::new(name, bits.clone()), bits)
+}
+
+fn finish(netlist: &mut Netlist, result: &[NetId]) {
+    for net in result {
+        netlist.mark_output(*net);
+    }
+}
+
+/// Builds a standalone `width`-bit ripple-carry adder `sum = a + b`.
+///
+/// # Errors
+///
+/// Propagates netlist construction errors (which cannot occur for valid widths).
+pub fn ripple_adder(width: u32) -> Result<(Netlist, WordMap), NetlistError> {
+    standalone_adder(width, AdderKind::Ripple)
+}
+
+/// Builds a standalone `width`-bit adder of the requested architecture.
+///
+/// # Errors
+///
+/// Propagates netlist construction errors (which cannot occur for valid widths).
+pub fn standalone_adder(width: u32, kind: AdderKind) -> Result<(Netlist, WordMap), NetlistError> {
+    let mut netlist = Netlist::new(format!("{kind:?}_adder_{width}").to_lowercase());
+    let (word_a, a) = input_word(&mut netlist, "a", width);
+    let (word_b, b) = input_word(&mut netlist, "b", width);
+    let sum = kind.generate(&mut netlist, &a, &b, None)?;
+    finish(&mut netlist, &sum);
+    let map = WordMap::new(vec![word_a, word_b], Word::new("sum", sum));
+    Ok((netlist, map))
+}
+
+/// Builds a standalone `width × width` multiplier of the requested architecture.
+///
+/// # Errors
+///
+/// Propagates netlist construction errors (which cannot occur for valid widths).
+pub fn standalone_multiplier(
+    width: u32,
+    kind: MultiplierKind,
+) -> Result<(Netlist, WordMap), NetlistError> {
+    let mut netlist = Netlist::new(format!("{kind:?}_multiplier_{width}").to_lowercase());
+    let (word_a, a) = input_word(&mut netlist, "a", width);
+    let (word_b, b) = input_word(&mut netlist, "b", width);
+    let product = kind.generate(&mut netlist, &a, &b)?;
+    finish(&mut netlist, &product);
+    let map = WordMap::new(vec![word_a, word_b], Word::new("p", product));
+    Ok((netlist, map))
+}
+
+/// Builds a standalone `width`-bit subtractor `diff = a − b` (mod `2^width`).
+///
+/// # Errors
+///
+/// Propagates netlist construction errors (which cannot occur for valid widths).
+pub fn standalone_subtractor(width: u32) -> Result<(Netlist, WordMap), NetlistError> {
+    let mut netlist = Netlist::new(format!("subtractor_{width}"));
+    let (word_a, a) = input_word(&mut netlist, "a", width);
+    let (word_b, b) = input_word(&mut netlist, "b", width);
+    let difference = adder::subtract(&mut netlist, &a, &b, width as usize)?;
+    finish(&mut netlist, &difference);
+    let map = WordMap::new(vec![word_a, word_b], Word::new("diff", difference));
+    Ok((netlist, map))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpsyn_sim::Simulator;
+    use std::collections::BTreeMap;
+
+    #[test]
+    fn every_adder_kind_builds_and_adds() {
+        for kind in AdderKind::all() {
+            let (netlist, map) = standalone_adder(5, kind).unwrap();
+            netlist.validate().unwrap();
+            let simulator = Simulator::compile(&netlist).unwrap();
+            let mut values = BTreeMap::new();
+            values.insert("a".to_string(), 19u64);
+            values.insert("b".to_string(), 27u64);
+            assert_eq!(simulator.evaluate_words(&map, &values), 46, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn every_multiplier_kind_builds_and_multiplies() {
+        for kind in MultiplierKind::all() {
+            let (netlist, map) = standalone_multiplier(4, kind).unwrap();
+            netlist.validate().unwrap();
+            let simulator = Simulator::compile(&netlist).unwrap();
+            let mut values = BTreeMap::new();
+            values.insert("a".to_string(), 13u64);
+            values.insert("b".to_string(), 11u64);
+            assert_eq!(simulator.evaluate_words(&map, &values), 143, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn subtractor_builder_wraps() {
+        let (netlist, map) = standalone_subtractor(6).unwrap();
+        netlist.validate().unwrap();
+        let simulator = Simulator::compile(&netlist).unwrap();
+        let mut values = BTreeMap::new();
+        values.insert("a".to_string(), 5u64);
+        values.insert("b".to_string(), 9u64);
+        assert_eq!(simulator.evaluate_words(&map, &values), (5u64.wrapping_sub(9)) & 0x3F);
+    }
+
+    #[test]
+    fn builder_netlists_emit_verilog() {
+        let (netlist, _) = standalone_adder(4, AdderKind::CarryLookahead).unwrap();
+        let verilog = netlist.to_verilog();
+        assert!(verilog.contains("module"));
+        assert!(verilog.contains("a_0_"));
+    }
+}

@@ -1,0 +1,112 @@
+//! Error type for netlist construction and validation.
+
+use crate::{CellId, CellKind, NetId};
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while building or validating a netlist.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetlistError {
+    /// A cell was instantiated with the wrong number of input connections.
+    InputArityMismatch {
+        /// Kind of the offending cell.
+        kind: CellKind,
+        /// Number of input nets supplied.
+        supplied: usize,
+        /// Number of input pins the kind requires.
+        expected: usize,
+    },
+    /// A cell was instantiated with the wrong number of output connections.
+    OutputArityMismatch {
+        /// Kind of the offending cell.
+        kind: CellKind,
+        /// Number of output nets supplied.
+        supplied: usize,
+        /// Number of output pins the kind requires.
+        expected: usize,
+    },
+    /// A net identifier does not belong to this netlist.
+    UnknownNet(NetId),
+    /// A net is driven by more than one cell output (or by a cell and a primary input).
+    MultipleDrivers {
+        /// The multiply-driven net.
+        net: NetId,
+        /// The second driver that attempted to claim the net.
+        cell: CellId,
+    },
+    /// A net has no driver and is neither a primary input nor a constant.
+    UndrivenNet {
+        /// The floating net.
+        net: NetId,
+        /// The name of the floating net.
+        name: String,
+    },
+    /// The netlist contains a combinational cycle.
+    CombinationalCycle {
+        /// A cell that participates in the cycle.
+        cell: CellId,
+    },
+    /// A primary output was marked on a net that does not exist.
+    UnknownOutput(NetId),
+}
+
+impl fmt::Display for NetlistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetlistError::InputArityMismatch {
+                kind,
+                supplied,
+                expected,
+            } => write!(
+                f,
+                "cell kind `{kind}` expects {expected} inputs but {supplied} were connected"
+            ),
+            NetlistError::OutputArityMismatch {
+                kind,
+                supplied,
+                expected,
+            } => write!(
+                f,
+                "cell kind `{kind}` expects {expected} outputs but {supplied} were connected"
+            ),
+            NetlistError::UnknownNet(net) => write!(f, "net {net} does not belong to this netlist"),
+            NetlistError::MultipleDrivers { net, cell } => {
+                write!(f, "net {net} already has a driver; cell {cell} cannot drive it too")
+            }
+            NetlistError::UndrivenNet { net, name } => {
+                write!(f, "net {net} (`{name}`) has no driver and is not a primary input")
+            }
+            NetlistError::CombinationalCycle { cell } => {
+                write!(f, "combinational cycle detected through cell {cell}")
+            }
+            NetlistError::UnknownOutput(net) => {
+                write!(f, "primary output marks unknown net {net}")
+            }
+        }
+    }
+}
+
+impl Error for NetlistError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let error = NetlistError::InputArityMismatch {
+            kind: CellKind::Fa,
+            supplied: 2,
+            expected: 3,
+        };
+        let text = error.to_string();
+        assert!(text.contains("fa"));
+        assert!(text.contains('3'));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<NetlistError>();
+    }
+}

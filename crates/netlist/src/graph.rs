@@ -1,0 +1,523 @@
+//! The netlist graph: nets, cells, connectivity and validation.
+
+use crate::cell::{Cell, CellId, CellKind};
+use crate::error::NetlistError;
+use std::collections::VecDeque;
+use std::fmt;
+
+/// Identifier of a net inside a [`Netlist`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NetId(pub(crate) u32);
+
+impl NetId {
+    /// Index of the net in the netlist's net table.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NetId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// A single-bit wire.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Net {
+    pub(crate) name: String,
+    pub(crate) driver: Option<(CellId, usize)>,
+    pub(crate) is_input: bool,
+}
+
+impl Net {
+    /// Human-readable name of the net.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The cell and output pin driving this net, if any.
+    pub fn driver(&self) -> Option<(CellId, usize)> {
+        self.driver
+    }
+
+    /// Whether the net is a primary input.
+    pub fn is_input(&self) -> bool {
+        self.is_input
+    }
+}
+
+/// A bit-level combinational netlist.
+///
+/// See the [crate-level documentation](crate) for an overview and an example.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Netlist {
+    name: String,
+    nets: Vec<Net>,
+    cells: Vec<Cell>,
+    inputs: Vec<NetId>,
+    outputs: Vec<NetId>,
+    const_nets: [Option<NetId>; 2],
+}
+
+impl Netlist {
+    /// Creates an empty netlist with the given module name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Netlist {
+            name: name.into(),
+            ..Netlist::default()
+        }
+    }
+
+    /// The module name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Adds an internal net and returns its identifier.
+    pub fn add_net(&mut self, name: impl Into<String>) -> NetId {
+        let id = NetId(self.nets.len() as u32);
+        self.nets.push(Net {
+            name: name.into(),
+            driver: None,
+            is_input: false,
+        });
+        id
+    }
+
+    /// Adds a primary input net and returns its identifier.
+    pub fn add_input(&mut self, name: impl Into<String>) -> NetId {
+        let id = self.add_net(name);
+        self.nets[id.index()].is_input = true;
+        self.inputs.push(id);
+        id
+    }
+
+    /// Renames an existing net (used to give primary outputs friendly port names).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the identifier does not belong to this netlist.
+    pub fn set_net_name(&mut self, net: NetId, name: impl Into<String>) {
+        self.nets[net.index()].name = name.into();
+    }
+
+    /// Marks an existing net as a primary output. A net may be marked at most once;
+    /// marking it again is a no-op.
+    pub fn mark_output(&mut self, net: NetId) {
+        if !self.outputs.contains(&net) {
+            self.outputs.push(net);
+        }
+    }
+
+    /// Returns a net that carries the constant `value`, creating the constant cell on
+    /// first use.
+    ///
+    /// # Example
+    /// ```
+    /// use dpsyn_netlist::Netlist;
+    /// let mut netlist = Netlist::new("demo");
+    /// let one_a = netlist.constant(true);
+    /// let one_b = netlist.constant(true);
+    /// assert_eq!(one_a, one_b); // constants are shared
+    /// ```
+    pub fn constant(&mut self, value: bool) -> NetId {
+        let slot = usize::from(value);
+        if let Some(net) = self.const_nets[slot] {
+            return net;
+        }
+        let kind = if value { CellKind::Const1 } else { CellKind::Const0 };
+        let net = self.add_net(if value { "const1" } else { "const0" });
+        let name = format!("{}_src", if value { "const1" } else { "const0" });
+        self.add_cell(kind, name, vec![], vec![net])
+            .expect("constant cells have fixed arity");
+        self.const_nets[slot] = Some(net);
+        net
+    }
+
+    /// Instantiates a cell, connecting the given nets to its pins in order.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the number of connections does not match the cell kind's pin
+    /// counts, if any net does not belong to this netlist, or if an output net already
+    /// has a driver (or is a primary input).
+    pub fn add_cell(
+        &mut self,
+        kind: CellKind,
+        name: impl Into<String>,
+        inputs: Vec<NetId>,
+        outputs: Vec<NetId>,
+    ) -> Result<CellId, NetlistError> {
+        if inputs.len() != kind.input_count() {
+            return Err(NetlistError::InputArityMismatch {
+                kind,
+                supplied: inputs.len(),
+                expected: kind.input_count(),
+            });
+        }
+        if outputs.len() != kind.output_count() {
+            return Err(NetlistError::OutputArityMismatch {
+                kind,
+                supplied: outputs.len(),
+                expected: kind.output_count(),
+            });
+        }
+        for net in inputs.iter().chain(outputs.iter()) {
+            if net.index() >= self.nets.len() {
+                return Err(NetlistError::UnknownNet(*net));
+            }
+        }
+        let id = CellId(self.cells.len() as u32);
+        for (pin, net) in outputs.iter().enumerate() {
+            let slot = &mut self.nets[net.index()];
+            if slot.driver.is_some() || slot.is_input {
+                return Err(NetlistError::MultipleDrivers { net: *net, cell: id });
+            }
+            slot.driver = Some((id, pin));
+        }
+        self.cells.push(Cell {
+            kind,
+            name: name.into(),
+            inputs,
+            outputs,
+        });
+        Ok(id)
+    }
+
+    /// Instantiates a cell with automatically created output nets and an automatically
+    /// generated instance name, returning the new output nets in pin order.
+    ///
+    /// This is the work-horse used by the synthesis engines.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the number of inputs does not match the kind's arity.
+    pub fn add_gate(&mut self, kind: CellKind, inputs: &[NetId]) -> Result<Vec<NetId>, NetlistError> {
+        let index = self.cells.len();
+        let outputs: Vec<NetId> = (0..kind.output_count())
+            .map(|pin| self.add_net(format!("{}_{}_o{}", kind.mnemonic(), index, pin)))
+            .collect();
+        self.add_cell(
+            kind,
+            format!("{}_{}", kind.mnemonic(), index),
+            inputs.to_vec(),
+            outputs.clone(),
+        )?;
+        Ok(outputs)
+    }
+
+    /// Looks up a net.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the identifier does not belong to this netlist.
+    pub fn net(&self, id: NetId) -> &Net {
+        &self.nets[id.index()]
+    }
+
+    /// Looks up a cell.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the identifier does not belong to this netlist.
+    pub fn cell(&self, id: CellId) -> &Cell {
+        &self.cells[id.index()]
+    }
+
+    /// Iterates over all nets with their identifiers.
+    pub fn nets(&self) -> impl Iterator<Item = (NetId, &Net)> {
+        self.nets
+            .iter()
+            .enumerate()
+            .map(|(index, net)| (NetId(index as u32), net))
+    }
+
+    /// Iterates over all cells with their identifiers.
+    pub fn cells(&self) -> impl Iterator<Item = (CellId, &Cell)> {
+        self.cells
+            .iter()
+            .enumerate()
+            .map(|(index, cell)| (CellId(index as u32), cell))
+    }
+
+    /// Primary input nets in declaration order.
+    pub fn inputs(&self) -> &[NetId] {
+        &self.inputs
+    }
+
+    /// Primary output nets in declaration order.
+    pub fn outputs(&self) -> &[NetId] {
+        &self.outputs
+    }
+
+    /// Number of nets.
+    pub fn net_count(&self) -> usize {
+        self.nets.len()
+    }
+
+    /// Number of cells.
+    pub fn cell_count(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Number of cells of a particular kind.
+    ///
+    /// # Example
+    /// ```
+    /// use dpsyn_netlist::{CellKind, Netlist};
+    /// let mut netlist = Netlist::new("demo");
+    /// netlist.constant(true);
+    /// assert_eq!(netlist.count_kind(CellKind::Const1), 1);
+    /// ```
+    pub fn count_kind(&self, kind: CellKind) -> usize {
+        self.cells.iter().filter(|cell| cell.kind == kind).count()
+    }
+
+    /// For every net, the list of `(cell, input pin)` pairs that read it.
+    pub fn fanout_map(&self) -> Vec<Vec<(CellId, usize)>> {
+        let mut map = vec![Vec::new(); self.nets.len()];
+        for (id, cell) in self.cells() {
+            for (pin, net) in cell.inputs.iter().enumerate() {
+                map[net.index()].push((id, pin));
+            }
+        }
+        map
+    }
+
+    /// Computes a topological order of the cells (inputs before the cells that read
+    /// them).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::CombinationalCycle`] when the netlist is cyclic.
+    pub fn topological_order(&self) -> Result<Vec<CellId>, NetlistError> {
+        // Count, for each cell, how many of its input nets are driven by other cells.
+        let mut pending: Vec<usize> = self
+            .cells
+            .iter()
+            .map(|cell| {
+                cell.inputs
+                    .iter()
+                    .filter(|net| self.nets[net.index()].driver.is_some())
+                    .count()
+            })
+            .collect();
+        let fanout = self.fanout_map();
+        let mut ready: VecDeque<CellId> = pending
+            .iter()
+            .enumerate()
+            .filter(|(_, count)| **count == 0)
+            .map(|(index, _)| CellId(index as u32))
+            .collect();
+        let mut order = Vec::with_capacity(self.cells.len());
+        while let Some(cell) = ready.pop_front() {
+            order.push(cell);
+            for net in &self.cells[cell.index()].outputs {
+                for (reader, _) in &fanout[net.index()] {
+                    pending[reader.index()] -= 1;
+                    if pending[reader.index()] == 0 {
+                        ready.push_back(*reader);
+                    }
+                }
+            }
+        }
+        if order.len() != self.cells.len() {
+            let culprit = pending
+                .iter()
+                .position(|count| *count > 0)
+                .map(|index| CellId(index as u32))
+                .unwrap_or(CellId(0));
+            return Err(NetlistError::CombinationalCycle { cell: culprit });
+        }
+        Ok(order)
+    }
+
+    /// Validates structural invariants: every net is driven by exactly one source
+    /// (a cell output or a primary input) and the netlist is acyclic.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated invariant.
+    pub fn validate(&self) -> Result<(), NetlistError> {
+        for (id, net) in self.nets() {
+            if net.driver.is_none() && !net.is_input {
+                return Err(NetlistError::UndrivenNet {
+                    net: id,
+                    name: net.name.clone(),
+                });
+            }
+        }
+        for net in &self.outputs {
+            if net.index() >= self.nets.len() {
+                return Err(NetlistError::UnknownOutput(*net));
+            }
+        }
+        self.topological_order()?;
+        Ok(())
+    }
+
+    /// Longest path length (in cells) from any primary input or constant to any net.
+    ///
+    /// This is a purely structural depth (every cell counts as one level) used in
+    /// reports and tests; the technology-aware delay lives in the timing crate.
+    pub fn logic_depth(&self) -> usize {
+        let order = match self.topological_order() {
+            Ok(order) => order,
+            Err(_) => return 0,
+        };
+        let mut depth = vec![0usize; self.nets.len()];
+        let mut max_depth = 0;
+        for cell in order {
+            let cell = &self.cells[cell.index()];
+            let input_depth = cell
+                .inputs
+                .iter()
+                .map(|net| depth[net.index()])
+                .max()
+                .unwrap_or(0);
+            for net in &cell.outputs {
+                depth[net.index()] = input_depth + 1;
+                max_depth = max_depth.max(input_depth + 1);
+            }
+        }
+        max_depth
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn full_adder_netlist() -> Netlist {
+        let mut netlist = Netlist::new("fa_test");
+        let a = netlist.add_input("a");
+        let b = netlist.add_input("b");
+        let c = netlist.add_input("c");
+        let outs = netlist.add_gate(CellKind::Fa, &[a, b, c]).unwrap();
+        netlist.mark_output(outs[0]);
+        netlist.mark_output(outs[1]);
+        netlist
+    }
+
+    #[test]
+    fn build_and_validate_full_adder() {
+        let netlist = full_adder_netlist();
+        assert!(netlist.validate().is_ok());
+        assert_eq!(netlist.cell_count(), 1);
+        assert_eq!(netlist.net_count(), 5);
+        assert_eq!(netlist.inputs().len(), 3);
+        assert_eq!(netlist.outputs().len(), 2);
+        assert_eq!(netlist.logic_depth(), 1);
+    }
+
+    #[test]
+    fn arity_mismatch_is_rejected() {
+        let mut netlist = Netlist::new("bad");
+        let a = netlist.add_input("a");
+        let out = netlist.add_net("out");
+        let result = netlist.add_cell(CellKind::Fa, "fa0", vec![a], vec![out]);
+        assert!(matches!(
+            result,
+            Err(NetlistError::InputArityMismatch { .. })
+        ));
+        let result = netlist.add_cell(CellKind::Not, "n0", vec![a], vec![]);
+        assert!(matches!(
+            result,
+            Err(NetlistError::OutputArityMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn double_driving_is_rejected() {
+        let mut netlist = Netlist::new("bad");
+        let a = netlist.add_input("a");
+        let out = netlist.add_net("out");
+        netlist
+            .add_cell(CellKind::Buf, "b0", vec![a], vec![out])
+            .unwrap();
+        let result = netlist.add_cell(CellKind::Not, "n0", vec![a], vec![out]);
+        assert!(matches!(result, Err(NetlistError::MultipleDrivers { .. })));
+        // Driving a primary input is also rejected.
+        let result = netlist.add_cell(CellKind::Not, "n1", vec![out], vec![a]);
+        assert!(matches!(result, Err(NetlistError::MultipleDrivers { .. })));
+    }
+
+    #[test]
+    fn undriven_net_is_reported() {
+        let mut netlist = Netlist::new("floating");
+        let a = netlist.add_input("a");
+        let floating = netlist.add_net("floating");
+        let out = netlist.add_net("out");
+        netlist
+            .add_cell(CellKind::And2, "g0", vec![a, floating], vec![out])
+            .unwrap();
+        assert!(matches!(
+            netlist.validate(),
+            Err(NetlistError::UndrivenNet { .. })
+        ));
+    }
+
+    #[test]
+    fn unknown_net_is_rejected() {
+        let mut netlist = Netlist::new("unknown");
+        let a = netlist.add_input("a");
+        let bogus = NetId(17);
+        let out = netlist.add_net("out");
+        let result = netlist.add_cell(CellKind::And2, "g0", vec![a, bogus], vec![out]);
+        assert!(matches!(result, Err(NetlistError::UnknownNet(_))));
+    }
+
+    #[test]
+    fn topological_order_respects_dependencies() {
+        let mut netlist = Netlist::new("chain");
+        let a = netlist.add_input("a");
+        let b = netlist.add_input("b");
+        let stage1 = netlist.add_gate(CellKind::And2, &[a, b]).unwrap()[0];
+        let stage2 = netlist.add_gate(CellKind::Not, &[stage1]).unwrap()[0];
+        let stage3 = netlist.add_gate(CellKind::Xor2, &[stage2, a]).unwrap()[0];
+        netlist.mark_output(stage3);
+        let order = netlist.topological_order().unwrap();
+        let positions: Vec<usize> = (0..netlist.cell_count())
+            .map(|cell| order.iter().position(|c| c.index() == cell).unwrap())
+            .collect();
+        assert!(positions[0] < positions[1]);
+        assert!(positions[1] < positions[2]);
+        assert_eq!(netlist.logic_depth(), 3);
+    }
+
+    #[test]
+    fn constants_are_shared_and_drive_nets() {
+        let mut netlist = Netlist::new("consts");
+        let one = netlist.constant(true);
+        let zero = netlist.constant(false);
+        assert_ne!(one, zero);
+        assert_eq!(netlist.constant(true), one);
+        assert_eq!(netlist.cell_count(), 2);
+        assert!(netlist.net(one).driver().is_some());
+        assert!(netlist.validate().is_ok());
+    }
+
+    #[test]
+    fn fanout_map_lists_readers() {
+        let netlist = full_adder_netlist();
+        let fanout = netlist.fanout_map();
+        let a = netlist.inputs()[0];
+        assert_eq!(fanout[a.index()].len(), 1);
+        assert_eq!(fanout[a.index()][0].1, 0);
+    }
+
+    #[test]
+    fn mark_output_is_idempotent() {
+        let mut netlist = full_adder_netlist();
+        let out = netlist.outputs()[0];
+        netlist.mark_output(out);
+        assert_eq!(netlist.outputs().len(), 2);
+    }
+
+    #[test]
+    fn display_ids() {
+        assert_eq!(NetId(3).to_string(), "n3");
+        assert_eq!(CellId(4).to_string(), "c4");
+    }
+}

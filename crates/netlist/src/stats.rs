@@ -1,0 +1,138 @@
+//! Netlist statistics used in reports and tests.
+
+use crate::{CellKind, Netlist};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Aggregate structural statistics of a netlist.
+///
+/// # Example
+/// ```
+/// use dpsyn_netlist::{CellKind, Netlist, NetlistStats};
+/// let mut netlist = Netlist::new("demo");
+/// let a = netlist.add_input("a");
+/// let b = netlist.add_input("b");
+/// let y = netlist.add_gate(CellKind::And2, &[a, b]).unwrap()[0];
+/// netlist.mark_output(y);
+/// let stats = NetlistStats::of(&netlist);
+/// assert_eq!(stats.cell_count(), 1);
+/// assert_eq!(stats.count(CellKind::And2), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct NetlistStats {
+    cells_by_kind: BTreeMap<CellKind, usize>,
+    net_count: usize,
+    input_count: usize,
+    output_count: usize,
+    logic_depth: usize,
+}
+
+impl NetlistStats {
+    /// Computes the statistics of a netlist.
+    pub fn of(netlist: &Netlist) -> Self {
+        let mut cells_by_kind = BTreeMap::new();
+        for (_, cell) in netlist.cells() {
+            *cells_by_kind.entry(cell.kind()).or_insert(0) += 1;
+        }
+        NetlistStats {
+            cells_by_kind,
+            net_count: netlist.net_count(),
+            input_count: netlist.inputs().len(),
+            output_count: netlist.outputs().len(),
+            logic_depth: netlist.logic_depth(),
+        }
+    }
+
+    /// Total number of cells.
+    pub fn cell_count(&self) -> usize {
+        self.cells_by_kind.values().sum()
+    }
+
+    /// Number of cells of a particular kind.
+    pub fn count(&self, kind: CellKind) -> usize {
+        self.cells_by_kind.get(&kind).copied().unwrap_or(0)
+    }
+
+    /// Number of adder cells (full adders plus half adders).
+    pub fn adder_count(&self) -> usize {
+        self.count(CellKind::Fa) + self.count(CellKind::Ha)
+    }
+
+    /// Number of nets.
+    pub fn net_count(&self) -> usize {
+        self.net_count
+    }
+
+    /// Number of primary inputs.
+    pub fn input_count(&self) -> usize {
+        self.input_count
+    }
+
+    /// Number of primary outputs.
+    pub fn output_count(&self) -> usize {
+        self.output_count
+    }
+
+    /// Structural logic depth (cells on the longest input-to-output path).
+    pub fn logic_depth(&self) -> usize {
+        self.logic_depth
+    }
+
+    /// Per-kind cell histogram.
+    pub fn cells_by_kind(&self) -> &BTreeMap<CellKind, usize> {
+        &self.cells_by_kind
+    }
+}
+
+impl fmt::Display for NetlistStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{} cells, {} nets, {} inputs, {} outputs, depth {}",
+            self.cell_count(),
+            self.net_count,
+            self.input_count,
+            self.output_count,
+            self.logic_depth
+        )?;
+        for (kind, count) in &self.cells_by_kind {
+            writeln!(f, "  {kind:>6}: {count}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_of_small_netlist() {
+        let mut netlist = Netlist::new("demo");
+        let a = netlist.add_input("a");
+        let b = netlist.add_input("b");
+        let c = netlist.add_input("c");
+        let fa = netlist.add_gate(CellKind::Fa, &[a, b, c]).unwrap();
+        let inverted = netlist.add_gate(CellKind::Not, &[fa[0]]).unwrap()[0];
+        netlist.mark_output(inverted);
+        netlist.mark_output(fa[1]);
+        let stats = NetlistStats::of(&netlist);
+        assert_eq!(stats.cell_count(), 2);
+        assert_eq!(stats.adder_count(), 1);
+        assert_eq!(stats.count(CellKind::Not), 1);
+        assert_eq!(stats.count(CellKind::Xor2), 0);
+        assert_eq!(stats.input_count(), 3);
+        assert_eq!(stats.output_count(), 2);
+        assert_eq!(stats.logic_depth(), 2);
+        let text = stats.to_string();
+        assert!(text.contains("2 cells"));
+        assert!(text.contains("fa"));
+    }
+
+    #[test]
+    fn empty_netlist_stats() {
+        let stats = NetlistStats::of(&Netlist::new("empty"));
+        assert_eq!(stats.cell_count(), 0);
+        assert_eq!(stats.logic_depth(), 0);
+    }
+}

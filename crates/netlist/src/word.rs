@@ -1,0 +1,196 @@
+//! Word-level views over bit-level netlists.
+
+use crate::NetId;
+use std::collections::BTreeMap;
+
+/// A named multi-bit word whose bits are individual nets (LSB first).
+///
+/// # Example
+/// ```
+/// use dpsyn_netlist::{Netlist, Word};
+/// let mut netlist = Netlist::new("demo");
+/// let bits: Vec<_> = (0..4).map(|i| netlist.add_input(format!("x_{i}"))).collect();
+/// let word = Word::new("x", bits);
+/// assert_eq!(word.width(), 4);
+/// assert_eq!(Word::value_to_bits(0b1010, 4), vec![false, true, false, true]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Word {
+    name: String,
+    bits: Vec<NetId>,
+}
+
+impl Word {
+    /// Creates a word from its name and its bit nets (least-significant bit first).
+    pub fn new(name: impl Into<String>, bits: Vec<NetId>) -> Self {
+        Word {
+            name: name.into(),
+            bits,
+        }
+    }
+
+    /// Name of the word.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Bit width of the word.
+    pub fn width(&self) -> u32 {
+        self.bits.len() as u32
+    }
+
+    /// The bit nets, least-significant bit first.
+    pub fn bits(&self) -> &[NetId] {
+        &self.bits
+    }
+
+    /// The net of bit `index`, if within range.
+    pub fn bit(&self, index: u32) -> Option<NetId> {
+        self.bits.get(index as usize).copied()
+    }
+
+    /// Splits an integer value into `width` boolean bits, LSB first.
+    pub fn value_to_bits(value: u64, width: u32) -> Vec<bool> {
+        (0..width).map(|bit| (value >> bit) & 1 == 1).collect()
+    }
+
+    /// Packs boolean bits (LSB first) into an integer value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than 64 bits are supplied.
+    pub fn bits_to_value(bits: &[bool]) -> u64 {
+        assert!(bits.len() <= 64, "at most 64 bits fit into a u64");
+        bits.iter()
+            .enumerate()
+            .fold(0u64, |acc, (index, bit)| acc | ((*bit as u64) << index))
+    }
+}
+
+/// The word-level interface of a synthesized netlist: named input words and one output
+/// word. Simulation and equivalence checking use this to translate between word values
+/// and per-net bit values.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WordMap {
+    inputs: Vec<Word>,
+    output: Word,
+}
+
+impl WordMap {
+    /// Creates a word map from the input words and the output word.
+    pub fn new(inputs: Vec<Word>, output: Word) -> Self {
+        WordMap { inputs, output }
+    }
+
+    /// The input words in declaration order.
+    pub fn inputs(&self) -> &[Word] {
+        &self.inputs
+    }
+
+    /// The output word.
+    pub fn output(&self) -> &Word {
+        &self.output
+    }
+
+    /// Looks up an input word by name.
+    pub fn input(&self, name: &str) -> Option<&Word> {
+        self.inputs.iter().find(|word| word.name() == name)
+    }
+
+    /// Expands a word-level assignment into per-net boolean values for every input bit.
+    ///
+    /// Missing words default to zero. Values wider than a word are truncated to its
+    /// width, mirroring hardware behaviour.
+    pub fn assignment_to_bits(&self, values: &BTreeMap<String, u64>) -> BTreeMap<NetId, bool> {
+        let mut bits = BTreeMap::new();
+        for word in &self.inputs {
+            let value = values.get(word.name()).copied().unwrap_or(0);
+            for (index, net) in word.bits().iter().enumerate() {
+                bits.insert(*net, (value >> index) & 1 == 1);
+            }
+        }
+        bits
+    }
+
+    /// Packs per-net boolean values of the output word into an integer.
+    ///
+    /// Output bits missing from `values` are treated as zero.
+    pub fn output_value(&self, values: &BTreeMap<NetId, bool>) -> u64 {
+        let bits: Vec<bool> = self
+            .output
+            .bits()
+            .iter()
+            .map(|net| values.get(net).copied().unwrap_or(false))
+            .collect();
+        Word::bits_to_value(&bits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Netlist;
+
+    fn demo_map() -> (Netlist, WordMap) {
+        let mut netlist = Netlist::new("demo");
+        let a_bits: Vec<_> = (0..3).map(|i| netlist.add_input(format!("a_{i}"))).collect();
+        let b_bits: Vec<_> = (0..2).map(|i| netlist.add_input(format!("b_{i}"))).collect();
+        let out_bits: Vec<_> = (0..4).map(|i| netlist.add_net(format!("y_{i}"))).collect();
+        let map = WordMap::new(
+            vec![Word::new("a", a_bits), Word::new("b", b_bits)],
+            Word::new("y", out_bits),
+        );
+        (netlist, map)
+    }
+
+    #[test]
+    fn value_bit_round_trip() {
+        for value in 0..16u64 {
+            let bits = Word::value_to_bits(value, 4);
+            assert_eq!(Word::bits_to_value(&bits), value);
+        }
+    }
+
+    #[test]
+    fn truncation_matches_hardware() {
+        let bits = Word::value_to_bits(0b10110, 3);
+        assert_eq!(Word::bits_to_value(&bits), 0b110);
+    }
+
+    #[test]
+    fn assignment_expansion_and_lookup() {
+        let (_netlist, map) = demo_map();
+        let mut values = BTreeMap::new();
+        values.insert("a".to_string(), 0b101u64);
+        values.insert("b".to_string(), 0b11u64);
+        let bits = map.assignment_to_bits(&values);
+        assert_eq!(bits.len(), 5);
+        let a = map.input("a").unwrap();
+        assert!(bits[&a.bit(0).unwrap()]);
+        assert!(!bits[&a.bit(1).unwrap()]);
+        assert!(bits[&a.bit(2).unwrap()]);
+        assert!(map.input("zzz").is_none());
+    }
+
+    #[test]
+    fn missing_words_default_to_zero() {
+        let (_netlist, map) = demo_map();
+        let bits = map.assignment_to_bits(&BTreeMap::new());
+        assert!(bits.values().all(|bit| !bit));
+    }
+
+    #[test]
+    fn output_packing_defaults_missing_bits_to_zero() {
+        let (_netlist, map) = demo_map();
+        let mut values = BTreeMap::new();
+        values.insert(map.output().bit(1).unwrap(), true);
+        values.insert(map.output().bit(3).unwrap(), true);
+        assert_eq!(map.output_value(&values), 0b1010);
+    }
+
+    #[test]
+    #[should_panic(expected = "64 bits")]
+    fn bits_to_value_panics_on_overflow() {
+        Word::bits_to_value(&[false; 65]);
+    }
+}

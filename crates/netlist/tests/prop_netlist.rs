@@ -1,0 +1,50 @@
+//! Property-based structural tests for the netlist graph.
+
+use dpsyn_netlist::{CellKind, Netlist};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Randomly grown DAGs of gates always validate, topologically sort, and emit one
+    /// assign per cell output in Verilog.
+    #[test]
+    fn random_dags_are_valid(choices in prop::collection::vec((0usize..10, 0usize..64, 0usize..64, 0usize..64), 1..60)) {
+        let palette = [
+            CellKind::Fa, CellKind::Ha, CellKind::And2, CellKind::And3, CellKind::Or2,
+            CellKind::Xor2, CellKind::Xor3, CellKind::Not, CellKind::Buf, CellKind::Mux2,
+        ];
+        let mut netlist = Netlist::new("random_dag");
+        let mut nets = vec![netlist.add_input("a"), netlist.add_input("b"), netlist.add_input("c")];
+        for (kind_index, i0, i1, i2) in choices {
+            let kind = palette[kind_index];
+            let pick = |index: usize| nets[index % nets.len()];
+            let inputs: Vec<_> = [i0, i1, i2][..kind.input_count()]
+                .iter()
+                .map(|index| pick(*index))
+                .collect();
+            let outputs = netlist.add_gate(kind, &inputs).expect("gate");
+            nets.extend(outputs);
+        }
+        let last = *nets.last().expect("at least the inputs");
+        netlist.mark_output(last);
+        prop_assert!(netlist.validate().is_ok());
+        let order = netlist.topological_order().expect("acyclic by construction");
+        prop_assert_eq!(order.len(), netlist.cell_count());
+        // Every cell appears after the drivers of its inputs.
+        let mut position = vec![usize::MAX; netlist.cell_count()];
+        for (rank, cell) in order.iter().enumerate() {
+            position[cell.index()] = rank;
+        }
+        for (id, cell) in netlist.cells() {
+            for input in cell.inputs() {
+                if let Some((driver, _)) = netlist.net(*input).driver() {
+                    prop_assert!(position[driver.index()] < position[id.index()]);
+                }
+            }
+        }
+        let verilog = netlist.to_verilog();
+        let adders = netlist.count_kind(CellKind::Fa) + netlist.count_kind(CellKind::Ha);
+        prop_assert_eq!(verilog.matches("assign").count(), netlist.cell_count() + adders);
+    }
+}

@@ -1,0 +1,484 @@
+//! Signal-probability propagation and switching-activity power estimation.
+//!
+//! This crate implements the power model of Section 4 of the DAC 2000 paper:
+//!
+//! * signals are modelled as independent random variables with a probability `p(x)`
+//!   of being logic 1 (zero gate-delay model, glitches ignored);
+//! * the average switching activity of a signal is `E(x) = p(x)·(1 − p(x))`;
+//! * the power of an FA-tree is `Σ_v  Ws·E(v_s) + Wc·E(v_c)` over its adders —
+//!   generalised here to every cell kind with the energy weights of a
+//!   [`TechLibrary`].
+//!
+//! The closed-form `q`-transform identities the paper derives for full adders,
+//!
+//! ```text
+//! q(s) = 4·q(x)·q(y)·q(z)
+//! q(c) = 0.5·(q(x) + q(y) + q(z)) − 2·q(x)·q(y)·q(z)      with q(v) = p(v) − 0.5
+//! ```
+//!
+//! are exposed as [`q_transform::fa_sum_q`] and [`q_transform::fa_carry_q`] and are used
+//! both by the probability propagation below and by the power-driven allocation
+//! algorithm in `dpsyn-core`.
+//!
+//! # Example
+//!
+//! ```
+//! # use std::error::Error;
+//! use dpsyn_netlist::{CellKind, Netlist};
+//! use dpsyn_power::ProbabilityAnalysis;
+//! use dpsyn_tech::TechLibrary;
+//! use std::collections::BTreeMap;
+//!
+//! # fn main() -> Result<(), Box<dyn Error>> {
+//! let mut netlist = Netlist::new("and");
+//! let a = netlist.add_input("a");
+//! let b = netlist.add_input("b");
+//! let y = netlist.add_gate(CellKind::And2, &[a, b])?[0];
+//! netlist.mark_output(y);
+//! let mut probabilities = BTreeMap::new();
+//! probabilities.insert(a, 0.5);
+//! probabilities.insert(b, 0.5);
+//! let report = ProbabilityAnalysis::new(&TechLibrary::unit())
+//!     .with_input_probabilities(probabilities)
+//!     .run(&netlist)?;
+//! assert!((report.probability(y) - 0.25).abs() < 1e-12);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use dpsyn_netlist::{CellKind, NetId, Netlist, NetlistError};
+use dpsyn_tech::{TechError, TechLibrary};
+use std::collections::BTreeMap;
+use std::error::Error;
+use std::fmt;
+
+pub mod q_transform;
+
+/// Errors produced by probability propagation and power estimation.
+#[derive(Debug)]
+pub enum PowerError {
+    /// The netlist is structurally invalid (cycle, ...).
+    Netlist(NetlistError),
+    /// The technology library does not cover a cell kind used by the netlist.
+    Tech(TechError),
+    /// An input probability is outside `[0, 1]`.
+    InvalidProbability {
+        /// The offending net (`None` when the default probability itself is invalid).
+        net: Option<NetId>,
+        /// The offending value.
+        probability: f64,
+    },
+}
+
+impl fmt::Display for PowerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PowerError::Netlist(error) => write!(f, "invalid netlist: {error}"),
+            PowerError::Tech(error) => write!(f, "incomplete technology library: {error}"),
+            PowerError::InvalidProbability { net, probability } => match net {
+                Some(net) => write!(
+                    f,
+                    "signal probability {probability} of net {net} is outside [0, 1]"
+                ),
+                None => write!(f, "default signal probability {probability} is outside [0, 1]"),
+            },
+        }
+    }
+}
+
+impl Error for PowerError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            PowerError::Netlist(error) => Some(error),
+            PowerError::Tech(error) => Some(error),
+            PowerError::InvalidProbability { .. } => None,
+        }
+    }
+}
+
+impl From<NetlistError> for PowerError {
+    fn from(error: NetlistError) -> Self {
+        PowerError::Netlist(error)
+    }
+}
+
+impl From<TechError> for PowerError {
+    fn from(error: TechError) -> Self {
+        PowerError::Tech(error)
+    }
+}
+
+/// Configurable signal-probability propagation and power estimation.
+#[derive(Debug, Clone)]
+pub struct ProbabilityAnalysis<'lib> {
+    tech: &'lib TechLibrary,
+    input_probabilities: BTreeMap<NetId, f64>,
+    default_probability: f64,
+}
+
+impl<'lib> ProbabilityAnalysis<'lib> {
+    /// Creates an analysis where unmentioned inputs are unbiased (p = 0.5).
+    pub fn new(tech: &'lib TechLibrary) -> Self {
+        ProbabilityAnalysis {
+            tech,
+            input_probabilities: BTreeMap::new(),
+            default_probability: 0.5,
+        }
+    }
+
+    /// Sets the signal probabilities of primary input nets.
+    pub fn with_input_probabilities(mut self, probabilities: BTreeMap<NetId, f64>) -> Self {
+        self.input_probabilities = probabilities;
+        self
+    }
+
+    /// Sets the signal probability of a single primary input net.
+    pub fn input_probability(mut self, net: NetId, probability: f64) -> Self {
+        self.input_probabilities.insert(net, probability);
+        self
+    }
+
+    /// Sets the probability assumed for inputs that are not explicitly specified.
+    pub fn default_probability(mut self, probability: f64) -> Self {
+        self.default_probability = probability;
+        self
+    }
+
+    /// Runs the propagation and power estimation over `netlist`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the netlist is invalid, the library does not cover a used
+    /// cell kind, or a probability is outside `[0, 1]`.
+    pub fn run(&self, netlist: &Netlist) -> Result<PowerReport, PowerError> {
+        self.tech.check_coverage(netlist)?;
+        for (net, probability) in self
+            .input_probabilities
+            .iter()
+            .map(|(net, p)| (Some(*net), *p))
+            .chain(std::iter::once((None, self.default_probability)))
+        {
+            if !(0.0..=1.0).contains(&probability) || !probability.is_finite() {
+                return Err(PowerError::InvalidProbability { net, probability });
+            }
+        }
+        let order = netlist.topological_order()?;
+        let mut probability = vec![self.default_probability; netlist.net_count()];
+        for net in netlist.inputs() {
+            probability[net.index()] = self
+                .input_probabilities
+                .get(net)
+                .copied()
+                .unwrap_or(self.default_probability);
+        }
+        let mut cell_energy = vec![0.0f64; netlist.cell_count()];
+        let mut total_energy = 0.0f64;
+        let mut total_activity = 0.0f64;
+        for cell_id in order {
+            let cell = netlist.cell(cell_id);
+            let inputs: Vec<f64> = cell
+                .inputs()
+                .iter()
+                .map(|net| probability[net.index()])
+                .collect();
+            let outputs = propagate_cell(cell.kind(), &inputs);
+            let mut energy = 0.0;
+            for (pin, (net, p)) in cell.outputs().iter().zip(outputs.iter()).enumerate() {
+                probability[net.index()] = *p;
+                let activity = p * (1.0 - p);
+                total_activity += activity;
+                energy += self.tech.switch_energy(cell.kind(), pin) * activity;
+            }
+            cell_energy[cell_id.index()] = energy;
+            total_energy += energy;
+        }
+        Ok(PowerReport {
+            probability,
+            cell_energy,
+            total_energy,
+            total_activity,
+            voltage: self.tech.voltage(),
+        })
+    }
+}
+
+/// Exact output-probability propagation through one cell under the independence
+/// assumption. Returns one probability per output pin.
+///
+/// # Panics
+///
+/// Panics when `inputs` does not match the cell's input count.
+pub fn propagate_cell(kind: CellKind, inputs: &[f64]) -> Vec<f64> {
+    assert_eq!(
+        inputs.len(),
+        kind.input_count(),
+        "cell {kind:?} expects {} input probabilities",
+        kind.input_count()
+    );
+    match kind {
+        CellKind::Fa => {
+            let (x, y, z) = (inputs[0], inputs[1], inputs[2]);
+            vec![q_transform::fa_sum_p(x, y, z), q_transform::fa_carry_p(x, y, z)]
+        }
+        CellKind::Ha => {
+            let (x, y) = (inputs[0], inputs[1]);
+            vec![x + y - 2.0 * x * y, x * y]
+        }
+        CellKind::And2 => vec![inputs[0] * inputs[1]],
+        CellKind::And3 => vec![inputs[0] * inputs[1] * inputs[2]],
+        CellKind::Or2 => vec![inputs[0] + inputs[1] - inputs[0] * inputs[1]],
+        CellKind::Xor2 => vec![inputs[0] + inputs[1] - 2.0 * inputs[0] * inputs[1]],
+        CellKind::Xor3 => {
+            let xy = inputs[0] + inputs[1] - 2.0 * inputs[0] * inputs[1];
+            vec![xy + inputs[2] - 2.0 * xy * inputs[2]]
+        }
+        CellKind::Not => vec![1.0 - inputs[0]],
+        CellKind::Buf => vec![inputs[0]],
+        CellKind::Mux2 => {
+            let (a, b, sel) = (inputs[0], inputs[1], inputs[2]);
+            vec![(1.0 - sel) * a + sel * b]
+        }
+        CellKind::Const0 => vec![0.0],
+        CellKind::Const1 => vec![1.0],
+    }
+}
+
+/// Result of a probability propagation: per-net probabilities, per-cell energies and the
+/// aggregate switching-energy estimate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PowerReport {
+    probability: Vec<f64>,
+    cell_energy: Vec<f64>,
+    total_energy: f64,
+    total_activity: f64,
+    voltage: f64,
+}
+
+impl PowerReport {
+    /// Signal probability of a net.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `net` does not belong to the analysed netlist.
+    pub fn probability(&self, net: NetId) -> f64 {
+        self.probability[net.index()]
+    }
+
+    /// Switching activity `p·(1 − p)` of a net.
+    pub fn switching_activity(&self, net: NetId) -> f64 {
+        let p = self.probability(net);
+        p * (1.0 - p)
+    }
+
+    /// The weighted switching energy `Σ W·E` of the whole netlist — the paper's
+    /// `E_switching(T)` generalised to all cells (library energy units per cycle).
+    pub fn total_energy(&self) -> f64 {
+        self.total_energy
+    }
+
+    /// The unweighted sum of switching activities over all cell outputs.
+    pub fn total_activity(&self) -> f64 {
+        self.total_activity
+    }
+
+    /// Energy attributed to one cell.
+    pub fn cell_energy(&self, cell: dpsyn_netlist::CellId) -> f64 {
+        self.cell_energy[cell.index()]
+    }
+
+    /// A power figure in milliwatt-like units: `energy · V² · f_norm`, following the
+    /// standard CV²f form with a normalised frequency of 1. This is only meant to put
+    /// numbers on the same scale as the paper's Table 2, which reports milliwatts.
+    pub fn power_mw(&self) -> f64 {
+        self.total_energy * self.voltage * self.voltage
+    }
+
+    /// All per-net probabilities, indexed by [`NetId::index`].
+    pub fn probabilities(&self) -> &[f64] {
+        &self.probability
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn single_gate(kind: CellKind, probabilities: &[f64]) -> f64 {
+        let mut netlist = Netlist::new("gate");
+        let inputs: Vec<NetId> = (0..kind.input_count())
+            .map(|index| netlist.add_input(format!("i{index}")))
+            .collect();
+        let out = netlist.add_gate(kind, &inputs).unwrap()[0];
+        netlist.mark_output(out);
+        let lib = TechLibrary::unit();
+        let mut analysis = ProbabilityAnalysis::new(&lib);
+        for (net, p) in inputs.iter().zip(probabilities.iter()) {
+            analysis = analysis.input_probability(*net, *p);
+        }
+        analysis.run(&netlist).unwrap().probability(out)
+    }
+
+    /// Brute-force output probability of a cell over all input combinations weighted by
+    /// the input probabilities (independence assumption).
+    fn brute_force(kind: CellKind, probabilities: &[f64], output: usize) -> f64 {
+        let n = kind.input_count();
+        let mut total = 0.0;
+        for assignment in 0..(1u32 << n) {
+            let bits: Vec<bool> = (0..n).map(|bit| (assignment >> bit) & 1 == 1).collect();
+            let weight: f64 = bits
+                .iter()
+                .zip(probabilities.iter())
+                .map(|(bit, p)| if *bit { *p } else { 1.0 - p })
+                .product();
+            if kind.evaluate(&bits)[output] {
+                total += weight;
+            }
+        }
+        total
+    }
+
+    #[test]
+    fn propagation_matches_brute_force_for_every_kind() {
+        let probabilities = [0.3, 0.7, 0.45];
+        for kind in CellKind::all() {
+            let inputs = &probabilities[..kind.input_count()];
+            let outputs = propagate_cell(kind, inputs);
+            for (pin, computed) in outputs.iter().enumerate() {
+                let expected = brute_force(kind, inputs, pin);
+                assert!(
+                    (computed - expected).abs() < 1e-12,
+                    "{kind:?} output {pin}: {computed} vs {expected}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn and_gate_probability() {
+        let p = single_gate(CellKind::And2, &[0.5, 0.5]);
+        assert!((p - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn xor_gate_probability() {
+        let p = single_gate(CellKind::Xor2, &[0.3, 0.3]);
+        assert!((p - (0.6 - 2.0 * 0.09)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn full_adder_probabilities_match_q_transform() {
+        let (x, y, z) = (0.1, 0.2, 0.3);
+        let outputs = propagate_cell(CellKind::Fa, &[x, y, z]);
+        let qs = q_transform::fa_sum_q(x - 0.5, y - 0.5, z - 0.5);
+        let qc = q_transform::fa_carry_q(x - 0.5, y - 0.5, z - 0.5);
+        assert!((outputs[0] - (qs + 0.5)).abs() < 1e-12);
+        assert!((outputs[1] - (qc + 0.5)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn default_probability_applies_to_unspecified_inputs() {
+        let mut netlist = Netlist::new("or");
+        let a = netlist.add_input("a");
+        let b = netlist.add_input("b");
+        let y = netlist.add_gate(CellKind::Or2, &[a, b]).unwrap()[0];
+        netlist.mark_output(y);
+        let lib = TechLibrary::unit();
+        let report = ProbabilityAnalysis::new(&lib)
+            .default_probability(1.0)
+            .run(&netlist)
+            .unwrap();
+        assert!((report.probability(y) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn energy_weights_follow_the_library() {
+        // A single FA with unbiased inputs: E(sum) = 0.25, E(carry) = p_c(1-p_c) with
+        // p_c = 0.5 -> 0.25. With Ws = Wc = 1 total energy is 0.5.
+        let mut netlist = Netlist::new("fa");
+        let a = netlist.add_input("a");
+        let b = netlist.add_input("b");
+        let c = netlist.add_input("c");
+        let outs = netlist.add_gate(CellKind::Fa, &[a, b, c]).unwrap();
+        netlist.mark_output(outs[0]);
+        netlist.mark_output(outs[1]);
+        let lib = TechLibrary::unit();
+        let report = ProbabilityAnalysis::new(&lib).run(&netlist).unwrap();
+        assert!((report.total_energy() - 0.5).abs() < 1e-12);
+        assert!(report.power_mw() > report.total_energy());
+        assert!((report.total_activity() - 0.5).abs() < 1e-12);
+        assert!((report.switching_activity(outs[0]) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn invalid_probability_is_rejected() {
+        let mut netlist = Netlist::new("buf");
+        let a = netlist.add_input("a");
+        let y = netlist.add_gate(CellKind::Buf, &[a]).unwrap()[0];
+        netlist.mark_output(y);
+        let lib = TechLibrary::unit();
+        let result = ProbabilityAnalysis::new(&lib)
+            .input_probability(a, 1.5)
+            .run(&netlist);
+        assert!(matches!(result, Err(PowerError::InvalidProbability { .. })));
+        let result = ProbabilityAnalysis::new(&lib)
+            .default_probability(-0.1)
+            .run(&netlist);
+        assert!(matches!(result, Err(PowerError::InvalidProbability { .. })));
+    }
+
+    #[test]
+    fn missing_library_entry_is_reported() {
+        let mut netlist = Netlist::new("buf");
+        let a = netlist.add_input("a");
+        let y = netlist.add_gate(CellKind::Buf, &[a]).unwrap()[0];
+        netlist.mark_output(y);
+        let lib = TechLibrary::builder("incomplete").build().unwrap();
+        let result = ProbabilityAnalysis::new(&lib).run(&netlist);
+        assert!(matches!(result, Err(PowerError::Tech(_))));
+    }
+
+    #[test]
+    fn constants_never_switch() {
+        let mut netlist = Netlist::new("consts");
+        let one = netlist.constant(true);
+        let zero = netlist.constant(false);
+        netlist.mark_output(one);
+        netlist.mark_output(zero);
+        let lib = TechLibrary::unit();
+        let report = ProbabilityAnalysis::new(&lib).run(&netlist).unwrap();
+        assert_eq!(report.switching_activity(one), 0.0);
+        assert_eq!(report.switching_activity(zero), 0.0);
+        assert_eq!(report.total_energy(), 0.0);
+    }
+
+    #[test]
+    fn probabilities_stay_in_unit_interval_deep_netlist() {
+        // A chain of alternating gates keeps probabilities legal at every level.
+        let mut netlist = Netlist::new("deep");
+        let mut current = netlist.add_input("a");
+        let other = netlist.add_input("b");
+        for level in 0..32 {
+            let kind = match level % 4 {
+                0 => CellKind::And2,
+                1 => CellKind::Or2,
+                2 => CellKind::Xor2,
+                _ => CellKind::Ha,
+            };
+            let outs = netlist.add_gate(kind, &[current, other]).unwrap();
+            current = outs[0];
+        }
+        netlist.mark_output(current);
+        let lib = TechLibrary::unit();
+        let report = ProbabilityAnalysis::new(&lib)
+            .input_probability(netlist.inputs()[0], 0.9)
+            .input_probability(netlist.inputs()[1], 0.05)
+            .run(&netlist)
+            .unwrap();
+        for p in report.probabilities() {
+            assert!((0.0..=1.0).contains(p), "probability {p} escaped [0,1]");
+        }
+    }
+}

@@ -1,0 +1,181 @@
+//! The `q`-transform identities of Section 4.2 of the paper.
+//!
+//! With `q(v) = p(v) − 0.5`, the signal probabilities of a full adder's outputs have the
+//! closed forms
+//!
+//! ```text
+//! q(s) = 4·q(x)·q(y)·q(z)
+//! q(c) = 0.5·(q(x) + q(y) + q(z)) − 2·q(x)·q(y)·q(z)
+//! ```
+//!
+//! and the switching activity of any signal satisfies
+//! `p·(1 − p) = 0.25 − q²`, so minimising `Σ p(1 − p)` is equivalent to maximising
+//! `Σ q²` — the observation the power-driven allocation algorithm `SC_LP` builds on.
+
+/// Converts a signal probability to its `q`-value `p − 0.5`.
+///
+/// # Example
+/// ```
+/// assert_eq!(dpsyn_power::q_transform::to_q(0.1), -0.4);
+/// ```
+pub fn to_q(p: f64) -> f64 {
+    p - 0.5
+}
+
+/// Converts a `q`-value back to a signal probability `q + 0.5`.
+pub fn to_p(q: f64) -> f64 {
+    q + 0.5
+}
+
+/// Switching activity expressed through the `q`-value: `0.25 − q²`.
+///
+/// # Example
+/// ```
+/// use dpsyn_power::q_transform::{switching_from_q, to_q};
+/// let p: f64 = 0.3;
+/// let direct = p * (1.0 - p);
+/// assert!((switching_from_q(to_q(p)) - direct).abs() < 1e-12);
+/// ```
+pub fn switching_from_q(q: f64) -> f64 {
+    0.25 - q * q
+}
+
+/// `q(s)` of a full adder: `4·q(x)·q(y)·q(z)`.
+pub fn fa_sum_q(qx: f64, qy: f64, qz: f64) -> f64 {
+    4.0 * qx * qy * qz
+}
+
+/// `q(c)` of a full adder: `0.5·(q(x)+q(y)+q(z)) − 2·q(x)·q(y)·q(z)`.
+pub fn fa_carry_q(qx: f64, qy: f64, qz: f64) -> f64 {
+    0.5 * (qx + qy + qz) - 2.0 * qx * qy * qz
+}
+
+/// Sum-output probability of a full adder from input probabilities.
+pub fn fa_sum_p(px: f64, py: f64, pz: f64) -> f64 {
+    to_p(fa_sum_q(to_q(px), to_q(py), to_q(pz)))
+}
+
+/// Carry-output probability of a full adder from input probabilities.
+pub fn fa_carry_p(px: f64, py: f64, pz: f64) -> f64 {
+    to_p(fa_carry_q(to_q(px), to_q(py), to_q(pz)))
+}
+
+/// `q(s)` of a half adder (XOR of two inputs): `−2·q(x)·q(y)`.
+pub fn ha_sum_q(qx: f64, qy: f64) -> f64 {
+    -2.0 * qx * qy
+}
+
+/// `q(c)` of a half adder (AND of two inputs): `0.5·(q(x)+q(y)) + q(x)·q(y) − 0.25`.
+pub fn ha_carry_q(qx: f64, qy: f64) -> f64 {
+    // p(c) = px·py with px = qx + 0.5 etc.
+    (qx + 0.5) * (qy + 0.5) - 0.5
+}
+
+/// The paper's per-FA contribution to `E_switching`: `Ws·(0.25 − q(s)²) + Wc·(0.25 − q(c)²)`.
+///
+/// # Example
+/// ```
+/// use dpsyn_power::q_transform::fa_switching_energy;
+/// // Unbiased inputs: both outputs unbiased, energy = 0.25·Ws + 0.25·Wc.
+/// assert!((fa_switching_energy(0.0, 0.0, 0.0, 1.0, 1.0) - 0.5).abs() < 1e-12);
+/// ```
+pub fn fa_switching_energy(qx: f64, qy: f64, qz: f64, ws: f64, wc: f64) -> f64 {
+    ws * switching_from_q(fa_sum_q(qx, qy, qz)) + wc * switching_from_q(fa_carry_q(qx, qy, qz))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Brute-force probability of the FA outputs over the 8 input combinations.
+    fn brute_force_fa(px: f64, py: f64, pz: f64) -> (f64, f64) {
+        let mut p_sum = 0.0;
+        let mut p_carry = 0.0;
+        for assignment in 0..8u32 {
+            let x = assignment & 1 == 1;
+            let y = assignment & 2 == 2;
+            let z = assignment & 4 == 4;
+            let weight = (if x { px } else { 1.0 - px })
+                * (if y { py } else { 1.0 - py })
+                * (if z { pz } else { 1.0 - pz });
+            let total = x as u8 + y as u8 + z as u8;
+            if total & 1 == 1 {
+                p_sum += weight;
+            }
+            if total >= 2 {
+                p_carry += weight;
+            }
+        }
+        (p_sum, p_carry)
+    }
+
+    #[test]
+    fn closed_forms_match_brute_force() {
+        let grid = [0.0, 0.1, 0.25, 0.5, 0.65, 0.9, 1.0];
+        for &px in &grid {
+            for &py in &grid {
+                for &pz in &grid {
+                    let (expected_sum, expected_carry) = brute_force_fa(px, py, pz);
+                    assert!((fa_sum_p(px, py, pz) - expected_sum).abs() < 1e-12);
+                    assert!((fa_carry_p(px, py, pz) - expected_carry).abs() < 1e-12);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn half_adder_forms_match_definitions() {
+        let grid = [0.0, 0.2, 0.5, 0.8, 1.0];
+        for &px in &grid {
+            for &py in &grid {
+                let expected_sum = px + py - 2.0 * px * py;
+                let expected_carry = px * py;
+                assert!((to_p(ha_sum_q(to_q(px), to_q(py))) - expected_sum).abs() < 1e-12);
+                assert!((to_p(ha_carry_q(to_q(px), to_q(py))) - expected_carry).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn switching_identity() {
+        for p in [0.0, 0.1, 0.37, 0.5, 0.81, 1.0] {
+            assert!((switching_from_q(to_q(p)) - p * (1.0 - p)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn figure4_selection_effect() {
+        // Figure 4 of the paper: four single-bit addends with p = 0.1, 0.2, 0.3, 0.4
+        // (q = -0.4, -0.3, -0.2, -0.1) and Ws = Wc = 1. Different choices of the three
+        // FA inputs give different switching energies; selecting the three addends with
+        // the largest |q| (Observation 2 / SC_LP) gives the smallest energy.
+        let q = [-0.4, -0.3, -0.2, -0.1];
+        let mut energies = Vec::new();
+        for skip in 0..4 {
+            let picked: Vec<f64> = (0..4).filter(|i| *i != skip).map(|i| q[i]).collect();
+            energies.push(fa_switching_energy(picked[0], picked[1], picked[2], 1.0, 1.0));
+        }
+        // Leaving out the smallest |q| (x4, q = -0.1), i.e. picking the three largest
+        // |q| values, minimises the FA energy.
+        let best = energies
+            .iter()
+            .cloned()
+            .fold(f64::INFINITY, f64::min);
+        assert!((energies[3] - best).abs() < 1e-12);
+        // Picking the three smallest |q| values maximises it, as the paper's T1 vs T2
+        // comparison illustrates (0.411 vs 0.400 in the paper's rounded numbers).
+        let worst = energies.iter().cloned().fold(0.0, f64::max);
+        assert!((energies[0] - worst).abs() < 1e-12);
+        assert!(worst - best > 0.05);
+    }
+
+    #[test]
+    fn extreme_probabilities_remain_legal() {
+        for &(qx, qy, qz) in &[(-0.5, -0.5, -0.5), (0.5, 0.5, 0.5), (-0.5, 0.5, -0.5)] {
+            let ps = to_p(fa_sum_q(qx, qy, qz));
+            let pc = to_p(fa_carry_q(qx, qy, qz));
+            assert!((0.0..=1.0).contains(&ps));
+            assert!((0.0..=1.0).contains(&pc));
+        }
+    }
+}

@@ -1,0 +1,390 @@
+//! Static timing analysis over bit-level netlists.
+//!
+//! Arrival times are propagated from primary inputs (whose arrival profile may be
+//! non-uniform, the central premise of the DAC 2000 paper) through every cell using the
+//! per-output pin-to-pin delays of a [`TechLibrary`]. The result is a [`TimingReport`]
+//! with per-net arrival times, the critical delay and the critical path.
+//!
+//! # Example
+//!
+//! ```
+//! # use std::error::Error;
+//! use dpsyn_netlist::{CellKind, Netlist};
+//! use dpsyn_tech::TechLibrary;
+//! use dpsyn_timing::TimingAnalysis;
+//! use std::collections::BTreeMap;
+//!
+//! # fn main() -> Result<(), Box<dyn Error>> {
+//! let mut netlist = Netlist::new("fa");
+//! let a = netlist.add_input("a");
+//! let b = netlist.add_input("b");
+//! let c = netlist.add_input("c");
+//! let outs = netlist.add_gate(CellKind::Fa, &[a, b, c])?;
+//! netlist.mark_output(outs[0]);
+//! netlist.mark_output(outs[1]);
+//!
+//! let mut arrivals = BTreeMap::new();
+//! arrivals.insert(a, 3.0);
+//! let report = TimingAnalysis::new(&TechLibrary::unit())
+//!     .with_input_arrivals(arrivals)
+//!     .run(&netlist)?;
+//! // sum arrives at max(3,0,0) + Ds = 5, carry at +Dc = 4
+//! assert_eq!(report.arrival(outs[0]), 5.0);
+//! assert_eq!(report.arrival(outs[1]), 4.0);
+//! assert_eq!(report.critical_delay(), 5.0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use dpsyn_netlist::{NetId, Netlist, NetlistError};
+use dpsyn_tech::{TechError, TechLibrary};
+use std::collections::BTreeMap;
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by static timing analysis.
+#[derive(Debug)]
+pub enum TimingError {
+    /// The netlist is structurally invalid (cycle, floating net, ...).
+    Netlist(NetlistError),
+    /// The technology library does not cover a cell kind used by the netlist.
+    Tech(TechError),
+    /// An input arrival time is negative or not finite.
+    InvalidArrival {
+        /// The offending net.
+        net: NetId,
+        /// The offending value.
+        arrival: f64,
+    },
+}
+
+impl fmt::Display for TimingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TimingError::Netlist(error) => write!(f, "invalid netlist: {error}"),
+            TimingError::Tech(error) => write!(f, "incomplete technology library: {error}"),
+            TimingError::InvalidArrival { net, arrival } => {
+                write!(f, "arrival time {arrival} of net {net} is negative or not finite")
+            }
+        }
+    }
+}
+
+impl Error for TimingError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            TimingError::Netlist(error) => Some(error),
+            TimingError::Tech(error) => Some(error),
+            TimingError::InvalidArrival { .. } => None,
+        }
+    }
+}
+
+impl From<NetlistError> for TimingError {
+    fn from(error: NetlistError) -> Self {
+        TimingError::Netlist(error)
+    }
+}
+
+impl From<TechError> for TimingError {
+    fn from(error: TechError) -> Self {
+        TimingError::Tech(error)
+    }
+}
+
+/// Configurable static timing analysis.
+///
+/// Construct with a technology library, optionally provide per-net input arrival times,
+/// then [`run`](TimingAnalysis::run) it over a netlist.
+#[derive(Debug, Clone)]
+pub struct TimingAnalysis<'lib> {
+    tech: &'lib TechLibrary,
+    input_arrivals: BTreeMap<NetId, f64>,
+}
+
+impl<'lib> TimingAnalysis<'lib> {
+    /// Creates an analysis with all primary inputs arriving at time zero.
+    pub fn new(tech: &'lib TechLibrary) -> Self {
+        TimingAnalysis {
+            tech,
+            input_arrivals: BTreeMap::new(),
+        }
+    }
+
+    /// Sets the arrival times of primary input nets; inputs not mentioned arrive at 0.
+    pub fn with_input_arrivals(mut self, arrivals: BTreeMap<NetId, f64>) -> Self {
+        self.input_arrivals = arrivals;
+        self
+    }
+
+    /// Sets the arrival time of a single primary input net.
+    pub fn input_arrival(mut self, net: NetId, arrival: f64) -> Self {
+        self.input_arrivals.insert(net, arrival);
+        self
+    }
+
+    /// Runs the analysis over `netlist`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the netlist is invalid, the library does not cover a used
+    /// cell kind, or an input arrival is negative / non-finite.
+    pub fn run(&self, netlist: &Netlist) -> Result<TimingReport, TimingError> {
+        self.tech.check_coverage(netlist)?;
+        for (net, arrival) in &self.input_arrivals {
+            if !arrival.is_finite() || *arrival < 0.0 {
+                return Err(TimingError::InvalidArrival {
+                    net: *net,
+                    arrival: *arrival,
+                });
+            }
+        }
+        let order = netlist.topological_order()?;
+        let mut arrival = vec![0.0f64; netlist.net_count()];
+        // The input net on the worst path into each net's driver, used to rebuild the
+        // critical path after propagation.
+        let mut worst_predecessor: Vec<Option<NetId>> = vec![None; netlist.net_count()];
+        for net in netlist.inputs() {
+            arrival[net.index()] = self.input_arrivals.get(net).copied().unwrap_or(0.0);
+        }
+        for cell_id in order {
+            let cell = netlist.cell(cell_id);
+            let (worst_input, input_arrival) = cell
+                .inputs()
+                .iter()
+                .map(|net| (Some(*net), arrival[net.index()]))
+                .max_by(|a, b| a.1.total_cmp(&b.1))
+                .unwrap_or((None, 0.0));
+            for (pin, net) in cell.outputs().iter().enumerate() {
+                arrival[net.index()] =
+                    input_arrival + self.tech.output_delay(cell.kind(), pin);
+                worst_predecessor[net.index()] = worst_input;
+            }
+        }
+        let critical_output = netlist
+            .outputs()
+            .iter()
+            .copied()
+            .max_by(|a, b| arrival[a.index()].total_cmp(&arrival[b.index()]));
+        let critical_path = critical_output
+            .map(|output| {
+                let mut path = vec![output];
+                let mut current = output;
+                while let Some(previous) = worst_predecessor[current.index()] {
+                    path.push(previous);
+                    current = previous;
+                }
+                path.reverse();
+                path
+            })
+            .unwrap_or_default();
+        Ok(TimingReport {
+            arrival,
+            critical_output,
+            critical_path,
+        })
+    }
+}
+
+/// The result of a static timing analysis: per-net arrival times and the critical path.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimingReport {
+    arrival: Vec<f64>,
+    critical_output: Option<NetId>,
+    critical_path: Vec<NetId>,
+}
+
+impl TimingReport {
+    /// Arrival time of a net.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `net` does not belong to the analysed netlist.
+    pub fn arrival(&self, net: NetId) -> f64 {
+        self.arrival[net.index()]
+    }
+
+    /// Latest arrival time over a set of nets (0.0 for an empty set).
+    pub fn max_arrival<I: IntoIterator<Item = NetId>>(&self, nets: I) -> f64 {
+        nets.into_iter()
+            .map(|net| self.arrival(net))
+            .fold(0.0, f64::max)
+    }
+
+    /// The critical delay: latest arrival time over all primary outputs.
+    pub fn critical_delay(&self) -> f64 {
+        self.critical_output
+            .map(|net| self.arrival(net))
+            .unwrap_or(0.0)
+    }
+
+    /// The primary output with the latest arrival, if the netlist has outputs.
+    pub fn critical_output(&self) -> Option<NetId> {
+        self.critical_output
+    }
+
+    /// The nets on the critical path, from a primary input (or constant) to the
+    /// critical output.
+    pub fn critical_path(&self) -> &[NetId] {
+        &self.critical_path
+    }
+
+    /// Slack against a required time: `required − critical_delay`.
+    ///
+    /// # Example
+    /// ```
+    /// # use dpsyn_netlist::{CellKind, Netlist};
+    /// # use dpsyn_tech::TechLibrary;
+    /// # use dpsyn_timing::TimingAnalysis;
+    /// # let mut netlist = Netlist::new("t");
+    /// # let a = netlist.add_input("a");
+    /// # let b = netlist.add_input("b");
+    /// # let y = netlist.add_gate(CellKind::Xor2, &[a, b]).unwrap()[0];
+    /// # netlist.mark_output(y);
+    /// let report = TimingAnalysis::new(&TechLibrary::unit()).run(&netlist).unwrap();
+    /// assert_eq!(report.slack(2.5), 1.5);
+    /// ```
+    pub fn slack(&self, required: f64) -> f64 {
+        required - self.critical_delay()
+    }
+
+    /// All per-net arrival times, indexed by [`NetId::index`].
+    pub fn arrivals(&self) -> &[f64] {
+        &self.arrival
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpsyn_netlist::CellKind;
+
+    fn chain_netlist() -> (Netlist, Vec<NetId>) {
+        // a -> NOT -> XOR(b) -> FA(c, const1) chain to exercise multi-level paths.
+        let mut netlist = Netlist::new("chain");
+        let a = netlist.add_input("a");
+        let b = netlist.add_input("b");
+        let c = netlist.add_input("c");
+        let inverted = netlist.add_gate(CellKind::Not, &[a]).unwrap()[0];
+        let xored = netlist.add_gate(CellKind::Xor2, &[inverted, b]).unwrap()[0];
+        let one = netlist.constant(true);
+        let fa = netlist.add_gate(CellKind::Fa, &[xored, c, one]).unwrap();
+        netlist.mark_output(fa[0]);
+        netlist.mark_output(fa[1]);
+        (netlist, vec![a, b, c, fa[0], fa[1]])
+    }
+
+    #[test]
+    fn zero_arrival_defaults() {
+        let (netlist, nets) = chain_netlist();
+        let lib = TechLibrary::unit();
+        let report = TimingAnalysis::new(&lib).run(&netlist).unwrap();
+        // not: 0, xor2: +1, fa sum: +2 => 3; carry => 2.
+        assert_eq!(report.arrival(nets[3]), 3.0);
+        assert_eq!(report.arrival(nets[4]), 2.0);
+        assert_eq!(report.critical_delay(), 3.0);
+        assert_eq!(report.critical_output(), Some(nets[3]));
+    }
+
+    #[test]
+    fn uneven_arrivals_shift_the_critical_path() {
+        let (netlist, nets) = chain_netlist();
+        let lib = TechLibrary::unit();
+        let report = TimingAnalysis::new(&lib)
+            .input_arrival(nets[2], 10.0)
+            .run(&netlist)
+            .unwrap();
+        // c arrives at 10, so the FA sum arrives at 12.
+        assert_eq!(report.arrival(nets[3]), 12.0);
+        assert_eq!(report.critical_delay(), 12.0);
+        // The critical path now starts at c.
+        assert_eq!(report.critical_path().first(), Some(&nets[2]));
+        assert_eq!(report.critical_path().last(), Some(&nets[3]));
+    }
+
+    #[test]
+    fn critical_path_is_connected() {
+        let (netlist, _) = chain_netlist();
+        let lib = TechLibrary::lcbg10pv_like();
+        let report = TimingAnalysis::new(&lib).run(&netlist).unwrap();
+        let path = report.critical_path();
+        assert!(path.len() >= 2);
+        // Arrival times along the path are non-decreasing.
+        for window in path.windows(2) {
+            assert!(report.arrival(window[0]) <= report.arrival(window[1]) + 1e-12);
+        }
+    }
+
+    #[test]
+    fn max_arrival_over_set() {
+        let (netlist, nets) = chain_netlist();
+        let lib = TechLibrary::unit();
+        let report = TimingAnalysis::new(&lib).run(&netlist).unwrap();
+        assert_eq!(report.max_arrival([nets[3], nets[4]]), 3.0);
+        assert_eq!(report.max_arrival(Vec::new()), 0.0);
+    }
+
+    #[test]
+    fn invalid_arrival_is_rejected() {
+        let (netlist, nets) = chain_netlist();
+        let lib = TechLibrary::unit();
+        let result = TimingAnalysis::new(&lib)
+            .input_arrival(nets[0], -1.0)
+            .run(&netlist);
+        assert!(matches!(result, Err(TimingError::InvalidArrival { .. })));
+        let result = TimingAnalysis::new(&lib)
+            .input_arrival(nets[0], f64::NAN)
+            .run(&netlist);
+        assert!(matches!(result, Err(TimingError::InvalidArrival { .. })));
+    }
+
+    #[test]
+    fn missing_library_entry_is_reported() {
+        let (netlist, _) = chain_netlist();
+        let lib = TechLibrary::builder("incomplete").build().unwrap();
+        let result = TimingAnalysis::new(&lib).run(&netlist);
+        assert!(matches!(result, Err(TimingError::Tech(_))));
+    }
+
+    #[test]
+    fn invalid_netlist_is_reported() {
+        let mut netlist = Netlist::new("floating");
+        let a = netlist.add_input("a");
+        let floating = netlist.add_net("floating");
+        let y = netlist.add_gate(CellKind::And2, &[a, floating]).unwrap()[0];
+        netlist.mark_output(y);
+        // STA itself only needs a topological order; the floating net simply arrives at
+        // time zero, mirroring how downstream tools treat unconstrained inputs.
+        let lib = TechLibrary::unit();
+        let report = TimingAnalysis::new(&lib).run(&netlist).unwrap();
+        assert_eq!(report.critical_delay(), 0.0);
+    }
+
+    #[test]
+    fn empty_netlist_has_zero_delay() {
+        let netlist = Netlist::new("empty");
+        let lib = TechLibrary::unit();
+        let report = TimingAnalysis::new(&lib).run(&netlist).unwrap();
+        assert_eq!(report.critical_delay(), 0.0);
+        assert!(report.critical_output().is_none());
+        assert!(report.critical_path().is_empty());
+    }
+
+    #[test]
+    fn error_display_and_source() {
+        let (netlist, nets) = chain_netlist();
+        let lib = TechLibrary::unit();
+        let error = TimingAnalysis::new(&lib)
+            .input_arrival(nets[0], -2.0)
+            .run(&netlist)
+            .unwrap_err();
+        assert!(error.to_string().contains("-2"));
+        assert!(Error::source(&error).is_none());
+        let lib = TechLibrary::builder("incomplete").build().unwrap();
+        let error = TimingAnalysis::new(&lib).run(&netlist).unwrap_err();
+        assert!(Error::source(&error).is_some());
+    }
+}

@@ -1,0 +1,125 @@
+//! Cross-crate integration checks: the analytic power model agrees with simulation,
+//! the engine's internal arrival estimates agree with static timing analysis, and the
+//! Verilog emitter produces one assignment per cell output.
+
+use dpsyn_core::{Objective, Synthesizer};
+use dpsyn_netlist::NetlistStats;
+use dpsyn_power::ProbabilityAnalysis;
+use dpsyn_sim::measure_toggles;
+use dpsyn_tech::TechLibrary;
+use dpsyn_timing::TimingAnalysis;
+use std::collections::BTreeMap;
+
+#[test]
+fn analytic_switching_activity_matches_simulation() {
+    // Synthesize the mixed polynomial and compare the analytic per-net switching
+    // activity (p(1-p) per vector pair is a toggle rate of 2*p*(1-p)) against toggle
+    // counting over random vectors.
+    let design = dpsyn_designs::mixed_poly().with_random_probabilities(7);
+    let lib = TechLibrary::lcbg10pv_like();
+    let synthesized = Synthesizer::new(design.expr(), design.spec())
+        .objective(Objective::Power)
+        .technology(&lib)
+        .output_width(design.output_width())
+        .run()
+        .expect("synthesis");
+    let mut probabilities = BTreeMap::new();
+    for word in synthesized.word_map().inputs() {
+        for (bit, net) in word.bits().iter().enumerate() {
+            probabilities.insert(
+                *net,
+                design
+                    .spec()
+                    .bit_profile(word.name(), bit as u32)
+                    .map(|p| p.probability)
+                    .unwrap_or(0.5),
+            );
+        }
+    }
+    let analytic = ProbabilityAnalysis::new(&lib)
+        .with_input_probabilities(probabilities)
+        .run(synthesized.netlist())
+        .expect("power analysis");
+    let vectors = 3000;
+    let toggles = measure_toggles(
+        synthesized.netlist(),
+        synthesized.word_map(),
+        design.spec(),
+        vectors,
+        11,
+    )
+    .expect("simulation");
+    // Compare the *aggregate* activity over all output nets of cells; per-net noise is
+    // higher, but the sums must agree within a few percent. (Partial products sharing
+    // literals are correlated, which the analytic model ignores by design — the paper
+    // makes the same independence assumption — so the tolerance is loose.)
+    let mut analytic_total = 0.0;
+    let mut simulated_total = 0.0;
+    for (_, cell) in synthesized.netlist().cells() {
+        for net in cell.outputs() {
+            analytic_total += 2.0 * analytic.switching_activity(*net);
+            simulated_total += toggles.toggle_rate(*net);
+        }
+    }
+    let relative_gap = (analytic_total - simulated_total).abs() / simulated_total.max(1e-9);
+    assert!(
+        relative_gap < 0.15,
+        "analytic {analytic_total} vs simulated {simulated_total} ({relative_gap})"
+    );
+}
+
+#[test]
+fn engine_arrival_estimate_matches_static_timing_analysis() {
+    // The allocation engine estimates the latest final-adder input arrival while it
+    // builds the tree; a full STA of the finished netlist must agree for designs whose
+    // partial-product AND trees are degenerate (plain additions), and must never be
+    // later than the estimate otherwise.
+    let design = dpsyn_designs::serial_adapter();
+    let lib = TechLibrary::lcbg10pv_like();
+    let synthesized = Synthesizer::new(design.expr(), design.spec())
+        .objective(Objective::Timing)
+        .technology(&lib)
+        .output_width(design.output_width())
+        .run()
+        .expect("synthesis");
+    let mut arrivals = BTreeMap::new();
+    for word in synthesized.word_map().inputs() {
+        for (bit, net) in word.bits().iter().enumerate() {
+            arrivals.insert(
+                *net,
+                design
+                    .spec()
+                    .bit_profile(word.name(), bit as u32)
+                    .map(|p| p.arrival)
+                    .unwrap_or(0.0),
+            );
+        }
+    }
+    let timing = TimingAnalysis::new(&lib)
+        .with_input_arrivals(arrivals)
+        .run(synthesized.netlist())
+        .expect("sta");
+    // The critical output is behind the final adder, so the full critical delay must be
+    // at least the tree's estimated completion time.
+    assert!(timing.critical_delay() >= synthesized.report().final_input_arrival - 1e-9);
+    assert!((timing.critical_delay() - synthesized.report().delay).abs() < 1e-9);
+}
+
+#[test]
+fn verilog_emission_covers_every_cell() {
+    let design = dpsyn_designs::x2_x_y();
+    let lib = TechLibrary::lcbg10pv_like();
+    let synthesized = Synthesizer::new(design.expr(), design.spec())
+        .technology(&lib)
+        .output_width(design.output_width())
+        .name("x2_x_y_datapath")
+        .run()
+        .expect("synthesis");
+    let verilog = synthesized.to_verilog();
+    let stats = NetlistStats::of(synthesized.netlist());
+    // One assign per single-output cell, two per adder cell.
+    let expected_assigns = stats.cell_count() + stats.adder_count();
+    assert_eq!(verilog.matches("assign").count(), expected_assigns);
+    assert!(verilog.contains("module x2_x_y_datapath"));
+    assert!(verilog.trim_end().ends_with("endmodule"));
+}

@@ -1,0 +1,58 @@
+//! Cross-flow functional equivalence: every synthesis flow produces a netlist that
+//! computes the same value as the golden expression model on every benchmark design it
+//! is exercised with here.
+
+use dpsyn_baselines::{conventional, csa_opt, fa_alp, fa_aot, fa_random, wallace_fixed};
+use dpsyn_designs::Design;
+use dpsyn_sim::check_equivalence;
+use dpsyn_tech::TechLibrary;
+
+fn check_all_flows(design: &Design, vectors: usize) {
+    let lib = TechLibrary::lcbg10pv_like();
+    let width = design.output_width();
+    let flows = [
+        fa_aot(design.expr(), design.spec(), width, &lib).expect("fa_aot"),
+        fa_alp(design.expr(), design.spec(), width, &lib).expect("fa_alp"),
+        wallace_fixed(design.expr(), design.spec(), width, &lib).expect("wallace_fixed"),
+        fa_random(design.expr(), design.spec(), width, &lib, 13).expect("fa_random"),
+        csa_opt(design.expr(), design.spec(), width, &lib).expect("csa_opt"),
+        conventional(design.expr(), design.spec(), width, &lib).expect("conventional"),
+    ];
+    for flow in &flows {
+        check_equivalence(
+            &flow.netlist,
+            &flow.word_map,
+            design.expr(),
+            design.spec(),
+            width,
+            vectors,
+            97,
+        )
+        .unwrap_or_else(|error| panic!("{} on {}: {error}", flow.flow, design.name()));
+    }
+}
+
+#[test]
+fn polynomial_designs_are_equivalent_across_flows() {
+    check_all_flows(&dpsyn_designs::x_squared(), 200);
+    check_all_flows(&dpsyn_designs::x_cubed(), 200);
+    check_all_flows(&dpsyn_designs::mixed_poly(), 60);
+}
+
+#[test]
+fn quadratic_designs_are_equivalent_across_flows() {
+    check_all_flows(&dpsyn_designs::x2_x_y(), 60);
+    check_all_flows(&dpsyn_designs::binomial_square(), 60);
+}
+
+#[test]
+fn filter_designs_are_equivalent_across_flows() {
+    check_all_flows(&dpsyn_designs::iir(), 40);
+    check_all_flows(&dpsyn_designs::serial_adapter(), 40);
+}
+
+#[test]
+fn wide_designs_are_equivalent_across_flows() {
+    check_all_flows(&dpsyn_designs::complex_mult(), 25);
+    check_all_flows(&dpsyn_designs::kalman(), 20);
+}

@@ -1,0 +1,52 @@
+//! Figure 1 of the paper: the addend matrix and FA allocation for F = X + Y + Z + W
+//! with X, Y, W two bits wide and Z one bit wide.
+
+use dpsyn_core::{Objective, Synthesizer};
+use dpsyn_ir::{parse_expr, InputSpec, LoweringOptions};
+use dpsyn_sim::check_equivalence;
+use dpsyn_tech::TechLibrary;
+
+fn figure1_inputs() -> (dpsyn_ir::Expr, InputSpec) {
+    let expr = parse_expr("x + y + z + w").expect("figure 1 expression");
+    let spec = InputSpec::builder()
+        .var("x", 2)
+        .var("y", 2)
+        .var("z", 1)
+        .var("w", 2)
+        .build()
+        .expect("figure 1 spec");
+    (expr, spec)
+}
+
+#[test]
+fn addend_matrix_matches_figure_1a() {
+    let (expr, spec) = figure1_inputs();
+    let matrix = expr
+        .lower(&spec, &LoweringOptions::with_width(4))
+        .expect("lowering");
+    // Column 0 holds x0, y0, z0, w0; column 1 holds x1, y1, w1.
+    assert_eq!(matrix.column(0).len(), 4);
+    assert_eq!(matrix.column(1).len(), 3);
+    assert_eq!(matrix.column(2).len(), 0);
+    assert_eq!(matrix.total_addends(), 7);
+}
+
+#[test]
+fn fa_allocation_matches_figure_1c() {
+    let (expr, spec) = figure1_inputs();
+    let lib = TechLibrary::unit();
+    let design = Synthesizer::new(&expr, &spec)
+        .objective(Objective::Timing)
+        .technology(&lib)
+        .output_width(4)
+        .run()
+        .expect("synthesis");
+    // Figure 1(c): two FAs in the compression tree (one per column), then the final
+    // adder. Column 1 receives the carry of column 0, giving it four addends, so the
+    // tree needs exactly two FAs and no HA.
+    assert_eq!(design.report().tree_fa_count, 2);
+    assert_eq!(design.report().tree_ha_count, 0);
+    // The netlist computes X + Y + Z + W for every input combination.
+    check_equivalence(design.netlist(), design.word_map(), &expr, &spec, 4, 200, 1)
+        .expect("figure 1 design is functionally correct");
+}

@@ -1,0 +1,73 @@
+//! Shape check for Table 1: FA_AOT is never slower than the conventional flow or
+//! CSA_OPT, and the average improvements are substantial (the paper reports 37.8 % and
+//! 23.5 %; the absolute numbers depend on the library, the ordering must not).
+
+use dpsyn_bench::{format_table1, table1};
+use dpsyn_tech::TechLibrary;
+
+#[test]
+fn fa_aot_wins_on_every_design_and_by_a_wide_margin_on_average() {
+    let lib = TechLibrary::lcbg10pv_like();
+    // The polynomial designs plus the two medium-sized filter cores keep the test fast;
+    // the full ten-design table is produced by `cargo run -p dpsyn-bench --bin table1`.
+    let designs = vec![
+        dpsyn_designs::x_squared(),
+        dpsyn_designs::x_cubed(),
+        dpsyn_designs::x2_x_y(),
+        dpsyn_designs::binomial_square(),
+        dpsyn_designs::mixed_poly(),
+        dpsyn_designs::iir(),
+        dpsyn_designs::serial_adapter(),
+    ];
+    let rows = table1(&designs, &lib);
+    assert_eq!(rows.len(), designs.len());
+    let mut conventional_improvement = 0.0;
+    let mut csa_improvement = 0.0;
+    for row in &rows {
+        assert!(
+            row.fa_aot.delay <= row.conventional.delay + 1e-9,
+            "{}: FA_AOT {} vs conventional {}",
+            row.design,
+            row.fa_aot.delay,
+            row.conventional.delay
+        );
+        assert!(
+            row.fa_aot.delay <= row.csa_opt.delay + 1e-9,
+            "{}: FA_AOT {} vs CSA_OPT {}",
+            row.design,
+            row.fa_aot.delay,
+            row.csa_opt.delay
+        );
+        // Area: the fine-grained tree never needs more cells than the word-level rows.
+        assert!(
+            row.fa_aot.area <= row.csa_opt.area + 1e-9,
+            "{}: FA_AOT area {} vs CSA_OPT area {}",
+            row.design,
+            row.fa_aot.area,
+            row.csa_opt.area
+        );
+        conventional_improvement += row.delay_improvement_vs_conventional();
+        csa_improvement += row.delay_improvement_vs_csa_opt();
+    }
+    let conventional_improvement = conventional_improvement / rows.len() as f64;
+    let csa_improvement = csa_improvement / rows.len() as f64;
+    // The paper reports 37.8 % / 23.5 %. Our substrate is not Design Compiler, so only
+    // require that the improvements are clearly positive and ordered the same way.
+    assert!(
+        conventional_improvement > 0.10,
+        "average improvement vs conventional is only {conventional_improvement}"
+    );
+    assert!(
+        csa_improvement > 0.0,
+        "average improvement vs CSA_OPT is only {csa_improvement}"
+    );
+    assert!(
+        conventional_improvement > csa_improvement,
+        "the gap to the conventional flow should exceed the gap to CSA_OPT"
+    );
+    // The formatted table mentions every design.
+    let text = format_table1(&rows);
+    for row in &rows {
+        assert!(text.contains(&row.design));
+    }
+}
