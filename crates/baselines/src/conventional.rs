@@ -135,8 +135,7 @@ impl OperationBinder<'_> {
             }
             Expr::Shl(inner, amount) => {
                 let word = self.generate(inner)?;
-                let mut shifted: Vec<NetId> =
-                    vec![self.netlist.constant(false); *amount as usize];
+                let mut shifted: Vec<NetId> = vec![self.netlist.constant(false); *amount as usize];
                 shifted.extend(word);
                 shifted.truncate(self.width);
                 Ok(shifted)
@@ -173,8 +172,16 @@ mod tests {
         let expr = parse_expr(source).unwrap();
         let lib = TechLibrary::lcbg10pv_like();
         let result = conventional(&expr, spec, width, &lib).unwrap();
-        check_equivalence(&result.netlist, &result.word_map, &expr, spec, width, 200, 23)
-            .unwrap_or_else(|error| panic!("{source}: {error}"));
+        check_equivalence(
+            &result.netlist,
+            &result.word_map,
+            &expr,
+            spec,
+            width,
+            200,
+            23,
+        )
+        .unwrap_or_else(|error| panic!("{source}: {error}"));
         result
     }
 

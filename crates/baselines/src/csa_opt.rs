@@ -80,11 +80,8 @@ pub fn csa_opt(
             }
         }
         let first = factors[0];
-        let mut rows: Vec<(usize, Vec<NetId>, f64)> = vec![(
-            0,
-            input_bits[first].clone(),
-            input_arrivals[first],
-        )];
+        let mut rows: Vec<(usize, Vec<NetId>, f64)> =
+            vec![(0, input_bits[first].clone(), input_arrivals[first])];
         for factor in &factors[1..] {
             let factor_bits = &input_bits[*factor];
             let factor_arrival = input_arrivals[*factor];
@@ -128,11 +125,7 @@ pub fn csa_opt(
                 let (row_bits, arrival) = if coefficient < 0 {
                     let inverted: Vec<NetId> = bits[..visible]
                         .iter()
-                        .map(|bit| {
-                            netlist
-                                .add_gate(CellKind::Not, &[*bit])
-                                .map(|outs| outs[0])
-                        })
+                        .map(|bit| netlist.add_gate(CellKind::Not, &[*bit]).map(|outs| outs[0]))
                         .collect::<Result<_, _>>()?;
                     // −b·2^k = (~b)·2^k − 2^k for every visible bit position.
                     for position in 0..visible {
@@ -233,8 +226,16 @@ mod tests {
         let expr = parse_expr(source).unwrap();
         let lib = TechLibrary::lcbg10pv_like();
         let result = csa_opt(&expr, spec, width, &lib).unwrap();
-        check_equivalence(&result.netlist, &result.word_map, &expr, spec, width, 200, 31)
-            .unwrap_or_else(|error| panic!("{source}: {error}"));
+        check_equivalence(
+            &result.netlist,
+            &result.word_map,
+            &expr,
+            spec,
+            width,
+            200,
+            31,
+        )
+        .unwrap_or_else(|error| panic!("{source}: {error}"));
         result
     }
 
@@ -253,7 +254,11 @@ mod tests {
 
     #[test]
     fn subtractions_wrap_correctly() {
-        let spec = InputSpec::builder().var("a", 4).var("b", 4).build().unwrap();
+        let spec = InputSpec::builder()
+            .var("a", 4)
+            .var("b", 4)
+            .build()
+            .unwrap();
         check("a - b", &spec, 5);
         check("7 - a - b", &spec, 6);
         check("a - 2*b + 40", &spec, 7);

@@ -35,7 +35,10 @@ impl fmt::Display for BaselineError {
             BaselineError::Power(error) => write!(f, "power analysis failed: {error}"),
             BaselineError::Core(error) => write!(f, "fa-tree synthesis failed: {error}"),
             BaselineError::EmptyExpression => {
-                write!(f, "the expression reduces to the constant zero; nothing to synthesize")
+                write!(
+                    f,
+                    "the expression reduces to the constant zero; nothing to synthesize"
+                )
             }
         }
     }
@@ -148,7 +151,10 @@ impl FlowResult {
     }
 
     /// Wraps an already-analysed design from the core synthesizer.
-    pub fn from_synthesized(flow: impl Into<String>, design: dpsyn_core::SynthesizedDesign) -> Self {
+    pub fn from_synthesized(
+        flow: impl Into<String>,
+        design: dpsyn_core::SynthesizedDesign,
+    ) -> Self {
         let report = design.report().clone();
         let (netlist, word_map, _) = design.into_parts();
         FlowResult {
@@ -207,7 +213,11 @@ mod tests {
             vec![Word::new("a", vec![a]), Word::new("b", vec![b])],
             Word::new("out", vec![outs[0], outs[1]]),
         );
-        let spec = InputSpec::builder().var("a", 1).var("b", 1).build().unwrap();
+        let spec = InputSpec::builder()
+            .var("a", 1)
+            .var("b", 1)
+            .build()
+            .unwrap();
         let lib = TechLibrary::unit();
         let result = FlowResult::analyze("test", netlist, map, &spec, &lib).unwrap();
         assert_eq!(result.flow, "test");

@@ -152,7 +152,9 @@ mod tests {
         let mut random_total = 0.0;
         let runs = 5;
         for seed in 0..runs {
-            random_total += fa_random(&expr, &spec, 9, &lib, seed).unwrap().switching_energy;
+            random_total += fa_random(&expr, &spec, 9, &lib, seed)
+                .unwrap()
+                .switching_energy;
         }
         assert!(low_power.switching_energy <= random_total / runs as f64 + 1e-9);
     }

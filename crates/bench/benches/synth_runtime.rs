@@ -39,8 +39,7 @@ fn bench_flows(criterion: &mut Criterion) {
             design,
             |bencher, design| {
                 bencher.iter(|| {
-                    conventional(design.expr(), design.spec(), design.output_width(), &lib)
-                        .unwrap()
+                    conventional(design.expr(), design.spec(), design.output_width(), &lib).unwrap()
                 })
             },
         );

@@ -4,7 +4,10 @@
 fn main() {
     let lib = dpsyn_tech::TechLibrary::lcbg10pv_like();
     println!("# arrival-skew sweep (8 x 12-bit operands, delay in ns)");
-    println!("{:>6} {:>10} {:>10} {:>10}", "skew", "fa_aot", "wallace", "csa_opt");
+    println!(
+        "{:>6} {:>10} {:>10} {:>10}",
+        "skew", "fa_aot", "wallace", "csa_opt"
+    );
     for point in dpsyn_bench::arrival_skew_sweep(&[0.0, 0.5, 1.0, 2.0, 4.0, 8.0], &lib, 7) {
         println!(
             "{:>6.1} {:>10.3} {:>10.3} {:>10.3}",
@@ -13,7 +16,10 @@ fn main() {
     }
     println!();
     println!("# probability-skew sweep (8 x 12-bit operands, switching energy)");
-    println!("{:>6} {:>10} {:>10} {:>10}", "skew", "fa_alp", "wallace", "fa_random");
+    println!(
+        "{:>6} {:>10} {:>10} {:>10}",
+        "skew", "fa_alp", "wallace", "fa_random"
+    );
     for point in dpsyn_bench::probability_skew_sweep(&[0.0, 0.1, 0.2, 0.3, 0.4, 0.45], &lib, 7) {
         println!(
             "{:>6.2} {:>10.3} {:>10.3} {:>10.3}",

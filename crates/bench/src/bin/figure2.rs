@@ -4,8 +4,17 @@
 fn main() {
     let result = dpsyn_bench::figure2();
     println!("Figure 2 — effect of signal selection on timing (Ds = 2, Dc = 1)");
-    println!("  (a) fixed Wallace selection        : final-adder inputs ready at t = {}", result.wallace);
-    println!("  (b) column isolation (inputs only) : final-adder inputs ready at t = {}", result.column_isolation);
-    println!("  (c) column interaction (FA_AOT)    : final-adder inputs ready at t = {}", result.column_interaction);
+    println!(
+        "  (a) fixed Wallace selection        : final-adder inputs ready at t = {}",
+        result.wallace
+    );
+    println!(
+        "  (b) column isolation (inputs only) : final-adder inputs ready at t = {}",
+        result.column_isolation
+    );
+    println!(
+        "  (c) column interaction (FA_AOT)    : final-adder inputs ready at t = {}",
+        result.column_interaction
+    );
     println!("paper reports 9 / 9 / 8");
 }

@@ -6,7 +6,11 @@ fn main() {
     println!("Figure 4 — effect of signal selection on power (Ws = Wc = 1)");
     let probabilities = [0.1, 0.2, 0.3, 0.4];
     for (index, energy) in result.energy_leaving_out.iter().enumerate() {
-        let marker = if index == result.sc_lp_leaves_out { "  <- SC_LP selection" } else { "" };
+        let marker = if index == result.sc_lp_leaves_out {
+            "  <- SC_LP selection"
+        } else {
+            ""
+        };
         println!(
             "  FA over the three addends other than p = {:.1}: E_switching = {:.4}{}",
             probabilities[index], energy, marker

@@ -4,7 +4,10 @@
 fn main() {
     let lib = dpsyn_tech::TechLibrary::lcbg10pv_like();
     let designs = dpsyn_designs::table1_designs();
-    eprintln!("synthesizing {} designs with three flows each ...", designs.len());
+    eprintln!(
+        "synthesizing {} designs with three flows each ...",
+        designs.len()
+    );
     let rows = dpsyn_bench::table1(&designs, &lib);
     print!("{}", dpsyn_bench::format_table1(&rows));
 }

@@ -4,7 +4,10 @@
 fn main() {
     let lib = dpsyn_tech::TechLibrary::lcbg10pv_like();
     let designs = dpsyn_designs::table2_designs();
-    eprintln!("synthesizing {} designs with random and power-driven selection ...", designs.len());
+    eprintln!(
+        "synthesizing {} designs with random and power-driven selection ...",
+        designs.len()
+    );
     let rows = dpsyn_bench::table2(&designs, &lib, 2026, 5);
     print!("{}", dpsyn_bench::format_table2(&rows));
 }

@@ -92,7 +92,8 @@ pub fn table1(designs: &[Design], tech: &TechLibrary) -> Vec<Table1Row> {
                 conventional(design.expr(), design.spec(), width, tech).expect("conventional flow");
             let csa_result =
                 csa_opt(design.expr(), design.spec(), width, tech).expect("csa_opt flow");
-            let aot_result = fa_aot(design.expr(), design.spec(), width, tech).expect("fa_aot flow");
+            let aot_result =
+                fa_aot(design.expr(), design.spec(), width, tech).expect("fa_aot flow");
             Table1Row {
                 design: design.name().to_string(),
                 description: design.description().to_string(),
@@ -203,9 +204,8 @@ pub fn table2(
             let alp = fa_alp(randomised.expr(), randomised.spec(), width, tech).expect("fa_alp");
             let mut random_total = 0.0;
             for seed in 0..random_runs.max(1) {
-                let random =
-                    fa_random(randomised.expr(), randomised.spec(), width, tech, seed + 1)
-                        .expect("fa_random");
+                let random = fa_random(randomised.expr(), randomised.spec(), width, tech, seed + 1)
+                    .expect("fa_random");
                 random_total += random.power_mw;
             }
             Table2Row {
@@ -274,10 +274,19 @@ pub fn figure2() -> Figure2Result {
     let expr = dpsyn_ir::parse_expr("x + y + z + w").expect("figure 2 expression");
     // Bit arrival times of the figure: x1 = x0 = 7, y0 = 5, y1 = 2, z0 = 4, w0 = 2, w1 = 3.
     let spec = InputSpec::builder()
-        .var_with_profiles("x", vec![BitProfile::new(7.0, 0.5), BitProfile::new(7.0, 0.5)])
-        .var_with_profiles("y", vec![BitProfile::new(5.0, 0.5), BitProfile::new(2.0, 0.5)])
+        .var_with_profiles(
+            "x",
+            vec![BitProfile::new(7.0, 0.5), BitProfile::new(7.0, 0.5)],
+        )
+        .var_with_profiles(
+            "y",
+            vec![BitProfile::new(5.0, 0.5), BitProfile::new(2.0, 0.5)],
+        )
         .var_with_profiles("z", vec![BitProfile::new(4.0, 0.5)])
-        .var_with_profiles("w", vec![BitProfile::new(2.0, 0.5), BitProfile::new(3.0, 0.5)])
+        .var_with_profiles(
+            "w",
+            vec![BitProfile::new(2.0, 0.5), BitProfile::new(3.0, 0.5)],
+        )
         .build()
         .expect("figure 2 spec");
     let run = |strategy: Option<SelectionStrategy>| {
@@ -452,8 +461,16 @@ mod tests {
         let rows = table1(&designs, &lib);
         assert_eq!(rows.len(), 2);
         for row in &rows {
-            assert!(row.fa_aot.delay <= row.conventional.delay + 1e-9, "{}", row.design);
-            assert!(row.fa_aot.delay <= row.csa_opt.delay + 1e-9, "{}", row.design);
+            assert!(
+                row.fa_aot.delay <= row.conventional.delay + 1e-9,
+                "{}",
+                row.design
+            );
+            assert!(
+                row.fa_aot.delay <= row.csa_opt.delay + 1e-9,
+                "{}",
+                row.design
+            );
         }
         let text = format_table1(&rows);
         assert!(text.contains("x_squared"));

@@ -159,10 +159,8 @@ pub fn allocate_fa_tree(
                     picked[1].probability - 0.5,
                     picked[2].probability - 0.5,
                 );
-                let outs = netlist.add_gate(
-                    CellKind::Fa,
-                    &[picked[0].net, picked[1].net, picked[2].net],
-                )?;
+                let outs = netlist
+                    .add_gate(CellKind::Fa, &[picked[0].net, picked[1].net, picked[2].net])?;
                 let q_sum = q_transform::fa_sum_q(qx, qy, qz);
                 let q_carry = q_transform::fa_carry_q(qx, qy, qz);
                 tree_switching_energy += fa_ws * q_transform::switching_from_q(q_sum)
@@ -463,9 +461,13 @@ mod tests {
         let lib = TechLibrary::unit();
         let run = |seed: u64| {
             let (mut netlist, leaves) = single_column(&arrivals, &probabilities);
-            let rows =
-                allocate_fa_tree(&mut netlist, vec![leaves], SelectionStrategy::Random(seed), &lib)
-                    .unwrap();
+            let rows = allocate_fa_tree(
+                &mut netlist,
+                vec![leaves],
+                SelectionStrategy::Random(seed),
+                &lib,
+            )
+            .unwrap();
             rows.final_input_arrival
         };
         assert_eq!(run(11), run(11));
@@ -492,7 +494,10 @@ mod tests {
             let fixed = run(SelectionStrategy::RowOrder);
             let random = run(SelectionStrategy::Random(seed));
             assert!(optimal <= fixed + 1e-9, "seed {seed}: {optimal} vs {fixed}");
-            assert!(optimal <= random + 1e-9, "seed {seed}: {optimal} vs {random}");
+            assert!(
+                optimal <= random + 1e-9,
+                "seed {seed}: {optimal} vs {random}"
+            );
         }
     }
 }

@@ -29,7 +29,10 @@ impl fmt::Display for SynthesisError {
             SynthesisError::Power(error) => write!(f, "power analysis failed: {error}"),
             SynthesisError::Tech(error) => write!(f, "technology library problem: {error}"),
             SynthesisError::EmptyExpression => {
-                write!(f, "the expression reduces to the constant zero; nothing to synthesize")
+                write!(
+                    f,
+                    "the expression reduces to the constant zero; nothing to synthesize"
+                )
             }
         }
     }
@@ -87,8 +90,7 @@ mod tests {
         let error = SynthesisError::EmptyExpression;
         assert!(error.to_string().contains("constant zero"));
         assert!(error.source().is_none());
-        let error =
-            SynthesisError::Ir(dpsyn_ir::IrError::UnknownVariable("ghost".to_string()));
+        let error = SynthesisError::Ir(dpsyn_ir::IrError::UnknownVariable("ghost".to_string()));
         assert!(error.to_string().contains("ghost"));
         assert!(error.source().is_some());
     }

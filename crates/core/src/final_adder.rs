@@ -79,8 +79,12 @@ mod tests {
         for kind in FinalAdderKind::all() {
             let width = 4usize;
             let mut netlist = Netlist::new("final");
-            let a: Vec<_> = (0..width).map(|i| netlist.add_input(format!("a{i}"))).collect();
-            let b: Vec<_> = (0..width).map(|i| netlist.add_input(format!("b{i}"))).collect();
+            let a: Vec<_> = (0..width)
+                .map(|i| netlist.add_input(format!("a{i}")))
+                .collect();
+            let b: Vec<_> = (0..width)
+                .map(|i| netlist.add_input(format!("b{i}")))
+                .collect();
             let sum = kind.build(&mut netlist, &a, &b, width).unwrap();
             assert_eq!(sum.len(), width);
             for net in &sum {

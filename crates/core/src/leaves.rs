@@ -141,7 +141,11 @@ mod tests {
 
     #[test]
     fn plain_addition_creates_no_generation_gates() {
-        let spec = InputSpec::builder().var("x", 3).var("y", 3).build().unwrap();
+        let spec = InputSpec::builder()
+            .var("x", 3)
+            .var("y", 3)
+            .build()
+            .unwrap();
         let matrix = lower("x + y", &spec, 4);
         let mut netlist = Netlist::new("leaves");
         let lib = TechLibrary::unit();
@@ -155,7 +159,11 @@ mod tests {
     fn partial_products_share_generation_logic_across_columns() {
         // 3·x·y: the same x_i·y_j product feeds two columns (coefficient bits 0 and 1)
         // but must be generated only once.
-        let spec = InputSpec::builder().var("x", 2).var("y", 2).build().unwrap();
+        let spec = InputSpec::builder()
+            .var("x", 2)
+            .var("y", 2)
+            .build()
+            .unwrap();
         let matrix = lower("3*x*y", &spec, 6);
         let mut netlist = Netlist::new("leaves");
         let lib = TechLibrary::unit();

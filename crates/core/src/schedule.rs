@@ -268,9 +268,7 @@ mod tests {
             let ours_latest = ours.remaining.iter().copied().fold(0.0, f64::max);
             let mut ours_carries = ours.carries.clone();
             ours_carries.sort_by(f64::total_cmp);
-            for (other_remaining, other_carries) in
-                enumerate_all_allocations(&arrivals, 2.0, 1.0)
-            {
+            for (other_remaining, other_carries) in enumerate_all_allocations(&arrivals, 2.0, 1.0) {
                 // The latest remaining addend (what the final adder has to wait for)
                 // is never later than under any alternative allocation.
                 let other_latest = other_remaining.iter().copied().fold(0.0, f64::max);

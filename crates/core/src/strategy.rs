@@ -111,7 +111,10 @@ mod tests {
 
     #[test]
     fn names_are_stable() {
-        assert_eq!(SelectionStrategy::EarliestArrival.to_string(), "earliest-arrival");
+        assert_eq!(
+            SelectionStrategy::EarliestArrival.to_string(),
+            "earliest-arrival"
+        );
         assert_eq!(SelectionStrategy::Random(3).to_string(), "random");
         assert_eq!(Objective::Power.to_string(), "power");
     }
@@ -128,7 +131,8 @@ mod tests {
         }
         // Different seeds eventually diverge.
         let mut third = SmallRng::new(43);
-        let diverged = (0..20).any(|_| third.next_index(1000) != SmallRng::new(42).next_index(1000));
+        let diverged =
+            (0..20).any(|_| third.next_index(1000) != SmallRng::new(42).next_index(1000));
         assert!(diverged);
     }
 }

@@ -388,7 +388,11 @@ mod tests {
     #[test]
     fn inferred_width_matches_matrix_width() {
         let expr = parse_expr("x * y").unwrap();
-        let spec = InputSpec::builder().var("x", 3).var("y", 3).build().unwrap();
+        let spec = InputSpec::builder()
+            .var("x", 3)
+            .var("y", 3)
+            .build()
+            .unwrap();
         let design = Synthesizer::new(&expr, &spec).run().unwrap();
         assert_eq!(design.output_width(), 6);
         assert_eq!(design.word_map().output().width(), 6);
@@ -413,7 +417,11 @@ mod tests {
     #[test]
     fn verilog_output_names_the_module() {
         let expr = parse_expr("x + y").unwrap();
-        let spec = InputSpec::builder().var("x", 2).var("y", 2).build().unwrap();
+        let spec = InputSpec::builder()
+            .var("x", 2)
+            .var("y", 2)
+            .build()
+            .unwrap();
         let design = Synthesizer::new(&expr, &spec)
             .name("my_datapath")
             .run()

@@ -126,7 +126,10 @@ pub fn x_squared() -> Design {
         "x_squared",
         "X^2 (X: 3-bit)",
         "x*x",
-        InputSpec::builder().var("x", 3).build().expect("valid spec"),
+        InputSpec::builder()
+            .var("x", 3)
+            .build()
+            .expect("valid spec"),
         6,
     )
 }
@@ -137,7 +140,10 @@ pub fn x_cubed() -> Design {
         "x_cubed",
         "X^3 (X: 4-bit)",
         "x*x*x",
-        InputSpec::builder().var("x", 4).build().expect("valid spec"),
+        InputSpec::builder()
+            .var("x", 4)
+            .build()
+            .expect("valid spec"),
         12,
     )
 }
@@ -347,7 +353,10 @@ mod tests {
 
     #[test]
     fn table2_is_the_filter_subset_of_table1() {
-        let table1: Vec<String> = table1_designs().iter().map(|d| d.name().to_string()).collect();
+        let table1: Vec<String> = table1_designs()
+            .iter()
+            .map(|d| d.name().to_string())
+            .collect();
         for design in table2_designs() {
             assert!(table1.contains(&design.name().to_string()));
         }
@@ -374,7 +383,10 @@ mod tests {
         // (5 + 3 + 1)^2 = 81
         assert_eq!(binomial_square().expr().evaluate(&env).unwrap(), 81);
         env.insert("z".to_string(), 2u64);
-        assert_eq!(mixed_poly().expr().evaluate(&env).unwrap(), 5 + 3 - 2 + 15 - 6 + 10);
+        assert_eq!(
+            mixed_poly().expr().evaluate(&env).unwrap(),
+            5 + 3 - 2 + 15 - 6 + 10
+        );
     }
 
     #[test]

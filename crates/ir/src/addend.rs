@@ -412,7 +412,10 @@ mod tests {
         let mut matrix = AddendMatrix::new(3);
         matrix.push(0, Addend::literal(BitRef::new("x", 0)));
         matrix.push(0, Addend::literal(BitRef::new("y", 0)));
-        matrix.push(1, Addend::product(vec![BitRef::new("x", 0), BitRef::new("y", 1)]));
+        matrix.push(
+            1,
+            Addend::product(vec![BitRef::new("x", 0), BitRef::new("y", 1)]),
+        );
         assert_eq!(matrix.total_addends(), 3);
         assert_eq!(matrix.max_column_height(), 2);
         assert_eq!(matrix.referenced_bits(), 3);

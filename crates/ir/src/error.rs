@@ -67,7 +67,10 @@ impl fmt::Display for IrError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             IrError::UnknownVariable(name) => {
-                write!(f, "unknown variable `{name}` (not present in the input spec)")
+                write!(
+                    f,
+                    "unknown variable `{name}` (not present in the input spec)"
+                )
             }
             IrError::DuplicateVariable(name) => {
                 write!(f, "variable `{name}` declared more than once")
@@ -98,7 +101,10 @@ impl fmt::Display for IrError {
                 "arrival time {arrival} of `{variable}[{bit}]` is negative or not finite"
             ),
             IrError::InvalidOutputWidth(width) => {
-                write!(f, "output width {width} is outside the supported range 1..=63")
+                write!(
+                    f,
+                    "output width {width} is outside the supported range 1..=63"
+                )
             }
             IrError::UnexpectedCharacter {
                 character,

@@ -376,9 +376,12 @@ mod tests {
 
     #[test]
     fn evaluate_handles_all_operators() {
-        let expr = (Expr::var("a") - Expr::var("b")) * Expr::constant(3) + (-Expr::var("c"))
+        let expr = (Expr::var("a") - Expr::var("b")) * Expr::constant(3)
+            + (-Expr::var("c"))
             + (Expr::var("a") << 2);
-        let value = expr.evaluate(&env(&[("a", 7), ("b", 2), ("c", 4)])).unwrap();
+        let value = expr
+            .evaluate(&env(&[("a", 7), ("b", 2), ("c", 4)]))
+            .unwrap();
         assert_eq!(value, (7 - 2) * 3 - 4 + (7 << 2));
     }
 

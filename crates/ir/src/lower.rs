@@ -253,7 +253,10 @@ mod tests {
             .lower(spec, &LoweringOptions::with_width(width))
             .unwrap();
         let matrix_csd = expr
-            .lower(spec, &LoweringOptions::with_width(width).csd_constants(true))
+            .lower(
+                spec,
+                &LoweringOptions::with_width(width).csd_constants(true),
+            )
             .unwrap();
         // Exhaustively check all assignments when the input space is small enough,
         // otherwise a fixed set of corner values.
@@ -292,7 +295,11 @@ mod tests {
 
     #[test]
     fn multiplication_generates_partial_products() {
-        let spec = InputSpec::builder().var("x", 3).var("y", 3).build().unwrap();
+        let spec = InputSpec::builder()
+            .var("x", 3)
+            .var("y", 3)
+            .build()
+            .unwrap();
         let expr = parse_expr("x * y").unwrap();
         let matrix = expr.lower(&spec, &LoweringOptions::with_width(6)).unwrap();
         assert_eq!(matrix.total_addends(), 9);
@@ -312,14 +319,22 @@ mod tests {
 
     #[test]
     fn subtraction_equivalence_exhaustive() {
-        let spec = InputSpec::builder().var("x", 4).var("y", 4).build().unwrap();
+        let spec = InputSpec::builder()
+            .var("x", 4)
+            .var("y", 4)
+            .build()
+            .unwrap();
         check_equivalence("x - y", &spec, 5);
         check_equivalence("x - y - 3", &spec, 6);
     }
 
     #[test]
     fn multiplication_equivalence_exhaustive() {
-        let spec = InputSpec::builder().var("x", 3).var("y", 3).build().unwrap();
+        let spec = InputSpec::builder()
+            .var("x", 3)
+            .var("y", 3)
+            .build()
+            .unwrap();
         check_equivalence("x * y + x", &spec, 7);
     }
 
@@ -358,10 +373,7 @@ mod tests {
         let expr = parse_expr("15 * x").unwrap();
         let binary = expr.lower(&spec, &LoweringOptions::with_width(10)).unwrap();
         let csd = expr
-            .lower(
-                &spec,
-                &LoweringOptions::with_width(10).csd_constants(true),
-            )
+            .lower(&spec, &LoweringOptions::with_width(10).csd_constants(true))
             .unwrap();
         // 15 = 1111b (4 digits) but 16 - 1 (2 digits) in CSD.
         assert!(csd.total_addends() < binary.total_addends());
@@ -400,7 +412,11 @@ mod tests {
 
     #[test]
     fn inferred_width_holds_positive_maximum() {
-        let spec = InputSpec::builder().var("x", 3).var("y", 3).build().unwrap();
+        let spec = InputSpec::builder()
+            .var("x", 3)
+            .var("y", 3)
+            .build()
+            .unwrap();
         let expr = parse_expr("x * y").unwrap();
         let matrix = expr.lower(&spec, &LoweringOptions::new()).unwrap();
         // Max value 7*7 = 49 needs 6 bits.
@@ -417,7 +433,11 @@ mod tests {
             let mut shifts: Vec<u32> = Vec::new();
             for digit in &digits {
                 let magnitude = 1i64 << digit.shift;
-                reconstructed += if digit.negative { -magnitude } else { magnitude };
+                reconstructed += if digit.negative {
+                    -magnitude
+                } else {
+                    magnitude
+                };
                 shifts.push(digit.shift);
             }
             assert_eq!(reconstructed, value, "csd reconstruction of {value}");

@@ -284,7 +284,8 @@ mod tests {
     fn precedence_multiplication_over_addition() {
         let expr = parse_expr("a + b * c").unwrap();
         assert_eq!(
-            expr.evaluate(&env(&[("a", 1), ("b", 2), ("c", 3)])).unwrap(),
+            expr.evaluate(&env(&[("a", 1), ("b", 2), ("c", 3)]))
+                .unwrap(),
             7
         );
     }
@@ -293,7 +294,8 @@ mod tests {
     fn parentheses_override_precedence() {
         let expr = parse_expr("(a + b) * c").unwrap();
         assert_eq!(
-            expr.evaluate(&env(&[("a", 1), ("b", 2), ("c", 3)])).unwrap(),
+            expr.evaluate(&env(&[("a", 1), ("b", 2), ("c", 3)]))
+                .unwrap(),
             9
         );
     }
@@ -302,7 +304,8 @@ mod tests {
     fn unary_minus_and_subtraction() {
         let expr = parse_expr("-a + b - -c").unwrap();
         assert_eq!(
-            expr.evaluate(&env(&[("a", 5), ("b", 3), ("c", 2)])).unwrap(),
+            expr.evaluate(&env(&[("a", 5), ("b", 3), ("c", 2)]))
+                .unwrap(),
             0
         );
     }
@@ -352,8 +355,14 @@ mod tests {
 
     #[test]
     fn error_bad_exponent() {
-        assert!(matches!(parse_expr("x^0"), Err(IrError::InvalidExponent(0))));
-        assert!(matches!(parse_expr("x^y"), Err(IrError::UnexpectedToken { .. })));
+        assert!(matches!(
+            parse_expr("x^0"),
+            Err(IrError::InvalidExponent(0))
+        ));
+        assert!(matches!(
+            parse_expr("x^y"),
+            Err(IrError::UnexpectedToken { .. })
+        ));
     }
 
     #[test]

@@ -301,7 +301,10 @@ mod tests {
         let expr = (Expr::var("a") + Expr::constant(2)) * (Expr::var("b") - Expr::constant(1));
         let poly = expr.to_polynomial();
         let environment = env(&[("a", 11), ("b", 7)]);
-        assert_eq!(poly.evaluate(&environment), expr.evaluate(&environment).unwrap());
+        assert_eq!(
+            poly.evaluate(&environment),
+            expr.evaluate(&environment).unwrap()
+        );
     }
 
     #[test]

@@ -225,7 +225,8 @@ impl InputSpecBuilder {
         name: impl Into<String>,
         profiles: impl IntoIterator<Item = BitProfile>,
     ) -> Self {
-        self.vars.push((name.into(), profiles.into_iter().collect()));
+        self.vars
+            .push((name.into(), profiles.into_iter().collect()));
         self
     }
 
@@ -257,8 +258,7 @@ impl InputSpecBuilder {
                 return Err(IrError::ZeroWidth(name));
             }
             for (index, profile) in bits.iter().enumerate() {
-                if !(0.0..=1.0).contains(&profile.probability) || !profile.probability.is_finite()
-                {
+                if !(0.0..=1.0).contains(&profile.probability) || !profile.probability.is_finite() {
                     return Err(IrError::InvalidProbability {
                         variable: name.clone(),
                         bit: index as u32,
@@ -274,7 +274,13 @@ impl InputSpecBuilder {
                 }
             }
             if vars
-                .insert(name.clone(), VarSpec { name: name.clone(), bits })
+                .insert(
+                    name.clone(),
+                    VarSpec {
+                        name: name.clone(),
+                        bits,
+                    },
+                )
                 .is_some()
             {
                 return Err(IrError::DuplicateVariable(name));
@@ -293,7 +299,10 @@ mod tests {
         let spec = InputSpec::builder().var("x", 4).build().unwrap();
         let var = spec.var("x").unwrap();
         assert_eq!(var.width(), 4);
-        assert!(var.bits().iter().all(|b| b.arrival == 0.0 && b.probability == 0.5));
+        assert!(var
+            .bits()
+            .iter()
+            .all(|b| b.arrival == 0.0 && b.probability == 0.5));
     }
 
     #[test]

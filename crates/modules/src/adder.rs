@@ -275,8 +275,12 @@ mod tests {
 
     fn build_adder(width: u32, generator: AdderFn) -> (Netlist, WordMap) {
         let mut netlist = Netlist::new("adder");
-        let a: Vec<_> = (0..width).map(|i| netlist.add_input(format!("a{i}"))).collect();
-        let b: Vec<_> = (0..width).map(|i| netlist.add_input(format!("b{i}"))).collect();
+        let a: Vec<_> = (0..width)
+            .map(|i| netlist.add_input(format!("a{i}")))
+            .collect();
+        let b: Vec<_> = (0..width)
+            .map(|i| netlist.add_input(format!("b{i}")))
+            .collect();
         let sum = generator(&mut netlist, &a, &b, None).unwrap();
         for net in &sum {
             netlist.mark_output(*net);
@@ -373,8 +377,12 @@ mod tests {
     fn subtractor_wraps_modulo_width() {
         let width = 4usize;
         let mut netlist = Netlist::new("sub");
-        let a: Vec<_> = (0..width).map(|i| netlist.add_input(format!("a{i}"))).collect();
-        let b: Vec<_> = (0..width).map(|i| netlist.add_input(format!("b{i}"))).collect();
+        let a: Vec<_> = (0..width)
+            .map(|i| netlist.add_input(format!("a{i}")))
+            .collect();
+        let b: Vec<_> = (0..width)
+            .map(|i| netlist.add_input(format!("b{i}")))
+            .collect();
         let difference = subtract(&mut netlist, &a, &b, width).unwrap();
         assert_eq!(difference.len(), width);
         for net in &difference {
@@ -402,7 +410,9 @@ mod tests {
     fn negator_is_twos_complement() {
         let width = 3usize;
         let mut netlist = Netlist::new("neg");
-        let a: Vec<_> = (0..width).map(|i| netlist.add_input(format!("a{i}"))).collect();
+        let a: Vec<_> = (0..width)
+            .map(|i| netlist.add_input(format!("a{i}")))
+            .collect();
         let negated = negate(&mut netlist, &a, width).unwrap();
         for net in &negated {
             netlist.mark_output(*net);

@@ -188,7 +188,10 @@ mod tests {
         let mut values = BTreeMap::new();
         values.insert("a".to_string(), 5u64);
         values.insert("b".to_string(), 9u64);
-        assert_eq!(simulator.evaluate_words(&map, &values), (5u64.wrapping_sub(9)) & 0x3F);
+        assert_eq!(
+            simulator.evaluate_words(&map, &values),
+            (5u64.wrapping_sub(9)) & 0x3F
+        );
     }
 
     #[test]

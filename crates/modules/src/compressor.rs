@@ -132,11 +132,7 @@ mod tests {
             netlist.mark_output(*net);
         }
         let map = WordMap::new(
-            vec![
-                Word::new("a", a),
-                Word::new("b", b),
-                Word::new("c", c),
-            ],
+            vec![Word::new("a", a), Word::new("b", b), Word::new("c", c)],
             Word::new("t", total),
         );
         let simulator = Simulator::compile(&netlist).unwrap();

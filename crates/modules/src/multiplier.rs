@@ -151,17 +151,16 @@ mod tests {
     use dpsyn_sim::Simulator;
     use std::collections::BTreeMap;
 
-    type MultiplierFn =
-        fn(&mut Netlist, &[NetId], &[NetId]) -> Result<Vec<NetId>, NetlistError>;
+    type MultiplierFn = fn(&mut Netlist, &[NetId], &[NetId]) -> Result<Vec<NetId>, NetlistError>;
 
-    fn build_multiplier(
-        width_a: u32,
-        width_b: u32,
-        generator: MultiplierFn,
-    ) -> (Netlist, WordMap) {
+    fn build_multiplier(width_a: u32, width_b: u32, generator: MultiplierFn) -> (Netlist, WordMap) {
         let mut netlist = Netlist::new("mult");
-        let a: Vec<_> = (0..width_a).map(|i| netlist.add_input(format!("a{i}"))).collect();
-        let b: Vec<_> = (0..width_b).map(|i| netlist.add_input(format!("b{i}"))).collect();
+        let a: Vec<_> = (0..width_a)
+            .map(|i| netlist.add_input(format!("a{i}")))
+            .collect();
+        let b: Vec<_> = (0..width_b)
+            .map(|i| netlist.add_input(format!("b{i}")))
+            .collect();
         let product = generator(&mut netlist, &a, &b).unwrap();
         for net in &product {
             netlist.mark_output(*net);

@@ -1,6 +1,8 @@
 //! Property-based tests for the word-level module generators.
 
-use dpsyn_modules::builders::{standalone_adder, standalone_multiplier, standalone_subtractor, AdderKind, MultiplierKind};
+use dpsyn_modules::builders::{
+    standalone_adder, standalone_multiplier, standalone_subtractor, AdderKind, MultiplierKind,
+};
 use dpsyn_sim::Simulator;
 use proptest::prelude::*;
 use std::collections::BTreeMap;

@@ -205,8 +205,10 @@ mod tests {
         for kind in CellKind::all() {
             assert!(kind.input_count() <= 3);
             assert!(kind.output_count() >= 1);
-            assert_eq!(kind.evaluate(&vec![false; kind.input_count()]).len(),
-                kind.output_count());
+            assert_eq!(
+                kind.evaluate(&vec![false; kind.input_count()]).len(),
+                kind.output_count()
+            );
         }
     }
 

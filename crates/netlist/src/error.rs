@@ -71,10 +71,16 @@ impl fmt::Display for NetlistError {
             ),
             NetlistError::UnknownNet(net) => write!(f, "net {net} does not belong to this netlist"),
             NetlistError::MultipleDrivers { net, cell } => {
-                write!(f, "net {net} already has a driver; cell {cell} cannot drive it too")
+                write!(
+                    f,
+                    "net {net} already has a driver; cell {cell} cannot drive it too"
+                )
             }
             NetlistError::UndrivenNet { net, name } => {
-                write!(f, "net {net} (`{name}`) has no driver and is not a primary input")
+                write!(
+                    f,
+                    "net {net} (`{name}`) has no driver and is not a primary input"
+                )
             }
             NetlistError::CombinationalCycle { cell } => {
                 write!(f, "combinational cycle detected through cell {cell}")

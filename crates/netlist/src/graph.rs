@@ -126,7 +126,11 @@ impl Netlist {
         if let Some(net) = self.const_nets[slot] {
             return net;
         }
-        let kind = if value { CellKind::Const1 } else { CellKind::Const0 };
+        let kind = if value {
+            CellKind::Const1
+        } else {
+            CellKind::Const0
+        };
         let net = self.add_net(if value { "const1" } else { "const0" });
         let name = format!("{}_src", if value { "const1" } else { "const0" });
         self.add_cell(kind, name, vec![], vec![net])
@@ -172,7 +176,10 @@ impl Netlist {
         for (pin, net) in outputs.iter().enumerate() {
             let slot = &mut self.nets[net.index()];
             if slot.driver.is_some() || slot.is_input {
-                return Err(NetlistError::MultipleDrivers { net: *net, cell: id });
+                return Err(NetlistError::MultipleDrivers {
+                    net: *net,
+                    cell: id,
+                });
             }
             slot.driver = Some((id, pin));
         }
@@ -193,7 +200,11 @@ impl Netlist {
     /// # Errors
     ///
     /// Returns an error if the number of inputs does not match the kind's arity.
-    pub fn add_gate(&mut self, kind: CellKind, inputs: &[NetId]) -> Result<Vec<NetId>, NetlistError> {
+    pub fn add_gate(
+        &mut self,
+        kind: CellKind,
+        inputs: &[NetId],
+    ) -> Result<Vec<NetId>, NetlistError> {
         let index = self.cells.len();
         let outputs: Vec<NetId> = (0..kind.output_count())
             .map(|pin| self.add_net(format!("{}_{}_o{}", kind.mnemonic(), index, pin)))

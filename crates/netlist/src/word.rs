@@ -133,8 +133,12 @@ mod tests {
 
     fn demo_map() -> (Netlist, WordMap) {
         let mut netlist = Netlist::new("demo");
-        let a_bits: Vec<_> = (0..3).map(|i| netlist.add_input(format!("a_{i}"))).collect();
-        let b_bits: Vec<_> = (0..2).map(|i| netlist.add_input(format!("b_{i}"))).collect();
+        let a_bits: Vec<_> = (0..3)
+            .map(|i| netlist.add_input(format!("a_{i}")))
+            .collect();
+        let b_bits: Vec<_> = (0..2)
+            .map(|i| netlist.add_input(format!("b_{i}")))
+            .collect();
         let out_bits: Vec<_> = (0..4).map(|i| netlist.add_net(format!("y_{i}"))).collect();
         let map = WordMap::new(
             vec![Word::new("a", a_bits), Word::new("b", b_bits)],

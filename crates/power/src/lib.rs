@@ -83,7 +83,10 @@ impl fmt::Display for PowerError {
                     f,
                     "signal probability {probability} of net {net} is outside [0, 1]"
                 ),
-                None => write!(f, "default signal probability {probability} is outside [0, 1]"),
+                None => write!(
+                    f,
+                    "default signal probability {probability} is outside [0, 1]"
+                ),
             },
         }
     }
@@ -221,7 +224,10 @@ pub fn propagate_cell(kind: CellKind, inputs: &[f64]) -> Vec<f64> {
     match kind {
         CellKind::Fa => {
             let (x, y, z) = (inputs[0], inputs[1], inputs[2]);
-            vec![q_transform::fa_sum_p(x, y, z), q_transform::fa_carry_p(x, y, z)]
+            vec![
+                q_transform::fa_sum_p(x, y, z),
+                q_transform::fa_carry_p(x, y, z),
+            ]
         }
         CellKind::Ha => {
             let (x, y) = (inputs[0], inputs[1]);

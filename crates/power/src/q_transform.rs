@@ -153,14 +153,13 @@ mod tests {
         let mut energies = Vec::new();
         for skip in 0..4 {
             let picked: Vec<f64> = (0..4).filter(|i| *i != skip).map(|i| q[i]).collect();
-            energies.push(fa_switching_energy(picked[0], picked[1], picked[2], 1.0, 1.0));
+            energies.push(fa_switching_energy(
+                picked[0], picked[1], picked[2], 1.0, 1.0,
+            ));
         }
         // Leaving out the smallest |q| (x4, q = -0.1), i.e. picking the three largest
         // |q| values, minimises the FA energy.
-        let best = energies
-            .iter()
-            .cloned()
-            .fold(f64::INFINITY, f64::min);
+        let best = energies.iter().cloned().fold(f64::INFINITY, f64::min);
         assert!((energies[3] - best).abs() < 1e-12);
         // Picking the three smallest |q| values maximises it, as the paper's T1 vs T2
         // comparison illustrates (0.411 vs 0.400 in the paper's rounded numbers).

@@ -11,7 +11,9 @@ fn brute_force(kind: CellKind, probabilities: &[f64], output: usize) -> f64 {
     let inputs = kind.input_count();
     let mut total = 0.0;
     for assignment in 0..(1u32 << inputs) {
-        let bits: Vec<bool> = (0..inputs).map(|bit| (assignment >> bit) & 1 == 1).collect();
+        let bits: Vec<bool> = (0..inputs)
+            .map(|bit| (assignment >> bit) & 1 == 1)
+            .collect();
         let weight: f64 = bits
             .iter()
             .zip(probabilities)

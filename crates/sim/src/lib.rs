@@ -421,7 +421,11 @@ mod tests {
     fn equivalence_against_expression() {
         let (netlist, map) = ripple2();
         let expr = Expr::var("a") + Expr::var("b");
-        let spec = InputSpec::builder().var("a", 2).var("b", 2).build().unwrap();
+        let spec = InputSpec::builder()
+            .var("a", 2)
+            .var("b", 2)
+            .build()
+            .unwrap();
         check_equivalence(&netlist, &map, &expr, &spec, 3, 64, 7).unwrap();
     }
 
@@ -429,7 +433,11 @@ mod tests {
     fn inequivalence_is_detected_with_counterexample() {
         let (netlist, map) = ripple2();
         let expr = Expr::var("a") * Expr::var("b");
-        let spec = InputSpec::builder().var("a", 2).var("b", 2).build().unwrap();
+        let spec = InputSpec::builder()
+            .var("a", 2)
+            .var("b", 2)
+            .build()
+            .unwrap();
         let result = check_equivalence(&netlist, &map, &expr, &spec, 3, 64, 7);
         match result {
             Err(SimError::Mismatch {
@@ -448,13 +456,15 @@ mod tests {
 
     #[test]
     fn exhaustive_assignments_cover_the_space() {
-        let spec = InputSpec::builder().var("a", 2).var("b", 1).build().unwrap();
+        let spec = InputSpec::builder()
+            .var("a", 2)
+            .var("b", 1)
+            .build()
+            .unwrap();
         let assignments = Stimulus::exhaustive_assignments(&spec, 16).unwrap();
         assert_eq!(assignments.len(), 8);
-        let distinct: std::collections::BTreeSet<_> = assignments
-            .iter()
-            .map(|a| (a["a"], a["b"]))
-            .collect();
+        let distinct: std::collections::BTreeSet<_> =
+            assignments.iter().map(|a| (a["a"], a["b"])).collect();
         assert_eq!(distinct.len(), 8);
         // Too many bits -> None.
         let wide = InputSpec::builder().var("x", 30).build().unwrap();
@@ -463,7 +473,11 @@ mod tests {
 
     #[test]
     fn uniform_assignments_respect_width() {
-        let spec = InputSpec::builder().var("a", 3).var("b", 7).build().unwrap();
+        let spec = InputSpec::builder()
+            .var("a", 3)
+            .var("b", 7)
+            .build()
+            .unwrap();
         let mut stimulus = Stimulus::with_seed(42);
         for _ in 0..50 {
             let assignment = stimulus.uniform_assignment(&spec);
@@ -551,7 +565,11 @@ mod tests {
     fn sim_error_display() {
         let (netlist, map) = ripple2();
         let expr = Expr::var("a") - Expr::var("b");
-        let spec = InputSpec::builder().var("a", 2).var("b", 2).build().unwrap();
+        let spec = InputSpec::builder()
+            .var("a", 2)
+            .var("b", 2)
+            .build()
+            .unwrap();
         let error = check_equivalence(&netlist, &map, &expr, &spec, 3, 16, 1).unwrap_err();
         assert!(error.to_string().contains("netlist computes"));
     }

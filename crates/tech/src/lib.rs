@@ -103,7 +103,10 @@ impl fmt::Display for TechError {
                 "cell kind `{kind}` has {expected_outputs} outputs but {supplied} delay entries"
             ),
             TechError::InvalidValue { kind, value } => {
-                write!(f, "cell kind `{kind}` has a negative or non-finite value {value}")
+                write!(
+                    f,
+                    "cell kind `{kind}` has a negative or non-finite value {value}"
+                )
             }
         }
     }
@@ -139,8 +142,14 @@ impl TechLibrary {
     /// numbers of Figure 2 exactly and switching estimates reproduce Figure 4.
     pub fn unit() -> Self {
         let builder = Self::builder("unit")
-            .cell(CellKind::Fa, CellCharacteristics::adder(2.0, 1.0, 7.0, 1.0, 1.0))
-            .cell(CellKind::Ha, CellCharacteristics::adder(1.0, 1.0, 4.0, 1.0, 1.0))
+            .cell(
+                CellKind::Fa,
+                CellCharacteristics::adder(2.0, 1.0, 7.0, 1.0, 1.0),
+            )
+            .cell(
+                CellKind::Ha,
+                CellCharacteristics::adder(1.0, 1.0, 4.0, 1.0, 1.0),
+            )
             .cell(CellKind::And2, CellCharacteristics::single(0.0, 1.5, 1.0))
             .cell(CellKind::And3, CellCharacteristics::single(0.0, 2.0, 1.0))
             .cell(CellKind::Or2, CellCharacteristics::single(0.0, 1.5, 1.0))
@@ -163,8 +172,14 @@ impl TechLibrary {
     pub fn lcbg10pv_like() -> Self {
         let builder = Self::builder("lcbg10pv_like")
             .voltage(3.3)
-            .cell(CellKind::Fa, CellCharacteristics::adder(0.62, 0.48, 7.0, 1.00, 0.82))
-            .cell(CellKind::Ha, CellCharacteristics::adder(0.38, 0.26, 4.0, 0.62, 0.40))
+            .cell(
+                CellKind::Fa,
+                CellCharacteristics::adder(0.62, 0.48, 7.0, 1.00, 0.82),
+            )
+            .cell(
+                CellKind::Ha,
+                CellCharacteristics::adder(0.38, 0.26, 4.0, 0.62, 0.40),
+            )
             .cell(CellKind::And2, CellCharacteristics::single(0.18, 1.5, 0.28))
             .cell(CellKind::And3, CellCharacteristics::single(0.24, 2.0, 0.36))
             .cell(CellKind::Or2, CellCharacteristics::single(0.18, 1.5, 0.28))

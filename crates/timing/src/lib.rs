@@ -67,7 +67,10 @@ impl fmt::Display for TimingError {
             TimingError::Netlist(error) => write!(f, "invalid netlist: {error}"),
             TimingError::Tech(error) => write!(f, "incomplete technology library: {error}"),
             TimingError::InvalidArrival { net, arrival } => {
-                write!(f, "arrival time {arrival} of net {net} is negative or not finite")
+                write!(
+                    f,
+                    "arrival time {arrival} of net {net} is negative or not finite"
+                )
             }
         }
     }
@@ -159,8 +162,7 @@ impl<'lib> TimingAnalysis<'lib> {
                 .max_by(|a, b| a.1.total_cmp(&b.1))
                 .unwrap_or((None, 0.0));
             for (pin, net) in cell.outputs().iter().enumerate() {
-                arrival[net.index()] =
-                    input_arrival + self.tech.output_delay(cell.kind(), pin);
+                arrival[net.index()] = input_arrival + self.tech.output_delay(cell.kind(), pin);
                 worst_predecessor[net.index()] = worst_input;
             }
         }

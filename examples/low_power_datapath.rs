@@ -37,13 +37,7 @@ fn main() -> Result<(), Box<dyn Error>> {
         }
         let design = synthesizer.run()?;
         // Cross-check the analytic estimate with a toggle-counting simulation.
-        let toggles = measure_toggles(
-            design.netlist(),
-            design.word_map(),
-            &spec,
-            2000,
-            5,
-        )?;
+        let toggles = measure_toggles(design.netlist(), design.word_map(), &spec, 2000, 5)?;
         let simulated: f64 = design
             .netlist()
             .cells()
@@ -54,7 +48,10 @@ fn main() -> Result<(), Box<dyn Error>> {
     }
 
     println!("complex multiplier real part, biased input probabilities");
-    println!("{:<14} {:>18} {:>22}", "selection", "analytic E_switch", "simulated toggles/vec");
+    println!(
+        "{:<14} {:>18} {:>22}",
+        "selection", "analytic E_switch", "simulated toggles/vec"
+    );
     for (label, analytic, simulated) in &rows {
         println!("{:<14} {:>18.3} {:>22.3}", label, analytic, simulated);
     }

@@ -11,7 +11,10 @@ fn reproduction_matches_the_paper_numbers() {
     let result = figure2();
     assert_eq!(result.wallace, 9.0, "fixed Wallace selection");
     assert_eq!(result.column_isolation, 9.0, "column isolation");
-    assert_eq!(result.column_interaction, 8.0, "column interaction (FA_AOT)");
+    assert_eq!(
+        result.column_interaction, 8.0,
+        "column interaction (FA_AOT)"
+    );
 }
 
 #[test]
@@ -26,10 +29,19 @@ fn column_interaction_is_never_slower_under_permuted_profiles() {
         let col0: Vec<f64> = (0..4).map(|i| arrivals_col0[(i + rotation) % 4]).collect();
         let col1: Vec<f64> = (0..3).map(|i| arrivals_col1[(i + rotation) % 3]).collect();
         let spec = InputSpec::builder()
-            .var_with_profiles("x", vec![BitProfile::new(col0[0], 0.5), BitProfile::new(col1[0], 0.5)])
-            .var_with_profiles("y", vec![BitProfile::new(col0[1], 0.5), BitProfile::new(col1[1], 0.5)])
+            .var_with_profiles(
+                "x",
+                vec![BitProfile::new(col0[0], 0.5), BitProfile::new(col1[0], 0.5)],
+            )
+            .var_with_profiles(
+                "y",
+                vec![BitProfile::new(col0[1], 0.5), BitProfile::new(col1[1], 0.5)],
+            )
             .var_with_profiles("z", vec![BitProfile::new(col0[2], 0.5)])
-            .var_with_profiles("w", vec![BitProfile::new(col0[3], 0.5), BitProfile::new(col1[2], 0.5)])
+            .var_with_profiles(
+                "w",
+                vec![BitProfile::new(col0[3], 0.5), BitProfile::new(col1[2], 0.5)],
+            )
             .build()
             .expect("spec");
         let run = |strategy: Option<SelectionStrategy>| {
@@ -40,10 +52,17 @@ fn column_interaction_is_never_slower_under_permuted_profiles() {
             if let Some(strategy) = strategy {
                 synthesizer = synthesizer.strategy(strategy);
             }
-            synthesizer.run().expect("synthesis").report().final_input_arrival
+            synthesizer
+                .run()
+                .expect("synthesis")
+                .report()
+                .final_input_arrival
         };
         let ours = run(None);
         let fixed = run(Some(SelectionStrategy::RowOrder));
-        assert!(ours <= fixed + 1e-9, "rotation {rotation}: {ours} vs {fixed}");
+        assert!(
+            ours <= fixed + 1e-9,
+            "rotation {rotation}: {ours} vs {fixed}"
+        );
     }
 }

@@ -27,7 +27,10 @@ fn fa_alp_never_loses_to_random_selection() {
         total += row.improvement();
     }
     let average = total / rows.len() as f64;
-    assert!(average > 0.0, "average improvement {average} should be positive");
+    assert!(
+        average > 0.0,
+        "average improvement {average} should be positive"
+    );
     let text = format_table2(&rows);
     assert!(text.contains("average improvement"));
 }

@@ -1,0 +1,224 @@
+//! Minimal, dependency-free subset of the `criterion` 0.5 API.
+//!
+//! The build environment of this repository has no access to crates.io, so the
+//! workspace vendors the slice of `criterion` its benches use (see
+//! `vendor/README.md`): [`Criterion::benchmark_group`],
+//! [`BenchmarkGroup::bench_function`], [`BenchmarkGroup::bench_with_input`],
+//! [`BenchmarkId`], [`Bencher::iter`], [`black_box`], and the
+//! [`criterion_group!`]/[`criterion_main!`] macros.
+//!
+//! Instead of upstream's statistical engine this harness times a fixed warm-up
+//! followed by an adaptively sized measurement batch and reports the median of
+//! per-batch means. That is deliberately cheap — benches here exist to compare
+//! flows against each other and to guard against order-of-magnitude
+//! regressions, not to resolve nanoseconds.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Target wall-clock time per measured benchmark.
+const TARGET_MEASURE_TIME: Duration = Duration::from_millis(200);
+
+/// The benchmark driver, mirroring `criterion::Criterion`.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Accepts (and ignores) command-line configuration, as upstream does.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\nbenchmark group: {name}");
+        BenchmarkGroup {
+            _criterion: self,
+            name,
+        }
+    }
+}
+
+/// A named benchmark within a group, mirroring `criterion::BenchmarkId`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// A benchmark named `function_name` parameterised by `parameter`.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'c> {
+    _criterion: &'c mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepts (and ignores) the upstream sample-size hint.
+    pub fn sample_size(&mut self, _samples: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepts (and ignores) the upstream measurement-time hint.
+    pub fn measurement_time(&mut self, _time: Duration) -> &mut Self {
+        self
+    }
+
+    /// Benchmarks `routine` under `id`.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = id.into_benchmark_id().label;
+        let mut bencher = Bencher::default();
+        routine(&mut bencher);
+        bencher.report(&self.name, &label);
+        self
+    }
+
+    /// Benchmarks `routine` under `id` with a borrowed input value.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut routine: F,
+    ) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = id.into_benchmark_id().label;
+        let mut bencher = Bencher::default();
+        routine(&mut bencher, input);
+        bencher.report(&self.name, &label);
+        self
+    }
+
+    /// Ends the group (upstream emits summary plots here; this harness has
+    /// already printed per-benchmark lines).
+    pub fn finish(self) {}
+}
+
+/// Conversion of plain strings and [`BenchmarkId`]s into benchmark labels.
+pub trait IntoBenchmarkId {
+    /// Converts `self` into a [`BenchmarkId`].
+    fn into_benchmark_id(self) -> BenchmarkId;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        self
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId {
+            label: self.to_string(),
+        }
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId { label: self }
+    }
+}
+
+/// Times a routine, mirroring `criterion::Bencher`.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    median_nanos: Option<f64>,
+}
+
+impl Bencher {
+    /// Measures `routine`: three warm-up calls, then batches sized to fill
+    /// [`TARGET_MEASURE_TIME`], reporting the median per-iteration time.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        for _ in 0..3 {
+            black_box(routine());
+        }
+        // Size one batch from a single timed call (at least 1 µs assumed).
+        let probe_start = Instant::now();
+        black_box(routine());
+        let probe = probe_start.elapsed().max(Duration::from_micros(1));
+        let batches: u32 = 5;
+        let per_batch = (TARGET_MEASURE_TIME.as_nanos() / probe.as_nanos() / batches as u128)
+            .clamp(1, 1_000_000) as u32;
+        let mut means: Vec<f64> = (0..batches)
+            .map(|_| {
+                let start = Instant::now();
+                for _ in 0..per_batch {
+                    black_box(routine());
+                }
+                start.elapsed().as_nanos() as f64 / f64::from(per_batch)
+            })
+            .collect();
+        means.sort_by(f64::total_cmp);
+        self.median_nanos = Some(means[means.len() / 2]);
+    }
+
+    fn report(&self, group: &str, label: &str) {
+        match self.median_nanos {
+            Some(nanos) => {
+                let (value, unit) = humanize(nanos);
+                println!("  {group}/{label}: {value:.3} {unit}/iter");
+            }
+            None => println!("  {group}/{label}: no measurement (Bencher::iter never called)"),
+        }
+    }
+}
+
+fn humanize(nanos: f64) -> (f64, &'static str) {
+    if nanos < 1_000.0 {
+        (nanos, "ns")
+    } else if nanos < 1_000_000.0 {
+        (nanos / 1_000.0, "µs")
+    } else if nanos < 1_000_000_000.0 {
+        (nanos / 1_000_000.0, "ms")
+    } else {
+        (nanos / 1_000_000_000.0, "s")
+    }
+}
+
+/// Declares a group function running each listed benchmark target.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench `main` function running each listed group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo bench`/`cargo test` pass harness flags (e.g. `--bench`);
+            // this minimal harness accepts and ignores them.
+            $($group();)+
+        }
+    };
+}

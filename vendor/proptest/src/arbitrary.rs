@@ -1,0 +1,40 @@
+//! The `any::<T>()` entry point: canonical strategies per type.
+
+use crate::strategy::{BoxedStrategy, Strategy};
+
+/// Types with a canonical full-domain strategy.
+pub trait Arbitrary: Sized + 'static {
+    /// The canonical strategy covering the whole domain of `Self`.
+    fn arbitrary() -> BoxedStrategy<Self>;
+}
+
+/// Returns the canonical strategy for `T`, as in `proptest::prelude::any`.
+pub fn any<T: Arbitrary>() -> BoxedStrategy<T> {
+    T::arbitrary()
+}
+
+impl Arbitrary for bool {
+    fn arbitrary() -> BoxedStrategy<bool> {
+        (0u64..2).prop_map(|bit| bit == 1).boxed()
+    }
+}
+
+macro_rules! int_arbitrary {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary() -> BoxedStrategy<$t> {
+                (<$t>::MIN..=<$t>::MAX).boxed()
+            }
+        }
+    )*};
+}
+
+int_arbitrary!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for f64 {
+    /// Uniform over `[0, 1)` — a pragmatic stand-in for upstream's
+    /// full-float-domain strategy, sufficient for the workspace's suites.
+    fn arbitrary() -> BoxedStrategy<f64> {
+        (0.0f64..1.0).boxed()
+    }
+}

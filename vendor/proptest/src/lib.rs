@@ -1,0 +1,144 @@
+//! Minimal, deterministic, dependency-free subset of the `proptest` 1.x API.
+//!
+//! The build environment of this repository has no access to crates.io, so the
+//! workspace vendors the slice of `proptest` its five property-test suites use
+//! (see `vendor/README.md`): the [`proptest!`] macro with an optional
+//! `#![proptest_config(...)]` directive, range/tuple/[`Just`] strategies,
+//! [`Strategy::prop_map`], [`Strategy::prop_recursive`], [`prop_oneof!`],
+//! [`collection::vec`], [`any`], and the `prop_assert*` macros.
+//!
+//! Differences from upstream are intentional and small:
+//!
+//! - **No shrinking.** A failing case panics with the assertion message; the
+//!   deterministic per-test seed makes every failure reproducible as-is.
+//! - **Derandomisation is total.** Upstream seeds from the OS unless told
+//!   otherwise; here every test's stream is a pure function of its name and
+//!   case index, so suites are byte-stable across machines and runs.
+//!
+//! ```
+//! use proptest::prelude::*;
+//!
+//! fn strategies_compose(rng: &mut proptest::test_runner::TestRng) -> (u64, bool) {
+//!     let pair = (0u64..1000, any::<bool>());
+//!     pair.generate(rng)
+//! }
+//!
+//! let mut rng = proptest::test_runner::TestRng::for_case("doc", 0);
+//! let (value, _flag) = strategies_compose(&mut rng);
+//! assert!(value < 1000);
+//! ```
+//!
+//! Inside a `#[test]`-collected module the macro is used exactly as upstream:
+//!
+//! ```text
+//! proptest! {
+//!     #![proptest_config(ProptestConfig::with_cases(32))]
+//!     #[test]
+//!     fn addition_commutes(a in 0u64..1000, b in 0u64..1000) {
+//!         prop_assert_eq!(a + b, b + a);
+//!     }
+//! }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod test_runner;
+
+pub mod strategy;
+
+pub mod arbitrary;
+
+pub mod collection;
+
+/// The glob-importable prelude, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+
+    /// Namespace alias mirroring `proptest::prelude::prop`.
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+pub use strategy::{BoxedStrategy, Just, Strategy};
+
+/// Runs every embedded test function over many generated cases.
+///
+/// Supported grammar (a strict subset of upstream):
+///
+/// ```text
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]   // optional
+///     #[test]
+///     fn name(binding in strategy, ...) { body }
+///     ...
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@with_config ($config) $($rest)*);
+    };
+    (@with_config ($config:expr)
+     $($(#[$meta:meta])* fn $name:ident($($binding:pat in $strategy:expr),+ $(,)?) $body:block)*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::Config = $config;
+                for case in 0..config.cases {
+                    let mut runner_rng =
+                        $crate::test_runner::TestRng::for_case(stringify!($name), case);
+                    $(
+                        let $binding = $crate::strategy::Strategy::generate(
+                            &($strategy),
+                            &mut runner_rng,
+                        );
+                    )+
+                    $body
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@with_config ($crate::test_runner::Config::default()) $($rest)*);
+    };
+}
+
+/// Asserts a condition inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Asserts equality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => { assert_eq!($left, $right) };
+    ($left:expr, $right:expr, $($fmt:tt)+) => { assert_eq!($left, $right, $($fmt)+) };
+}
+
+/// Asserts inequality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => { assert_ne!($left, $right) };
+    ($left:expr, $right:expr, $($fmt:tt)+) => { assert_ne!($left, $right, $($fmt)+) };
+}
+
+/// Uniform choice between several strategies producing the same value type.
+///
+/// Upstream's optional `weight => strategy` arms are not supported; all arms
+/// are equally likely.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::union(vec![
+            $($crate::strategy::Strategy::boxed($strategy)),+
+        ])
+    };
+}

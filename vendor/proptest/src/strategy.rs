@@ -1,0 +1,220 @@
+//! Value-generation strategies: ranges, tuples, mapping, recursion, unions.
+
+use crate::test_runner::TestRng;
+use std::ops::{Range, RangeInclusive};
+use std::sync::Arc;
+
+/// A recipe for generating values of one type.
+///
+/// Unlike upstream there is no value-tree/shrinking machinery: a strategy is
+/// just a clonable generator function over the deterministic [`TestRng`].
+pub trait Strategy: Clone + 'static {
+    /// The type of generated values.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Applies `map` to every generated value.
+    fn prop_map<U, F>(self, map: F) -> Map<Self, F>
+    where
+        F: Fn(Self::Value) -> U + Clone + 'static,
+    {
+        Map { inner: self, map }
+    }
+
+    /// Builds recursive structures: `recurse` receives a strategy for smaller
+    /// values and returns a strategy for one-level-larger values. `depth`
+    /// bounds the recursion; the size hints of the upstream API are accepted
+    /// and ignored.
+    fn prop_recursive<S, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        recurse: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        S: Strategy<Value = Self::Value>,
+        F: Fn(BoxedStrategy<Self::Value>) -> S + Clone + 'static,
+        Self::Value: 'static,
+    {
+        let leaf = self.boxed();
+        let mut current = leaf.clone();
+        for _ in 0..depth {
+            // At every level an element is a fresh leaf or one recursion step
+            // over the previous level, weighted towards leaves so expected
+            // sizes stay small — mirroring upstream's decaying branch chance.
+            let branch = recurse(current).boxed();
+            current = union_weighted(vec![(2, leaf.clone()), (1, branch)]);
+        }
+        current
+    }
+
+    /// Type-erases the strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self::Value: 'static,
+    {
+        let inner = self;
+        BoxedStrategy {
+            generator: Arc::new(move |rng| inner.generate(rng)),
+        }
+    }
+}
+
+/// A type-erased [`Strategy`].
+pub struct BoxedStrategy<T> {
+    generator: Arc<dyn Fn(&mut TestRng) -> T>,
+}
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy {
+            generator: Arc::clone(&self.generator),
+        }
+    }
+}
+
+impl<T: 'static> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.generator)(rng)
+    }
+
+    fn boxed(self) -> BoxedStrategy<T> {
+        self
+    }
+}
+
+/// A strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone + 'static> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    map: F,
+}
+
+impl<S, U, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U + Clone + 'static,
+{
+    type Value = U;
+
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.map)(self.inner.generate(rng))
+    }
+}
+
+/// Equal-weight choice between boxed strategies; used by `prop_oneof!`.
+pub fn union<T: 'static>(options: Vec<BoxedStrategy<T>>) -> BoxedStrategy<T> {
+    assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+    BoxedStrategy {
+        generator: Arc::new(move |rng| {
+            let index = rng.next_below(options.len() as u64) as usize;
+            options[index].generate(rng)
+        }),
+    }
+}
+
+/// Weighted choice between boxed strategies.
+pub fn union_weighted<T: 'static>(options: Vec<(u32, BoxedStrategy<T>)>) -> BoxedStrategy<T> {
+    let total: u64 = options.iter().map(|(weight, _)| u64::from(*weight)).sum();
+    assert!(total > 0, "weighted union needs positive total weight");
+    BoxedStrategy {
+        generator: Arc::new(move |rng| {
+            let mut draw = rng.next_below(total);
+            for (weight, option) in &options {
+                let weight = u64::from(*weight);
+                if draw < weight {
+                    return option.generate(rng);
+                }
+                draw -= weight;
+            }
+            unreachable!("draw below total weight always lands in an arm")
+        }),
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.next_below(span) as i128) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "empty range strategy");
+                if start == <$t>::MIN && end == <$t>::MAX {
+                    return rng.next_u64() as $t;
+                }
+                let span = (end as i128 - start as i128) as u64 + 1;
+                (start as i128 + rng.next_below(span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + rng.next_unit_f64() * (self.end - self.start)
+    }
+}
+
+impl Strategy for RangeInclusive<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        let (start, end) = (*self.start(), *self.end());
+        assert!(start <= end, "empty range strategy");
+        start + rng.next_unit_f64() * (end - start)
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($name:ident),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+    (A, B, C, D, E)
+    (A, B, C, D, E, G)
+}
