@@ -4,7 +4,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use dpsyn_core::{Objective, Synthesizer};
 use dpsyn_power::ProbabilityAnalysis;
-use dpsyn_sim::{Simulator, Stimulus};
+use dpsyn_sim::{LaneSim, Simulator, Stimulus, LANES};
 use dpsyn_tech::TechLibrary;
 use dpsyn_timing::TimingAnalysis;
 
@@ -39,6 +39,27 @@ fn bench_analysis(criterion: &mut Criterion) {
         bencher.iter(|| {
             for vector in &vectors {
                 simulator.evaluate(vector);
+            }
+        })
+    });
+    // The same work on the 64-lane engine: 100 vectors fit into two lane passes.
+    group.bench_function("lane_simulation_100_vectors", |bencher| {
+        let simulator = LaneSim::compile(netlist).unwrap();
+        let mut stimulus = Stimulus::with_seed(5);
+        let assignments = stimulus.uniform_batch(design.spec(), 100);
+        let batches: Vec<Vec<u64>> = assignments
+            .chunks(LANES)
+            .map(|chunk| {
+                let mut lanes = simulator.lane_buffer();
+                LaneSim::pack_word_assignments(synthesized.word_map(), chunk, &mut lanes);
+                lanes
+            })
+            .collect();
+        let mut lanes = simulator.lane_buffer();
+        bencher.iter(|| {
+            for batch in &batches {
+                lanes.copy_from_slice(batch);
+                simulator.evaluate_into(&mut lanes);
             }
         })
     });

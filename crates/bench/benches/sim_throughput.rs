@@ -1,0 +1,137 @@
+//! Criterion benchmark: simulation throughput (vectors/second) of the scalar
+//! reference evaluator vs. the 64-lane bit-parallel engine on a 16×16 Wallace-tree
+//! multiplier (~560 cells), plus a speedup gate.
+//!
+//! Beyond the criterion timings, the harness measures both engines directly and
+//! **asserts the lane engine is at least 10× faster per vector** — the acceptance
+//! criterion of the lane-engine rework — and prints a JSON line (the format of the
+//! committed `BENCH_sim.json` baseline) so the perf trajectory can be tracked:
+//!
+//! ```bash
+//! cargo bench -p dpsyn-bench --bench sim_throughput
+//! ```
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use dpsyn_ir::InputSpec;
+use dpsyn_modules::multiplier::wallace_multiply;
+use dpsyn_netlist::{NetId, Netlist, Word, WordMap};
+use dpsyn_sim::{LaneSim, Simulator, Stimulus, LANES};
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+/// Builds the 16×16 Wallace multiplier workload and 64 pre-drawn stimulus vectors in
+/// both representations (per-net scalar bits and packed lanes).
+struct Workload {
+    netlist: Netlist,
+    scalar_vectors: Vec<BTreeMap<NetId, bool>>,
+    packed_lanes: Vec<u64>,
+}
+
+fn workload() -> Workload {
+    let mut netlist = Netlist::new("mult16");
+    let a: Vec<_> = (0..16)
+        .map(|i| netlist.add_input(format!("a{i}")))
+        .collect();
+    let b: Vec<_> = (0..16)
+        .map(|i| netlist.add_input(format!("b{i}")))
+        .collect();
+    let product = wallace_multiply(&mut netlist, &a, &b).expect("multiplier generation");
+    for net in &product {
+        netlist.mark_output(*net);
+    }
+    let map = WordMap::new(
+        vec![Word::new("a", a), Word::new("b", b)],
+        Word::new("p", product),
+    );
+    let spec = InputSpec::builder()
+        .var("a", 16)
+        .var("b", 16)
+        .build()
+        .expect("valid spec");
+    let mut stimulus = Stimulus::with_seed(2024);
+    let assignments = stimulus.uniform_batch(&spec, LANES);
+    let scalar_vectors: Vec<BTreeMap<NetId, bool>> = assignments
+        .iter()
+        .map(|assignment| map.assignment_to_bits(assignment))
+        .collect();
+    let mut packed_lanes = vec![0u64; netlist.net_count()];
+    LaneSim::pack_word_assignments(&map, &assignments, &mut packed_lanes);
+    Workload {
+        netlist,
+        scalar_vectors,
+        packed_lanes,
+    }
+}
+
+fn bench_sim_throughput(criterion: &mut Criterion) {
+    let workload = workload();
+    let scalar = Simulator::compile(&workload.netlist).expect("acyclic");
+    let lane_sim = LaneSim::compile(&workload.netlist).expect("acyclic");
+    let mut group = criterion.benchmark_group("sim_throughput");
+    group.sample_size(20);
+    group.bench_function("scalar_oracle_64_vectors", |bencher| {
+        bencher.iter(|| {
+            for vector in &workload.scalar_vectors {
+                black_box(scalar.evaluate(vector));
+            }
+        })
+    });
+    group.bench_function("lane_engine_64_vectors", |bencher| {
+        let mut lanes = lane_sim.lane_buffer();
+        bencher.iter(|| {
+            lanes.copy_from_slice(&workload.packed_lanes);
+            lane_sim.evaluate_into(&mut lanes);
+            black_box(lanes[0]);
+        })
+    });
+    group.finish();
+
+    speedup_gate(&workload, &scalar, &lane_sim);
+}
+
+/// Times both engines directly, prints the `BENCH_sim.json` record, and enforces the
+/// ≥ 10× acceptance criterion.
+fn speedup_gate(workload: &Workload, scalar: &Simulator, lane_sim: &LaneSim) {
+    // Scalar: repeat the 64-vector sweep until ~0.2 s have elapsed.
+    let mut scalar_batches = 0u64;
+    let scalar_start = Instant::now();
+    while scalar_start.elapsed().as_millis() < 200 {
+        for vector in &workload.scalar_vectors {
+            black_box(scalar.evaluate(vector));
+        }
+        scalar_batches += 1;
+    }
+    let scalar_vps = (scalar_batches * LANES as u64) as f64 / scalar_start.elapsed().as_secs_f64();
+
+    // Lane engine: one pass also covers 64 vectors.
+    let mut lanes = lane_sim.lane_buffer();
+    let mut lane_batches = 0u64;
+    let lane_start = Instant::now();
+    while lane_start.elapsed().as_millis() < 200 {
+        lanes.copy_from_slice(&workload.packed_lanes);
+        lane_sim.evaluate_into(&mut lanes);
+        black_box(lanes[0]);
+        lane_batches += 1;
+    }
+    let lane_vps = (lane_batches * LANES as u64) as f64 / lane_start.elapsed().as_secs_f64();
+
+    let speedup = lane_vps / scalar_vps;
+    println!(
+        "{{\"workload\": \"wallace_mult_16x16\", \"cells\": {}, \"nets\": {}, \
+         \"scalar_vectors_per_sec\": {:.0}, \"lane_vectors_per_sec\": {:.0}, \
+         \"speedup\": {:.1}}}",
+        workload.netlist.cell_count(),
+        workload.netlist.net_count(),
+        scalar_vps,
+        lane_vps,
+        speedup
+    );
+    assert!(
+        speedup >= 10.0,
+        "lane engine must be at least 10x faster than the scalar oracle \
+         (measured {speedup:.1}x: {lane_vps:.0} vs {scalar_vps:.0} vectors/sec)"
+    );
+}
+
+criterion_group!(benches, bench_sim_throughput);
+criterion_main!(benches);

@@ -2,7 +2,6 @@
 
 use crate::cell::{Cell, CellId, CellKind};
 use crate::error::NetlistError;
-use std::collections::VecDeque;
 use std::fmt;
 
 /// Identifier of a net inside a [`Netlist`].
@@ -299,11 +298,43 @@ impl Netlist {
     /// Computes a topological order of the cells (inputs before the cells that read
     /// them).
     ///
+    /// The order is the concatenation of the levels of [`Netlist::levelize`], which is
+    /// exactly what a FIFO worklist would emit.
+    ///
     /// # Errors
     ///
     /// Returns [`NetlistError::CombinationalCycle`] when the netlist is cyclic.
     pub fn topological_order(&self) -> Result<Vec<CellId>, NetlistError> {
-        // Count, for each cell, how many of its input nets are driven by other cells.
+        Ok(self.levelize()?.concat())
+    }
+
+    /// Groups the cells into topological levels: level 0 holds the cells all of whose
+    /// inputs are primary inputs (or undriven nets), and every cell sits one level
+    /// above the deepest cell driving one of its inputs.
+    ///
+    /// Concatenating the levels yields a valid topological order; the grouping is what
+    /// levelized simulators (and, later, parallel evaluation) consume, because all
+    /// cells within a level are mutually independent.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::CombinationalCycle`] when the netlist is cyclic.
+    ///
+    /// # Example
+    /// ```
+    /// use dpsyn_netlist::{CellKind, Netlist};
+    /// let mut netlist = Netlist::new("chain");
+    /// let a = netlist.add_input("a");
+    /// let b = netlist.add_input("b");
+    /// let x = netlist.add_gate(CellKind::And2, &[a, b]).unwrap()[0];
+    /// netlist.add_gate(CellKind::Not, &[x]).unwrap();
+    /// netlist.add_gate(CellKind::Xor2, &[a, b]).unwrap();
+    /// let levels = netlist.levelize().unwrap();
+    /// assert_eq!(levels.len(), 2);
+    /// assert_eq!(levels[0].len(), 2); // the AND and the XOR are independent
+    /// assert_eq!(levels[1].len(), 1); // the NOT reads the AND
+    /// ```
+    pub fn levelize(&self) -> Result<Vec<Vec<CellId>>, NetlistError> {
         let mut pending: Vec<usize> = self
             .cells
             .iter()
@@ -315,25 +346,31 @@ impl Netlist {
             })
             .collect();
         let fanout = self.fanout_map();
-        let mut ready: VecDeque<CellId> = pending
+        let mut current: Vec<CellId> = pending
             .iter()
             .enumerate()
             .filter(|(_, count)| **count == 0)
             .map(|(index, _)| CellId(index as u32))
             .collect();
-        let mut order = Vec::with_capacity(self.cells.len());
-        while let Some(cell) = ready.pop_front() {
-            order.push(cell);
-            for net in &self.cells[cell.index()].outputs {
-                for (reader, _) in &fanout[net.index()] {
-                    pending[reader.index()] -= 1;
-                    if pending[reader.index()] == 0 {
-                        ready.push_back(*reader);
+        let mut levels = Vec::new();
+        let mut placed = 0;
+        while !current.is_empty() {
+            placed += current.len();
+            let mut next = Vec::new();
+            for cell in &current {
+                for net in &self.cells[cell.index()].outputs {
+                    for (reader, _) in &fanout[net.index()] {
+                        pending[reader.index()] -= 1;
+                        if pending[reader.index()] == 0 {
+                            next.push(*reader);
+                        }
                     }
                 }
             }
+            levels.push(current);
+            current = next;
         }
-        if order.len() != self.cells.len() {
+        if placed != self.cells.len() {
             let culprit = pending
                 .iter()
                 .position(|count| *count > 0)
@@ -341,7 +378,7 @@ impl Netlist {
                 .unwrap_or(CellId(0));
             return Err(NetlistError::CombinationalCycle { cell: culprit });
         }
-        Ok(order)
+        Ok(levels)
     }
 
     /// Validates structural invariants: every net is driven by exactly one source
@@ -495,6 +532,49 @@ mod tests {
         assert!(positions[0] < positions[1]);
         assert!(positions[1] < positions[2]);
         assert_eq!(netlist.logic_depth(), 3);
+    }
+
+    #[test]
+    fn levelize_groups_independent_cells() {
+        let mut netlist = Netlist::new("levels");
+        let a = netlist.add_input("a");
+        let b = netlist.add_input("b");
+        let c = netlist.add_input("c");
+        let and = netlist.add_gate(CellKind::And2, &[a, b]).unwrap()[0];
+        let or = netlist.add_gate(CellKind::Or2, &[b, c]).unwrap()[0];
+        let xor = netlist.add_gate(CellKind::Xor2, &[and, or]).unwrap()[0];
+        let not = netlist.add_gate(CellKind::Not, &[xor]).unwrap()[0];
+        netlist.mark_output(not);
+        let levels = netlist.levelize().unwrap();
+        assert_eq!(levels.len(), 3);
+        assert_eq!(levels[0].len(), 2);
+        assert_eq!(levels[1].len(), 1);
+        assert_eq!(levels[2].len(), 1);
+        // Concatenating the levels yields a topological order: every cell's placement
+        // is one level above its deepest driver.
+        let flat: Vec<CellId> = levels.iter().flatten().copied().collect();
+        assert_eq!(flat.len(), netlist.cell_count());
+        let mut rank = vec![usize::MAX; netlist.cell_count()];
+        for (position, cell) in flat.iter().enumerate() {
+            rank[cell.index()] = position;
+        }
+        for (id, cell) in netlist.cells() {
+            for input in cell.inputs() {
+                if let Some((driver, _)) = netlist.net(*input).driver() {
+                    assert!(rank[driver.index()] < rank[id.index()]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn levelize_matches_logic_depth() {
+        let netlist = full_adder_netlist();
+        let levels = netlist.levelize().unwrap();
+        assert_eq!(levels.len(), netlist.logic_depth());
+        assert!(netlist.levelize().unwrap().concat().len() == netlist.cell_count());
+        let empty = Netlist::new("empty");
+        assert!(empty.levelize().unwrap().is_empty());
     }
 
     #[test]

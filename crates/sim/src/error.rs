@@ -1,0 +1,64 @@
+//! Error type shared by simulation, equivalence checking and toggle counting.
+
+use dpsyn_netlist::NetlistError;
+use std::collections::BTreeMap;
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by simulation and equivalence checking.
+#[derive(Debug)]
+pub enum SimError {
+    /// The netlist is structurally invalid (cycle, floating nets, ...).
+    Netlist(NetlistError),
+    /// The golden model could not be evaluated.
+    Ir(dpsyn_ir::IrError),
+    /// Equivalence checking found a mismatching assignment.
+    Mismatch {
+        /// The word-level input assignment that exposes the difference.
+        assignment: BTreeMap<String, u64>,
+        /// Value computed by the netlist.
+        netlist_value: u64,
+        /// Value computed by the golden expression model.
+        expected_value: u64,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Netlist(error) => write!(f, "invalid netlist: {error}"),
+            SimError::Ir(error) => write!(f, "golden model evaluation failed: {error}"),
+            SimError::Mismatch {
+                assignment,
+                netlist_value,
+                expected_value,
+            } => write!(
+                f,
+                "netlist computes {netlist_value} but the expression evaluates to \
+                 {expected_value} for {assignment:?}"
+            ),
+        }
+    }
+}
+
+impl Error for SimError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SimError::Netlist(error) => Some(error),
+            SimError::Ir(error) => Some(error),
+            SimError::Mismatch { .. } => None,
+        }
+    }
+}
+
+impl From<NetlistError> for SimError {
+    fn from(error: NetlistError) -> Self {
+        SimError::Netlist(error)
+    }
+}
+
+impl From<dpsyn_ir::IrError> for SimError {
+    fn from(error: dpsyn_ir::IrError) -> Self {
+        SimError::Ir(error)
+    }
+}

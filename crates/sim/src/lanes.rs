@@ -1,0 +1,381 @@
+//! The 64-lane bit-parallel evaluation core.
+//!
+//! [`LaneSim`] compiles a [`Netlist`] once into a levelized flat program — a dense
+//! `Vec` of three-address ops over net indices, grouped by logic level — and then
+//! evaluates **64 stimulus vectors per pass** by packing one vector into each bit of a
+//! `u64` lane word. Every gate becomes one or two bitwise machine operations
+//! (SIMD-within-a-register), so a pass over the program costs roughly the same as one
+//! scalar vector through [`Simulator`](crate::Simulator) while computing 64 of them.
+//!
+//! Lane conventions:
+//!
+//! * the lane buffer is `Vec<u64>` indexed by [`NetId::index`];
+//! * bit `t` of every lane word belongs to stimulus vector `t` (`0 ≤ t < 64`);
+//! * all 64 lanes are always evaluated — callers simulating fewer vectors mask the
+//!   surplus bits (see [`lane_mask`]), which the word-level helpers do internally.
+
+use crate::SimError;
+use dpsyn_netlist::{CellKind, NetId, Netlist, WordMap};
+use std::collections::BTreeMap;
+
+/// Number of stimulus vectors evaluated per pass: one per bit of a `u64` lane word.
+pub const LANES: usize = 64;
+
+/// The set of bits a partially filled batch of `count ≤ 64` vectors occupies.
+///
+/// # Example
+/// ```
+/// assert_eq!(dpsyn_sim::lane_mask(3), 0b111);
+/// assert_eq!(dpsyn_sim::lane_mask(64), u64::MAX);
+/// assert_eq!(dpsyn_sim::lane_mask(0), 0);
+/// ```
+pub fn lane_mask(count: usize) -> u64 {
+    match count {
+        0 => 0,
+        count if count >= LANES => u64::MAX,
+        count => (1u64 << count) - 1,
+    }
+}
+
+/// One levelized instruction: a cell kind plus the net indices of its pins.
+///
+/// Unused slots stay 0 and are never read (the kind determines arity), so the
+/// program is a fixed-stride array the evaluation loop streams through without
+/// touching the netlist graph.
+#[derive(Debug, Clone, Copy)]
+struct Op {
+    kind: CellKind,
+    ins: [u32; 3],
+    outs: [u32; 2],
+}
+
+/// A netlist compiled into a levelized, bit-parallel program.
+///
+/// # Example
+///
+/// ```
+/// # use std::error::Error;
+/// use dpsyn_netlist::{CellKind, Netlist};
+/// use dpsyn_sim::LaneSim;
+/// use std::collections::BTreeMap;
+///
+/// # fn main() -> Result<(), Box<dyn Error>> {
+/// let mut netlist = Netlist::new("maj");
+/// let a = netlist.add_input("a");
+/// let b = netlist.add_input("b");
+/// let c = netlist.add_input("c");
+/// let outs = netlist.add_gate(CellKind::Fa, &[a, b, c])?;
+/// netlist.mark_output(outs[1]); // carry = majority(a, b, c)
+/// let sim = LaneSim::compile(&netlist)?;
+/// // 64 input vectors per call: bit t of each lane word is vector t.
+/// let mut inputs = BTreeMap::new();
+/// inputs.insert(a, 0b1100u64);
+/// inputs.insert(b, 0b1010u64);
+/// inputs.insert(c, 0b0110u64);
+/// let lanes = sim.evaluate(&inputs);
+/// assert_eq!(lanes[outs[1].index()] & 0b1111, 0b1110);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct LaneSim {
+    net_count: usize,
+    inputs: Vec<NetId>,
+    ops: Vec<Op>,
+    level_offsets: Vec<usize>,
+}
+
+impl LaneSim {
+    /// Compiles a netlist into a levelized flat program.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the netlist contains a combinational cycle.
+    pub fn compile(netlist: &Netlist) -> Result<Self, SimError> {
+        let levels = netlist.levelize()?;
+        let mut ops = Vec::with_capacity(netlist.cell_count());
+        let mut level_offsets = Vec::with_capacity(levels.len() + 1);
+        level_offsets.push(0);
+        for level in &levels {
+            for cell_id in level {
+                let cell = netlist.cell(*cell_id);
+                let mut ins = [0u32; 3];
+                for (slot, net) in cell.inputs().iter().enumerate() {
+                    ins[slot] = net.index() as u32;
+                }
+                let mut outs = [0u32; 2];
+                for (slot, net) in cell.outputs().iter().enumerate() {
+                    outs[slot] = net.index() as u32;
+                }
+                ops.push(Op {
+                    kind: cell.kind(),
+                    ins,
+                    outs,
+                });
+            }
+            level_offsets.push(ops.len());
+        }
+        Ok(LaneSim {
+            net_count: netlist.net_count(),
+            inputs: netlist.inputs().to_vec(),
+            ops,
+            level_offsets,
+        })
+    }
+
+    /// Number of nets (the required lane-buffer length).
+    pub fn net_count(&self) -> usize {
+        self.net_count
+    }
+
+    /// The primary input nets, in the netlist's declaration order.
+    pub fn inputs(&self) -> &[NetId] {
+        &self.inputs
+    }
+
+    /// Number of logic levels of the compiled program.
+    pub fn level_count(&self) -> usize {
+        self.level_offsets.len() - 1
+    }
+
+    /// Number of compiled ops (one per cell).
+    pub fn op_count(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Allocates a zeroed lane buffer of the right length.
+    pub fn lane_buffer(&self) -> Vec<u64> {
+        vec![0; self.net_count]
+    }
+
+    /// Evaluates all 64 lanes in place: primary-input lanes must already be set in
+    /// `lanes`; every other entry is overwritten in level order.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `lanes.len()` differs from [`LaneSim::net_count`].
+    pub fn evaluate_into(&self, lanes: &mut [u64]) {
+        assert_eq!(
+            lanes.len(),
+            self.net_count,
+            "lane buffer must hold one u64 per net"
+        );
+        for op in &self.ops {
+            match op.kind {
+                CellKind::Fa => {
+                    let a = lanes[op.ins[0] as usize];
+                    let b = lanes[op.ins[1] as usize];
+                    let c = lanes[op.ins[2] as usize];
+                    lanes[op.outs[0] as usize] = a ^ b ^ c;
+                    lanes[op.outs[1] as usize] = (a & b) | (a & c) | (b & c);
+                }
+                CellKind::Ha => {
+                    let a = lanes[op.ins[0] as usize];
+                    let b = lanes[op.ins[1] as usize];
+                    lanes[op.outs[0] as usize] = a ^ b;
+                    lanes[op.outs[1] as usize] = a & b;
+                }
+                CellKind::And2 => {
+                    lanes[op.outs[0] as usize] =
+                        lanes[op.ins[0] as usize] & lanes[op.ins[1] as usize];
+                }
+                CellKind::And3 => {
+                    lanes[op.outs[0] as usize] = lanes[op.ins[0] as usize]
+                        & lanes[op.ins[1] as usize]
+                        & lanes[op.ins[2] as usize];
+                }
+                CellKind::Or2 => {
+                    lanes[op.outs[0] as usize] =
+                        lanes[op.ins[0] as usize] | lanes[op.ins[1] as usize];
+                }
+                CellKind::Xor2 => {
+                    lanes[op.outs[0] as usize] =
+                        lanes[op.ins[0] as usize] ^ lanes[op.ins[1] as usize];
+                }
+                CellKind::Xor3 => {
+                    lanes[op.outs[0] as usize] = lanes[op.ins[0] as usize]
+                        ^ lanes[op.ins[1] as usize]
+                        ^ lanes[op.ins[2] as usize];
+                }
+                CellKind::Not => {
+                    lanes[op.outs[0] as usize] = !lanes[op.ins[0] as usize];
+                }
+                CellKind::Buf => {
+                    lanes[op.outs[0] as usize] = lanes[op.ins[0] as usize];
+                }
+                CellKind::Mux2 => {
+                    let a = lanes[op.ins[0] as usize];
+                    let b = lanes[op.ins[1] as usize];
+                    let sel = lanes[op.ins[2] as usize];
+                    lanes[op.outs[0] as usize] = (sel & b) | (!sel & a);
+                }
+                CellKind::Const0 => {
+                    lanes[op.outs[0] as usize] = 0;
+                }
+                CellKind::Const1 => {
+                    lanes[op.outs[0] as usize] = u64::MAX;
+                }
+            }
+        }
+    }
+
+    /// Evaluates the netlist for per-net input lanes (nets missing from `inputs`
+    /// default to all-zero lanes) and returns the lane word of every net.
+    pub fn evaluate(&self, inputs: &BTreeMap<NetId, u64>) -> Vec<u64> {
+        let mut lanes = self.lane_buffer();
+        for net in &self.inputs {
+            lanes[net.index()] = inputs.get(net).copied().unwrap_or(0);
+        }
+        self.evaluate_into(&mut lanes);
+        lanes
+    }
+
+    /// Packs up to 64 word-level assignments into the input lanes of `lanes`:
+    /// assignment `t` lands in bit `t` of every input net's lane word. Input nets of
+    /// `map` not covered by an assignment default to 0; lanes beyond
+    /// `assignments.len()` stay 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics when more than [`LANES`] assignments are supplied or when `lanes` is
+    /// shorter than an input net index requires.
+    pub fn pack_word_assignments(
+        map: &WordMap,
+        assignments: &[BTreeMap<String, u64>],
+        lanes: &mut [u64],
+    ) {
+        assert!(
+            assignments.len() <= LANES,
+            "at most {LANES} assignments fit into one lane pass"
+        );
+        for word in map.inputs() {
+            for net in word.bits() {
+                lanes[net.index()] = 0;
+            }
+        }
+        for (lane, assignment) in assignments.iter().enumerate() {
+            for word in map.inputs() {
+                let value = assignment.get(word.name()).copied().unwrap_or(0);
+                for (bit, net) in word.bits().iter().enumerate() {
+                    if (value >> bit) & 1 == 1 {
+                        lanes[net.index()] |= 1 << lane;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Unpacks the output word of lane `lane` from an evaluated lane buffer.
+    pub fn unpack_output(map: &WordMap, lanes: &[u64], lane: usize) -> u64 {
+        assert!(lane < LANES, "lane index out of range");
+        let mut value = 0u64;
+        for (bit, net) in map.output().bits().iter().enumerate() {
+            value |= ((lanes[net.index()] >> lane) & 1) << bit;
+        }
+        value
+    }
+
+    /// Evaluates up to 64 word-level assignments in one pass and returns the output
+    /// word value of each, in order — the batched counterpart of
+    /// [`Simulator::evaluate_words`](crate::Simulator::evaluate_words).
+    ///
+    /// # Panics
+    ///
+    /// Panics when more than [`LANES`] assignments are supplied.
+    pub fn evaluate_word_batch(
+        &self,
+        map: &WordMap,
+        assignments: &[BTreeMap<String, u64>],
+    ) -> Vec<u64> {
+        let mut lanes = self.lane_buffer();
+        Self::pack_word_assignments(map, assignments, &mut lanes);
+        self.evaluate_into(&mut lanes);
+        (0..assignments.len())
+            .map(|lane| Self::unpack_output(map, &lanes, lane))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tests::ripple2;
+    use crate::Simulator;
+
+    #[test]
+    fn lane_engine_matches_scalar_on_the_ripple_adder() {
+        let (netlist, map) = ripple2();
+        let lane_sim = LaneSim::compile(&netlist).unwrap();
+        let scalar = Simulator::compile(&netlist).unwrap();
+        let assignments: Vec<BTreeMap<String, u64>> = (0..16u64)
+            .map(|pattern| {
+                let mut assignment = BTreeMap::new();
+                assignment.insert("a".to_string(), pattern & 3);
+                assignment.insert("b".to_string(), pattern >> 2);
+                assignment
+            })
+            .collect();
+        let batched = lane_sim.evaluate_word_batch(&map, &assignments);
+        for (assignment, lane_value) in assignments.iter().zip(&batched) {
+            assert_eq!(*lane_value, scalar.evaluate_words(&map, assignment));
+            assert_eq!(*lane_value, assignment["a"] + assignment["b"]);
+        }
+    }
+
+    #[test]
+    fn all_64_lanes_are_independent() {
+        let (netlist, map) = ripple2();
+        let lane_sim = LaneSim::compile(&netlist).unwrap();
+        let assignments: Vec<BTreeMap<String, u64>> = (0..64u64)
+            .map(|lane| {
+                let mut assignment = BTreeMap::new();
+                assignment.insert("a".to_string(), lane & 3);
+                assignment.insert("b".to_string(), (lane >> 2) & 3);
+                assignment
+            })
+            .collect();
+        let batched = lane_sim.evaluate_word_batch(&map, &assignments);
+        for (lane, value) in batched.iter().enumerate() {
+            let lane = lane as u64;
+            assert_eq!(*value, (lane & 3) + ((lane >> 2) & 3), "lane {lane}");
+        }
+    }
+
+    #[test]
+    fn compiled_program_is_levelized() {
+        let (netlist, _) = ripple2();
+        let lane_sim = LaneSim::compile(&netlist).unwrap();
+        assert_eq!(lane_sim.op_count(), netlist.cell_count());
+        assert_eq!(lane_sim.level_count(), netlist.logic_depth());
+        assert_eq!(lane_sim.net_count(), netlist.net_count());
+        assert_eq!(lane_sim.inputs(), netlist.inputs());
+    }
+
+    #[test]
+    fn missing_inputs_default_to_zero_lanes() {
+        let (netlist, map) = ripple2();
+        let lane_sim = LaneSim::compile(&netlist).unwrap();
+        let lanes = lane_sim.evaluate(&BTreeMap::new());
+        for net in map.output().bits() {
+            assert_eq!(lanes[net.index()], 0);
+        }
+    }
+
+    #[test]
+    fn lane_mask_covers_partial_batches() {
+        assert_eq!(lane_mask(0), 0);
+        assert_eq!(lane_mask(1), 1);
+        assert_eq!(lane_mask(63), u64::MAX >> 1);
+        assert_eq!(lane_mask(64), u64::MAX);
+        assert_eq!(lane_mask(65), u64::MAX);
+    }
+
+    #[test]
+    #[should_panic(expected = "one u64 per net")]
+    fn wrong_buffer_length_is_rejected() {
+        let (netlist, _) = ripple2();
+        let lane_sim = LaneSim::compile(&netlist).unwrap();
+        let mut lanes = vec![0u64; 1];
+        lane_sim.evaluate_into(&mut lanes);
+    }
+}

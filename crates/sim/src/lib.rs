@@ -1,23 +1,34 @@
 //! Bit-accurate logic simulation, stimulus generation, equivalence checking and toggle
 //! counting.
 //!
-//! The simulator evaluates a combinational [`Netlist`] for a vector of primary-input
-//! values. On top of it the crate provides:
+//! The crate is built around two evaluation engines over a combinational
+//! [`Netlist`](dpsyn_netlist::Netlist):
 //!
-//! * [`Simulator::evaluate_words`] — word-level evaluation through a [`WordMap`];
+//! * [`LaneSim`] — the production engine. The netlist is compiled once into a
+//!   levelized flat program (dense `Vec` net storage, no per-vector map lookups) that
+//!   evaluates **64 stimulus vectors per pass** by packing one vector into each bit of
+//!   a `u64` lane word; every gate costs one or two bitwise machine operations.
+//! * [`Simulator`] — the scalar reference evaluator, one vector at a time. It is the
+//!   oracle the lane engine is differentially tested against (`crates/sim/tests/`).
+//!
+//! On top of the engines the crate provides:
+//!
 //! * [`check_equivalence`] — exhaustive or randomised functional comparison of a
-//!   synthesized netlist against the golden [`Expr`] model of `dpsyn-ir`;
-//! * [`ToggleCounter`] — zero-delay transition counting over a vector sequence, giving
-//!   a simulation-based estimate of per-net switching activity that cross-validates the
-//!   analytic model of `dpsyn-power`;
-//! * [`Stimulus`] — random vector generation honouring per-input signal probabilities.
+//!   synthesized netlist against the golden [`Expr`](dpsyn_ir::Expr) model of
+//!   `dpsyn-ir`, batched 64 assignments per lane pass;
+//! * [`ToggleCounter`] — zero-delay transition counting over a vector sequence
+//!   (lane batches reduce to `count_ones` over lane XORs), giving a simulation-based
+//!   estimate of per-net switching activity that cross-validates the analytic model
+//!   of `dpsyn-power`;
+//! * [`Stimulus`] — random vector generation honouring per-input signal
+//!   probabilities, with batch helpers sized for lane passes.
 //!
-//! # Example
+//! # Example: the lane API
 //!
 //! ```
 //! # use std::error::Error;
 //! use dpsyn_netlist::{CellKind, Netlist, Word, WordMap};
-//! use dpsyn_sim::Simulator;
+//! use dpsyn_sim::LaneSim;
 //! use std::collections::BTreeMap;
 //!
 //! # fn main() -> Result<(), Box<dyn Error>> {
@@ -33,350 +44,51 @@
 //!     vec![Word::new("a", vec![a]), Word::new("b", vec![b]), Word::new("c", vec![c])],
 //!     Word::new("out", vec![outs[0], outs[1]]),
 //! );
-//! let simulator = Simulator::compile(&netlist)?;
-//! let mut values = BTreeMap::new();
-//! values.insert("a".to_string(), 1u64);
-//! values.insert("b".to_string(), 1u64);
-//! values.insert("c".to_string(), 1u64);
-//! assert_eq!(simulator.evaluate_words(&map, &values), 3);
+//! let simulator = LaneSim::compile(&netlist)?;
+//! // All eight input combinations in ONE evaluation pass (56 lanes to spare).
+//! let batch: Vec<BTreeMap<String, u64>> = (0..8u64)
+//!     .map(|pattern| {
+//!         let mut assignment = BTreeMap::new();
+//!         assignment.insert("a".to_string(), pattern & 1);
+//!         assignment.insert("b".to_string(), (pattern >> 1) & 1);
+//!         assignment.insert("c".to_string(), (pattern >> 2) & 1);
+//!         assignment
+//!     })
+//!     .collect();
+//! let sums = simulator.evaluate_word_batch(&map, &batch);
+//! for (pattern, sum) in sums.iter().enumerate() {
+//!     assert_eq!(*sum, (pattern as u64).count_ones() as u64);
+//! }
 //! # Ok(())
 //! # }
 //! ```
+//!
+//! The scalar oracle keeps the original one-vector API; see [`Simulator`] for an
+//! equivalent single-vector example.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use dpsyn_ir::{Expr, InputSpec};
-use dpsyn_netlist::{CellId, NetId, Netlist, NetlistError, WordMap};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use std::collections::BTreeMap;
-use std::error::Error;
-use std::fmt;
+mod equiv;
+mod error;
+mod lanes;
+mod scalar;
+mod stimulus;
+mod toggle;
 
-/// Errors produced by simulation and equivalence checking.
-#[derive(Debug)]
-pub enum SimError {
-    /// The netlist is structurally invalid (cycle, floating nets, ...).
-    Netlist(NetlistError),
-    /// The golden model could not be evaluated.
-    Ir(dpsyn_ir::IrError),
-    /// Equivalence checking found a mismatching assignment.
-    Mismatch {
-        /// The word-level input assignment that exposes the difference.
-        assignment: BTreeMap<String, u64>,
-        /// Value computed by the netlist.
-        netlist_value: u64,
-        /// Value computed by the golden expression model.
-        expected_value: u64,
-    },
-}
-
-impl fmt::Display for SimError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            SimError::Netlist(error) => write!(f, "invalid netlist: {error}"),
-            SimError::Ir(error) => write!(f, "golden model evaluation failed: {error}"),
-            SimError::Mismatch {
-                assignment,
-                netlist_value,
-                expected_value,
-            } => write!(
-                f,
-                "netlist computes {netlist_value} but the expression evaluates to \
-                 {expected_value} for {assignment:?}"
-            ),
-        }
-    }
-}
-
-impl Error for SimError {
-    fn source(&self) -> Option<&(dyn Error + 'static)> {
-        match self {
-            SimError::Netlist(error) => Some(error),
-            SimError::Ir(error) => Some(error),
-            SimError::Mismatch { .. } => None,
-        }
-    }
-}
-
-impl From<NetlistError> for SimError {
-    fn from(error: NetlistError) -> Self {
-        SimError::Netlist(error)
-    }
-}
-
-impl From<dpsyn_ir::IrError> for SimError {
-    fn from(error: dpsyn_ir::IrError) -> Self {
-        SimError::Ir(error)
-    }
-}
-
-/// A compiled simulator: the netlist's cells in topological order, ready for repeated
-/// evaluation.
-#[derive(Debug, Clone)]
-pub struct Simulator<'nl> {
-    netlist: &'nl Netlist,
-    order: Vec<CellId>,
-}
-
-impl<'nl> Simulator<'nl> {
-    /// Compiles a netlist for simulation (computes a topological order once).
-    ///
-    /// # Errors
-    ///
-    /// Returns an error when the netlist contains a combinational cycle.
-    pub fn compile(netlist: &'nl Netlist) -> Result<Self, SimError> {
-        let order = netlist.topological_order()?;
-        Ok(Simulator { netlist, order })
-    }
-
-    /// The underlying netlist.
-    pub fn netlist(&self) -> &Netlist {
-        self.netlist
-    }
-
-    /// Evaluates the netlist for the given primary-input values.
-    ///
-    /// Inputs missing from `inputs` are treated as logic 0. The returned vector holds
-    /// the value of every net, indexed by [`NetId::index`].
-    pub fn evaluate(&self, inputs: &BTreeMap<NetId, bool>) -> Vec<bool> {
-        let mut values = vec![false; self.netlist.net_count()];
-        for net in self.netlist.inputs() {
-            values[net.index()] = inputs.get(net).copied().unwrap_or(false);
-        }
-        for cell_id in &self.order {
-            let cell = self.netlist.cell(*cell_id);
-            let input_values: Vec<bool> = cell
-                .inputs()
-                .iter()
-                .map(|net| values[net.index()])
-                .collect();
-            let outputs = cell.kind().evaluate(&input_values);
-            for (net, value) in cell.outputs().iter().zip(outputs) {
-                values[net.index()] = value;
-            }
-        }
-        values
-    }
-
-    /// Evaluates the netlist for a word-level assignment and packs the output word.
-    pub fn evaluate_words(&self, map: &WordMap, values: &BTreeMap<String, u64>) -> u64 {
-        let bit_inputs = map.assignment_to_bits(values);
-        let net_values = self.evaluate(&bit_inputs);
-        let output_values: BTreeMap<NetId, bool> = map
-            .output()
-            .bits()
-            .iter()
-            .map(|net| (*net, net_values[net.index()]))
-            .collect();
-        map.output_value(&output_values)
-    }
-}
-
-/// Random or exhaustive stimulus generation over the words of a [`WordMap`].
-#[derive(Debug, Clone)]
-pub struct Stimulus {
-    rng: StdRng,
-}
-
-impl Stimulus {
-    /// Creates a reproducible stimulus generator from a seed.
-    pub fn with_seed(seed: u64) -> Self {
-        Stimulus {
-            rng: StdRng::seed_from_u64(seed),
-        }
-    }
-
-    /// Draws one uniformly random word-level assignment for the variables of `spec`.
-    pub fn uniform_assignment(&mut self, spec: &InputSpec) -> BTreeMap<String, u64> {
-        spec.vars()
-            .map(|var| {
-                let mask = if var.width() >= 64 {
-                    u64::MAX
-                } else {
-                    (1u64 << var.width()) - 1
-                };
-                (var.name().to_string(), self.rng.gen::<u64>() & mask)
-            })
-            .collect()
-    }
-
-    /// Draws one word-level assignment where every bit is 1 with the probability given
-    /// in the spec's per-bit profile (the model used by the paper's power experiments).
-    pub fn biased_assignment(&mut self, spec: &InputSpec) -> BTreeMap<String, u64> {
-        spec.vars()
-            .map(|var| {
-                let mut value = 0u64;
-                for (index, bit) in var.bits().iter().enumerate() {
-                    if self.rng.gen::<f64>() < bit.probability {
-                        value |= 1 << index;
-                    }
-                }
-                (var.name().to_string(), value)
-            })
-            .collect()
-    }
-
-    /// Enumerates every assignment of the variables in `spec` when the total number of
-    /// input bits is at most `max_bits`; returns `None` otherwise.
-    pub fn exhaustive_assignments(
-        spec: &InputSpec,
-        max_bits: u32,
-    ) -> Option<Vec<BTreeMap<String, u64>>> {
-        let total_bits = spec.total_bits();
-        if total_bits > max_bits || total_bits > 24 {
-            return None;
-        }
-        let vars: Vec<_> = spec.vars().collect();
-        let mut assignments = Vec::with_capacity(1 << total_bits);
-        for pattern in 0u64..(1 << total_bits) {
-            let mut assignment = BTreeMap::new();
-            let mut cursor = pattern;
-            for var in &vars {
-                let mask = (1u64 << var.width()) - 1;
-                assignment.insert(var.name().to_string(), cursor & mask);
-                cursor >>= var.width();
-            }
-            assignments.push(assignment);
-        }
-        Some(assignments)
-    }
-}
-
-/// Checks functional equivalence between a synthesized netlist and the golden
-/// expression model, exhaustively when the input space is small (≤ 16 bits) and with
-/// `random_vectors` random assignments otherwise.
-///
-/// `width` is the output width the expression is reduced modulo.
-///
-/// # Errors
-///
-/// Returns [`SimError::Mismatch`] with a counterexample when the two models disagree,
-/// or other variants when either model cannot be evaluated.
-pub fn check_equivalence(
-    netlist: &Netlist,
-    map: &WordMap,
-    expr: &Expr,
-    spec: &InputSpec,
-    width: u32,
-    random_vectors: usize,
-    seed: u64,
-) -> Result<(), SimError> {
-    let simulator = Simulator::compile(netlist)?;
-    let mut stimulus = Stimulus::with_seed(seed);
-    let assignments = Stimulus::exhaustive_assignments(spec, 16).unwrap_or_else(|| {
-        (0..random_vectors)
-            .map(|_| stimulus.uniform_assignment(spec))
-            .collect()
-    });
-    for assignment in assignments {
-        let expected = expr.evaluate_mod(&assignment, width)?;
-        let actual = simulator.evaluate_words(map, &assignment);
-        if expected != actual {
-            return Err(SimError::Mismatch {
-                assignment,
-                netlist_value: actual,
-                expected_value: expected,
-            });
-        }
-    }
-    Ok(())
-}
-
-/// Zero-delay toggle counting over a sequence of input vectors.
-///
-/// Feeding `n` vectors produces `n − 1` opportunities for each net to toggle; the
-/// per-net toggle rate estimates the switching activity that the analytic model of
-/// `dpsyn-power` predicts as `2·p·(1 − p)` per vector pair (a toggle happens when two
-/// consecutive independent samples differ).
-#[derive(Debug, Clone)]
-pub struct ToggleCounter {
-    toggles: Vec<u64>,
-    vectors: u64,
-    previous: Option<Vec<bool>>,
-}
-
-impl ToggleCounter {
-    /// Creates a counter for a netlist with `net_count` nets.
-    pub fn new(net_count: usize) -> Self {
-        ToggleCounter {
-            toggles: vec![0; net_count],
-            vectors: 0,
-            previous: None,
-        }
-    }
-
-    /// Records the net values of one simulated vector.
-    pub fn record(&mut self, values: &[bool]) {
-        if let Some(previous) = &self.previous {
-            for (index, (old, new)) in previous.iter().zip(values.iter()).enumerate() {
-                if old != new {
-                    self.toggles[index] += 1;
-                }
-            }
-        }
-        self.previous = Some(values.to_vec());
-        self.vectors += 1;
-    }
-
-    /// Number of vectors recorded so far.
-    pub fn vectors(&self) -> u64 {
-        self.vectors
-    }
-
-    /// Toggle count of a net.
-    pub fn toggles(&self, net: NetId) -> u64 {
-        self.toggles[net.index()]
-    }
-
-    /// Toggle rate of a net: toggles per vector transition (0.0 before two vectors).
-    pub fn toggle_rate(&self, net: NetId) -> f64 {
-        if self.vectors < 2 {
-            0.0
-        } else {
-            self.toggles[net.index()] as f64 / (self.vectors - 1) as f64
-        }
-    }
-
-    /// Sum of toggle rates over a set of nets.
-    pub fn total_toggle_rate<I: IntoIterator<Item = NetId>>(&self, nets: I) -> f64 {
-        nets.into_iter().map(|net| self.toggle_rate(net)).sum()
-    }
-}
-
-/// Runs a biased random simulation of `vectors` input vectors and returns the populated
-/// [`ToggleCounter`].
-///
-/// # Errors
-///
-/// Returns an error when the netlist cannot be simulated.
-pub fn measure_toggles(
-    netlist: &Netlist,
-    map: &WordMap,
-    spec: &InputSpec,
-    vectors: usize,
-    seed: u64,
-) -> Result<ToggleCounter, SimError> {
-    let simulator = Simulator::compile(netlist)?;
-    let mut stimulus = Stimulus::with_seed(seed);
-    let mut counter = ToggleCounter::new(netlist.net_count());
-    for _ in 0..vectors {
-        let assignment = stimulus.biased_assignment(spec);
-        let bit_inputs = map.assignment_to_bits(&assignment);
-        let values = simulator.evaluate(&bit_inputs);
-        counter.record(&values);
-    }
-    Ok(counter)
-}
+pub use equiv::check_equivalence;
+pub use error::SimError;
+pub use lanes::{lane_mask, LaneSim, LANES};
+pub use scalar::Simulator;
+pub use stimulus::Stimulus;
+pub use toggle::{measure_toggles, ToggleCounter};
 
 #[cfg(test)]
-mod tests {
-    use super::*;
-    use dpsyn_netlist::{CellKind, Word};
+pub(crate) mod tests {
+    use dpsyn_netlist::{CellKind, NetId, Netlist, Word, WordMap};
 
     /// Builds a 2-bit ripple adder out = a + b (a, b two bits each, out three bits).
-    fn ripple2() -> (Netlist, WordMap) {
+    pub(crate) fn ripple2() -> (Netlist, WordMap) {
         let mut netlist = Netlist::new("ripple2");
         let a0 = netlist.add_input("a0");
         let a1 = netlist.add_input("a1");
@@ -396,181 +108,14 @@ mod tests {
         (netlist, map)
     }
 
-    #[test]
-    fn ripple_adder_simulates_correctly() {
-        let (netlist, map) = ripple2();
-        let simulator = Simulator::compile(&netlist).unwrap();
-        for a in 0..4u64 {
-            for b in 0..4u64 {
-                let mut values = BTreeMap::new();
-                values.insert("a".to_string(), a);
-                values.insert("b".to_string(), b);
-                assert_eq!(simulator.evaluate_words(&map, &values), a + b);
-            }
-        }
-    }
-
-    #[test]
-    fn missing_inputs_default_to_zero() {
-        let (netlist, map) = ripple2();
-        let simulator = Simulator::compile(&netlist).unwrap();
-        assert_eq!(simulator.evaluate_words(&map, &BTreeMap::new()), 0);
-    }
-
-    #[test]
-    fn equivalence_against_expression() {
-        let (netlist, map) = ripple2();
-        let expr = Expr::var("a") + Expr::var("b");
-        let spec = InputSpec::builder()
-            .var("a", 2)
-            .var("b", 2)
-            .build()
-            .unwrap();
-        check_equivalence(&netlist, &map, &expr, &spec, 3, 64, 7).unwrap();
-    }
-
-    #[test]
-    fn inequivalence_is_detected_with_counterexample() {
-        let (netlist, map) = ripple2();
-        let expr = Expr::var("a") * Expr::var("b");
-        let spec = InputSpec::builder()
-            .var("a", 2)
-            .var("b", 2)
-            .build()
-            .unwrap();
-        let result = check_equivalence(&netlist, &map, &expr, &spec, 3, 64, 7);
-        match result {
-            Err(SimError::Mismatch {
-                assignment,
-                netlist_value,
-                expected_value,
-            }) => {
-                let a = assignment["a"];
-                let b = assignment["b"];
-                assert_eq!(netlist_value, (a + b) % 8);
-                assert_eq!(expected_value, (a * b) % 8);
-            }
-            other => panic!("expected a mismatch, got {other:?}"),
-        }
-    }
-
-    #[test]
-    fn exhaustive_assignments_cover_the_space() {
-        let spec = InputSpec::builder()
-            .var("a", 2)
-            .var("b", 1)
-            .build()
-            .unwrap();
-        let assignments = Stimulus::exhaustive_assignments(&spec, 16).unwrap();
-        assert_eq!(assignments.len(), 8);
-        let distinct: std::collections::BTreeSet<_> =
-            assignments.iter().map(|a| (a["a"], a["b"])).collect();
-        assert_eq!(distinct.len(), 8);
-        // Too many bits -> None.
-        let wide = InputSpec::builder().var("x", 30).build().unwrap();
-        assert!(Stimulus::exhaustive_assignments(&wide, 16).is_none());
-    }
-
-    #[test]
-    fn uniform_assignments_respect_width() {
-        let spec = InputSpec::builder()
-            .var("a", 3)
-            .var("b", 7)
-            .build()
-            .unwrap();
-        let mut stimulus = Stimulus::with_seed(42);
-        for _ in 0..50 {
-            let assignment = stimulus.uniform_assignment(&spec);
-            assert!(assignment["a"] < 8);
-            assert!(assignment["b"] < 128);
-        }
-    }
-
-    #[test]
-    fn biased_assignments_follow_probabilities() {
-        let spec = InputSpec::builder()
-            .var_with_probability("hot", 1, 0.95)
-            .var_with_probability("cold", 1, 0.05)
-            .build()
-            .unwrap();
-        let mut stimulus = Stimulus::with_seed(11);
-        let mut hot_ones = 0;
-        let mut cold_ones = 0;
-        let trials = 2000;
-        for _ in 0..trials {
-            let assignment = stimulus.biased_assignment(&spec);
-            hot_ones += assignment["hot"];
-            cold_ones += assignment["cold"];
-        }
-        assert!(hot_ones as f64 / trials as f64 > 0.9);
-        assert!((cold_ones as f64 / trials as f64) < 0.1);
-    }
-
-    #[test]
-    fn stimulus_is_reproducible() {
-        let spec = InputSpec::builder().var("a", 16).build().unwrap();
-        let mut first = Stimulus::with_seed(3);
-        let mut second = Stimulus::with_seed(3);
-        for _ in 0..10 {
-            assert_eq!(
-                first.uniform_assignment(&spec),
-                second.uniform_assignment(&spec)
-            );
-        }
-    }
-
-    #[test]
-    fn toggle_counter_counts_transitions() {
-        let mut counter = ToggleCounter::new(2);
-        assert_eq!(counter.toggle_rate(fake_net(0)), 0.0);
-        counter.record(&[false, true]);
-        counter.record(&[true, true]);
-        counter.record(&[false, true]);
-        assert_eq!(counter.vectors(), 3);
-        assert_eq!(counter.toggles(fake_net(0)), 2);
-        assert_eq!(counter.toggles(fake_net(1)), 0);
-        assert_eq!(counter.toggle_rate(fake_net(0)), 1.0);
-        assert_eq!(counter.total_toggle_rate([fake_net(0), fake_net(1)]), 1.0);
-    }
-
-    /// Toggle rates measured by simulation should agree with the analytic model
-    /// 2·p·(1 − p) for independent consecutive samples.
-    #[test]
-    fn toggle_rates_match_analytic_activity() {
-        let (netlist, map) = ripple2();
-        let spec = InputSpec::builder()
-            .var_with_probability("a", 2, 0.5)
-            .var_with_probability("b", 2, 0.5)
-            .build()
-            .unwrap();
-        let counter = measure_toggles(&netlist, &map, &spec, 4000, 99).unwrap();
-        // The HA sum output has p = 0.5 -> toggle rate ≈ 2·0.25 = 0.5.
-        let ha_sum = map.output().bit(0).unwrap();
-        let rate = counter.toggle_rate(ha_sum);
-        assert!((rate - 0.5).abs() < 0.05, "rate {rate}");
-    }
-
-    fn fake_net(index: usize) -> NetId {
-        // Build identifiers through a scratch netlist because NetId construction is
-        // private to the netlist crate.
+    /// Builds a `NetId` with the given index through a scratch netlist, because net
+    /// identifier construction is private to the netlist crate.
+    pub(crate) fn fake_net(index: usize) -> NetId {
         let mut scratch = Netlist::new("scratch");
         let mut last = scratch.add_net("n");
         for _ in 0..index {
             last = scratch.add_net("n");
         }
         last
-    }
-
-    #[test]
-    fn sim_error_display() {
-        let (netlist, map) = ripple2();
-        let expr = Expr::var("a") - Expr::var("b");
-        let spec = InputSpec::builder()
-            .var("a", 2)
-            .var("b", 2)
-            .build()
-            .unwrap();
-        let error = check_equivalence(&netlist, &map, &expr, &spec, 3, 16, 1).unwrap_err();
-        assert!(error.to_string().contains("netlist computes"));
     }
 }

@@ -32,27 +32,38 @@ fn check_all_flows(design: &Design, vectors: usize) {
     }
 }
 
+// Vector counts below were raised 20–50× when `check_equivalence` moved to the
+// 64-lane engine (PR 2). New wall-clock at these counts: the whole four-test suite
+// finishes in ~2.1 s under the tier-1 profile (`cargo test -q`, debug build) on the
+// development container — synthesis of the 6 flows per design, not simulation, now
+// dominates.
+
 #[test]
 fn polynomial_designs_are_equivalent_across_flows() {
-    check_all_flows(&dpsyn_designs::x_squared(), 200);
-    check_all_flows(&dpsyn_designs::x_cubed(), 200);
-    check_all_flows(&dpsyn_designs::mixed_poly(), 60);
+    // Raised from 200/200/60 vectors (x² and x³ enumerate exhaustively anyway).
+    check_all_flows(&dpsyn_designs::x_squared(), 4096);
+    check_all_flows(&dpsyn_designs::x_cubed(), 4096);
+    check_all_flows(&dpsyn_designs::mixed_poly(), 4096);
 }
 
 #[test]
 fn quadratic_designs_are_equivalent_across_flows() {
-    check_all_flows(&dpsyn_designs::x2_x_y(), 60);
-    check_all_flows(&dpsyn_designs::binomial_square(), 60);
+    // Raised from 60/60; both specs enumerate exhaustively at 16 input bits, so the
+    // count only governs the random fallback.
+    check_all_flows(&dpsyn_designs::x2_x_y(), 4096);
+    check_all_flows(&dpsyn_designs::binomial_square(), 4096);
 }
 
 #[test]
 fn filter_designs_are_equivalent_across_flows() {
-    check_all_flows(&dpsyn_designs::iir(), 40);
-    check_all_flows(&dpsyn_designs::serial_adapter(), 40);
+    // Raised from 40/40 random vectors.
+    check_all_flows(&dpsyn_designs::iir(), 2048);
+    check_all_flows(&dpsyn_designs::serial_adapter(), 2048);
 }
 
 #[test]
 fn wide_designs_are_equivalent_across_flows() {
-    check_all_flows(&dpsyn_designs::complex_mult(), 25);
-    check_all_flows(&dpsyn_designs::kalman(), 20);
+    // Raised from 25/20 random vectors (the kalman netlists are the largest here).
+    check_all_flows(&dpsyn_designs::complex_mult(), 1024);
+    check_all_flows(&dpsyn_designs::kalman(), 1024);
 }
