@@ -1,0 +1,180 @@
+//! Uniform dispatch over every synthesis flow of the evaluation.
+//!
+//! The table/figure harness and the design-space exploration engine both need to run
+//! "one of the six flows" data-driven rather than calling six differently-shaped
+//! functions. [`Flow`] names each flow as a value (the `FaRandom` variant carries its
+//! seed so a run is reproducible from the value alone) and [`Flow::run`] dispatches to
+//! the corresponding free function with the shared
+//! `(expr, spec, width, tech) -> FlowResult` signature.
+
+use crate::flow::{BaselineError, FlowResult};
+use crate::{conventional, csa_opt, fa_alp, fa_aot, fa_random, wallace_fixed};
+use dpsyn_core::Objective;
+use dpsyn_ir::{Expr, InputSpec};
+use dpsyn_tech::TechLibrary;
+use std::fmt;
+
+/// One of the six synthesis flows of the DAC 2000 evaluation, as a dispatchable value.
+///
+/// # Example
+///
+/// ```
+/// # use std::error::Error;
+/// use dpsyn_baselines::Flow;
+/// use dpsyn_ir::{parse_expr, InputSpec};
+/// use dpsyn_tech::TechLibrary;
+///
+/// # fn main() -> Result<(), Box<dyn Error>> {
+/// let expr = parse_expr("a*b + c")?;
+/// let spec = InputSpec::builder().var("a", 4).var("b", 4).var("c", 4).build()?;
+/// let lib = TechLibrary::lcbg10pv_like();
+/// let ours = Flow::FaAot.run(&expr, &spec, 9, &lib)?;
+/// let rival = Flow::Conventional.run(&expr, &spec, 9, &lib)?;
+/// assert!(ours.delay <= rival.delay + 1e-9);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Flow {
+    /// Conventional two-step flow: closed adder/multiplier modules, balanced chains.
+    Conventional,
+    /// Word-level delay-optimal carry-save allocation (ICCAD'99 reference flow).
+    CsaOpt,
+    /// Global FA-tree with the fixed, arrival-blind Wallace row-order selection.
+    WallaceFixed,
+    /// Global FA-tree with pseudo-random FA input selection (the paper's FA_random);
+    /// the embedded seed makes the flow a pure function of its inputs.
+    FaRandom(u64),
+    /// The paper's FA_AOT: earliest-arrival selection, timing-optimal.
+    FaAot,
+    /// The paper's FA_ALP: largest-|q| selection, low-power.
+    FaAlp,
+}
+
+impl Flow {
+    /// The three rival flows the paper's FA_AOT is compared against in Table 1.
+    pub const TIMING_RIVALS: [Flow; 2] = [Flow::Conventional, Flow::CsaOpt];
+
+    /// Every flow with a fixed identity (excludes `FaRandom`, which needs a seed).
+    pub const NAMED: [Flow; 5] = [
+        Flow::Conventional,
+        Flow::CsaOpt,
+        Flow::WallaceFixed,
+        Flow::FaAot,
+        Flow::FaAlp,
+    ];
+
+    /// Short identifier used in tables and summaries (seed-independent).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Flow::Conventional => "conventional",
+            Flow::CsaOpt => "csa_opt",
+            Flow::WallaceFixed => "wallace_fixed",
+            Flow::FaRandom(_) => "fa_random",
+            Flow::FaAot => "fa_aot",
+            Flow::FaAlp => "fa_alp",
+        }
+    }
+
+    /// The optimisation objective this flow targets: `Power` for the two
+    /// probability-driven selections, `Timing` for everything else.
+    pub fn objective(&self) -> Objective {
+        match self {
+            Flow::FaRandom(_) | Flow::FaAlp => Objective::Power,
+            Flow::Conventional | Flow::CsaOpt | Flow::WallaceFixed | Flow::FaAot => {
+                Objective::Timing
+            }
+        }
+    }
+
+    /// Runs the flow on one design point.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if lowering, synthesis or any analysis fails.
+    pub fn run(
+        &self,
+        expr: &Expr,
+        spec: &InputSpec,
+        width: u32,
+        tech: &TechLibrary,
+    ) -> Result<FlowResult, BaselineError> {
+        match self {
+            Flow::Conventional => conventional(expr, spec, width, tech),
+            Flow::CsaOpt => csa_opt(expr, spec, width, tech),
+            Flow::WallaceFixed => wallace_fixed(expr, spec, width, tech),
+            Flow::FaRandom(seed) => fa_random(expr, spec, width, tech, *seed),
+            Flow::FaAot => fa_aot(expr, spec, width, tech),
+            Flow::FaAlp => fa_alp(expr, spec, width, tech),
+        }
+    }
+}
+
+impl fmt::Display for Flow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Flow::FaRandom(seed) => write!(f, "fa_random(seed={seed})"),
+            other => write!(f, "{}", other.name()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpsyn_ir::parse_expr;
+
+    #[test]
+    fn dispatch_matches_the_free_functions() {
+        let expr = parse_expr("a*b + c - 1").unwrap();
+        let spec = InputSpec::builder()
+            .var_with_arrival("a", 3, 1.0)
+            .var("b", 3)
+            .var_with_probability("c", 3, 0.2)
+            .build()
+            .unwrap();
+        let lib = TechLibrary::lcbg10pv_like();
+        let direct = [
+            conventional(&expr, &spec, 8, &lib).unwrap(),
+            csa_opt(&expr, &spec, 8, &lib).unwrap(),
+            wallace_fixed(&expr, &spec, 8, &lib).unwrap(),
+            fa_random(&expr, &spec, 8, &lib, 11).unwrap(),
+            fa_aot(&expr, &spec, 8, &lib).unwrap(),
+            fa_alp(&expr, &spec, 8, &lib).unwrap(),
+        ];
+        let flows = [
+            Flow::Conventional,
+            Flow::CsaOpt,
+            Flow::WallaceFixed,
+            Flow::FaRandom(11),
+            Flow::FaAot,
+            Flow::FaAlp,
+        ];
+        for (flow, reference) in flows.iter().zip(&direct) {
+            let dispatched = flow.run(&expr, &spec, 8, &lib).unwrap();
+            assert_eq!(dispatched.flow, reference.flow, "{flow}");
+            // Dispatch must be bit-identical to the direct call, not merely close.
+            assert_eq!(dispatched.delay, reference.delay, "{flow}");
+            assert_eq!(dispatched.area, reference.area, "{flow}");
+            assert_eq!(
+                dispatched.switching_energy, reference.switching_energy,
+                "{flow}"
+            );
+            assert_eq!(dispatched.power_mw, reference.power_mw, "{flow}");
+        }
+    }
+
+    #[test]
+    fn names_objectives_and_display_are_stable() {
+        assert_eq!(Flow::Conventional.name(), "conventional");
+        assert_eq!(Flow::FaRandom(7).name(), "fa_random");
+        assert_eq!(Flow::FaRandom(7).to_string(), "fa_random(seed=7)");
+        assert_eq!(Flow::FaAot.to_string(), "fa_aot");
+        assert_eq!(Flow::FaAot.objective(), Objective::Timing);
+        assert_eq!(Flow::WallaceFixed.objective(), Objective::Timing);
+        assert_eq!(Flow::FaAlp.objective(), Objective::Power);
+        assert_eq!(Flow::FaRandom(7).objective(), Objective::Power);
+        assert_eq!(Flow::NAMED.len(), 5);
+        assert_eq!(Flow::TIMING_RIVALS.len(), 2);
+    }
+}

@@ -17,6 +17,10 @@
 //!   invoked through the same [`FlowResult`]-returning interface in the benchmark
 //!   harness.
 //!
+//! [`Flow`] names each of the six flows as a dispatchable value so harnesses (the
+//! tables of `dpsyn-bench`, the exploration engine of `dpsyn-explore`) can iterate
+//! over flows data-driven instead of hard-coding six call sites.
+//!
 //! # Example
 //!
 //! ```
@@ -41,11 +45,13 @@
 
 mod conventional;
 mod csa_opt;
+mod dispatch;
 mod flow;
 mod wrappers;
 
 pub use conventional::conventional;
 pub use csa_opt::csa_opt;
+pub use dispatch::Flow;
 pub use flow::{BaselineError, FlowResult};
 pub use wrappers::{fa_alp, fa_aot, fa_random, wallace_fixed};
 

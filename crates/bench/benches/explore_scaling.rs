@@ -1,0 +1,113 @@
+//! Criterion benchmark: thread scaling of the design-space exploration engine on the
+//! ablation workload (an 8×10-bit `random_sum` arrival sweep, 12 jobs), plus a
+//! determinism/scaling gate.
+//!
+//! Beyond the criterion timings, the harness times full explorations at 1, 2 and 4
+//! workers directly, **asserts the results stay bit-identical across thread counts**,
+//! and prints a JSON line (the format of the committed `BENCH_explore.json` baseline)
+//! recording the measured scaling on this machine:
+//!
+//! ```bash
+//! cargo bench -p dpsyn-bench --bench explore_scaling
+//! ```
+//!
+//! On a single-core container the speedups sit near 1.0 (the gate only rejects
+//! pathological parallel overhead); on a multi-core machine they approach the worker
+//! count, since the jobs are independent synthesis runs.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use dpsyn_baselines::Flow;
+use dpsyn_explore::{explore, ExplorationResults, ExplorationSpec, SkewProfile};
+use std::time::Instant;
+
+/// The ablation workload as an exploration matrix: one 8-operand 10-bit sum under
+/// four arrival skews, three flows each.
+fn spec(threads: usize) -> ExplorationSpec {
+    ExplorationSpec::builder()
+        .sum_workload(8)
+        .width(10)
+        .skews([
+            SkewProfile::Uniform(0.0),
+            SkewProfile::Uniform(1.0),
+            SkewProfile::Uniform(2.0),
+            SkewProfile::Uniform(4.0),
+        ])
+        .flows([Flow::FaAot, Flow::WallaceFixed, Flow::CsaOpt])
+        .seed(7)
+        .threads(threads)
+        .build()
+        .expect("scaling workload is well-formed")
+}
+
+fn bench_explore_scaling(criterion: &mut Criterion) {
+    let mut group = criterion.benchmark_group("explore_scaling");
+    group.sample_size(10);
+    for threads in [1usize, 4] {
+        group.bench_function(format!("ablation_12_jobs_threads_{threads}"), |bencher| {
+            let spec = spec(threads);
+            bencher.iter(|| black_box(explore(&spec).expect("exploration succeeds")))
+        });
+    }
+    group.finish();
+
+    scaling_gate();
+}
+
+/// Flattens a result into exactly-comparable bits.
+fn fingerprint(results: &ExplorationResults) -> Vec<(String, u64, u64, u64)> {
+    results
+        .points()
+        .iter()
+        .map(|point| {
+            (
+                point.job.label(),
+                point.metrics.delay.to_bits(),
+                point.metrics.power.to_bits(),
+                point.metrics.area.to_bits(),
+            )
+        })
+        .collect()
+}
+
+/// Times one full exploration and returns (elapsed ms, fingerprint).
+fn timed_run(threads: usize) -> (f64, Vec<(String, u64, u64, u64)>) {
+    let spec = spec(threads);
+    let start = Instant::now();
+    let results = explore(&spec).expect("exploration succeeds");
+    let elapsed = start.elapsed().as_secs_f64() * 1e3;
+    (elapsed, fingerprint(&results))
+}
+
+/// Times explorations at 1/2/4 workers, prints the `BENCH_explore.json` record, and
+/// enforces bit-identical results plus sane parallel overhead.
+fn scaling_gate() {
+    let jobs = spec(1).jobs().len();
+    let (ms_1, reference) = timed_run(1);
+    let (ms_2, at_2) = timed_run(2);
+    let (ms_4, at_4) = timed_run(4);
+    assert_eq!(reference, at_2, "results diverged at 2 workers");
+    assert_eq!(reference, at_4, "results diverged at 4 workers");
+    let cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!(
+        "{{\"workload\": \"ablation_sum8x10_arrival_sweep\", \"jobs\": {}, \"cpus\": {}, \
+         \"threads_1_ms\": {:.1}, \"threads_2_ms\": {:.1}, \"threads_4_ms\": {:.1}, \
+         \"speedup_2\": {:.2}, \"speedup_4\": {:.2}}}",
+        jobs,
+        cpus,
+        ms_1,
+        ms_2,
+        ms_4,
+        ms_1 / ms_2,
+        ms_1 / ms_4,
+    );
+    // Sharding across more workers than cores must never cost more than 2x; on
+    // multi-core machines the speedup approaches min(4, cores).
+    assert!(
+        ms_1 / ms_4 >= 0.5,
+        "4-worker exploration is pathologically slower than 1-worker \
+         ({ms_4:.1} ms vs {ms_1:.1} ms)"
+    );
+}
+
+criterion_group!(benches, bench_explore_scaling);
+criterion_main!(benches);

@@ -1,0 +1,94 @@
+//! Free-form design-space exploration: crosses benchmark designs and synthetic
+//! workloads with arrival-skew and probability-bias profiles over every synthesis
+//! flow, and prints the per-flow summary plus the delay × power × area Pareto front.
+//!
+//! ```bash
+//! cargo run --release -p dpsyn-bench --bin explore            # full sweep
+//! cargo run --release -p dpsyn-bench --bin explore -- --smoke # small CI matrix
+//! ```
+//!
+//! `--smoke` additionally re-runs its matrix single-threaded and asserts the rendered
+//! summary is byte-identical — the engine's determinism contract, checked end to end.
+
+use dpsyn_baselines::Flow;
+use dpsyn_explore::{explore, BiasProfile, ExplorationSpec, ExplorationSpecBuilder, SkewProfile};
+
+/// Worker count: every available core, capped at 8 (results are identical either way).
+fn threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get().min(8))
+        .unwrap_or(1)
+}
+
+/// The small deterministic matrix CI smoke-runs: 24 jobs.
+fn smoke_spec(workers: usize) -> ExplorationSpecBuilder {
+    ExplorationSpec::builder()
+        .design(dpsyn_designs::x_squared())
+        .design(dpsyn_designs::mixed_poly())
+        .sum_workload(3)
+        .width(4)
+        .skews([SkewProfile::Keep, SkewProfile::Uniform(2.0)])
+        .flows([Flow::Conventional, Flow::CsaOpt, Flow::FaAot, Flow::FaAlp])
+        .seed(7)
+        .threads(workers)
+}
+
+/// The full sweep: four benchmark designs plus an 8-operand sum workload, crossed
+/// with three skew and two bias profiles over all six flows (216 jobs).
+fn full_spec(workers: usize) -> ExplorationSpecBuilder {
+    ExplorationSpec::builder()
+        .designs([
+            dpsyn_designs::x2_x_y(),
+            dpsyn_designs::mixed_poly(),
+            dpsyn_designs::iir(),
+            dpsyn_designs::serial_adapter(),
+        ])
+        .sum_workload(8)
+        .widths([8, 12])
+        .skews([
+            SkewProfile::Keep,
+            SkewProfile::Uniform(2.0),
+            SkewProfile::Uniform(4.0),
+        ])
+        .biases([BiasProfile::Keep, BiasProfile::Uniform(0.3)])
+        .flows([
+            Flow::Conventional,
+            Flow::CsaOpt,
+            Flow::WallaceFixed,
+            Flow::FaRandom(8),
+            Flow::FaAot,
+            Flow::FaAlp,
+        ])
+        .seed(7)
+        .threads(workers)
+}
+
+fn main() {
+    let smoke = std::env::args().any(|arg| arg == "--smoke");
+    let workers = threads();
+    let builder = if smoke {
+        smoke_spec(workers)
+    } else {
+        full_spec(workers)
+    };
+    let spec = builder.build().expect("exploration spec is well-formed");
+    eprintln!(
+        "exploring {} jobs on {} worker thread(s) ...",
+        spec.jobs().len(),
+        spec.threads()
+    );
+    let results = explore(&spec).expect("every flow succeeds on the built-in matrix");
+    let summary = results.render_summary();
+    print!("{summary}");
+    if smoke {
+        // Determinism gate: the single-threaded run must render byte-identically.
+        let reference = explore(&smoke_spec(1).build().expect("smoke spec"))
+            .expect("single-threaded smoke run succeeds");
+        assert_eq!(
+            summary,
+            reference.render_summary(),
+            "exploration summary diverged between {workers} worker(s) and 1 worker"
+        );
+        eprintln!("smoke OK: {workers}-thread and 1-thread summaries are byte-identical");
+    }
+}

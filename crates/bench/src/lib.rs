@@ -11,18 +11,33 @@
 //! | Figure 2 (selection effect on delay) | [`figure2`] | `cargo run -p dpsyn-bench --bin figure2` |
 //! | Figure 4 (selection effect on power) | [`figure4`] | `cargo run -p dpsyn-bench --bin figure4` |
 //! | Ablation sweeps (ours) | [`arrival_skew_sweep`], [`probability_skew_sweep`] | `cargo run -p dpsyn-bench --bin ablation` |
+//!
+//! The table and sweep functions drive their per-design flow matrices through the
+//! `dpsyn-explore` engine (sharded over the available cores); exploration results are
+//! bit-identical for every worker count, so the emitted tables are reproducible
+//! byte-for-byte. The `explore` binary exposes the engine directly for free-form
+//! design-space sweeps with a Pareto summary.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use dpsyn_baselines::{conventional, csa_opt, fa_alp, fa_aot, fa_random, wallace_fixed};
+use dpsyn_baselines::Flow;
 use dpsyn_core::{sc_t, Objective, SelectionStrategy, Synthesizer};
-use dpsyn_designs::workloads::{random_sum, SumWorkload};
 use dpsyn_designs::Design;
+use dpsyn_explore::{explore, BiasProfile, ExplorationResults, ExplorationSpec, SkewProfile};
 use dpsyn_ir::{BitProfile, InputSpec};
 use dpsyn_power::q_transform;
 use dpsyn_tech::TechLibrary;
 use std::fmt::Write as _;
+
+/// Worker count for the exploration-driven sweeps: every available core, capped at 8.
+/// Exploration results are bit-identical for any worker count, so this only affects
+/// wall-clock time, never the tables.
+fn sweep_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get().min(8))
+        .unwrap_or(1)
+}
 
 /// Delay/area metrics of one flow over one design.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -78,37 +93,53 @@ fn improvement(baseline: f64, ours: f64) -> f64 {
     }
 }
 
+/// Runs `flows` over every design through the exploration engine (all cores, capped
+/// at 8) and returns the evaluated points in canonical order: per design, one point
+/// per flow in the given flow order.
+fn explore_designs(
+    designs: impl IntoIterator<Item = Design>,
+    flows: impl IntoIterator<Item = Flow>,
+    tech: &TechLibrary,
+) -> ExplorationResults {
+    let spec = ExplorationSpec::builder()
+        .designs(designs)
+        .flows(flows)
+        .tech(tech.clone())
+        .threads(sweep_threads())
+        .build()
+        .expect("table sweep spec is well-formed");
+    explore(&spec).expect("every table flow succeeds on the built-in designs")
+}
+
 /// Computes Table 1 (timing comparison) for the given designs.
+///
+/// The three flows of every design run through the `dpsyn-explore` engine (sharded
+/// across the available cores); the resulting rows are bit-identical to running the
+/// flows directly, whatever the worker count.
 ///
 /// # Panics
 ///
 /// Panics if any flow fails on a design; the built-in designs are covered by tests.
 pub fn table1(designs: &[Design], tech: &TechLibrary) -> Vec<Table1Row> {
+    if designs.is_empty() {
+        return Vec::new();
+    }
+    let flows = [Flow::Conventional, Flow::CsaOpt, Flow::FaAot];
+    let results = explore_designs(designs.iter().cloned(), flows, tech);
     designs
         .iter()
-        .map(|design| {
-            let width = design.output_width();
-            let conventional_result =
-                conventional(design.expr(), design.spec(), width, tech).expect("conventional flow");
-            let csa_result =
-                csa_opt(design.expr(), design.spec(), width, tech).expect("csa_opt flow");
-            let aot_result =
-                fa_aot(design.expr(), design.spec(), width, tech).expect("fa_aot flow");
+        .zip(results.points().chunks(flows.len()))
+        .map(|(design, row)| {
+            let metrics = |index: usize| Metrics {
+                delay: row[index].metrics.delay,
+                area: row[index].metrics.area,
+            };
             Table1Row {
                 design: design.name().to_string(),
                 description: design.description().to_string(),
-                conventional: Metrics {
-                    delay: conventional_result.delay,
-                    area: conventional_result.area,
-                },
-                csa_opt: Metrics {
-                    delay: csa_result.delay,
-                    area: csa_result.area,
-                },
-                fa_aot: Metrics {
-                    delay: aot_result.delay,
-                    area: aot_result.area,
-                },
+                conventional: metrics(0),
+                csa_opt: metrics(1),
+                fa_aot: metrics(2),
             }
         })
         .collect()
@@ -185,7 +216,9 @@ impl Table2Row {
 ///
 /// Input signal probabilities are drawn pseudo-randomly per design from
 /// `probability_seed` (the paper also uses random input probabilities) and the
-/// FA_random column averages `random_runs` random selections.
+/// FA_random column averages `random_runs` random selections. Every (design, flow)
+/// pair — one FA_ALP run plus `random_runs` seeded FA_random runs per design — is one
+/// job of a `dpsyn-explore` sweep.
 ///
 /// # Panics
 ///
@@ -196,22 +229,30 @@ pub fn table2(
     probability_seed: u64,
     random_runs: u64,
 ) -> Vec<Table2Row> {
+    if designs.is_empty() {
+        return Vec::new();
+    }
+    let runs = random_runs.max(1);
+    let mut flows = vec![Flow::FaAlp];
+    flows.extend((0..runs).map(|seed| Flow::FaRandom(seed + 1)));
+    let results = explore_designs(
+        designs
+            .iter()
+            .map(|design| design.with_random_probabilities(probability_seed)),
+        flows.clone(),
+        tech,
+    );
     designs
         .iter()
-        .map(|design| {
-            let randomised = design.with_random_probabilities(probability_seed);
-            let width = randomised.output_width();
-            let alp = fa_alp(randomised.expr(), randomised.spec(), width, tech).expect("fa_alp");
-            let mut random_total = 0.0;
-            for seed in 0..random_runs.max(1) {
-                let random = fa_random(randomised.expr(), randomised.spec(), width, tech, seed + 1)
-                    .expect("fa_random");
-                random_total += random.power_mw;
-            }
+        .zip(results.points().chunks(flows.len()))
+        .map(|(design, row)| {
+            // Sum in ascending seed order, exactly as the pre-engine loop did, so the
+            // float accumulation stays bit-identical.
+            let random_total: f64 = row[1..].iter().map(|point| point.metrics.power).sum();
             Table2Row {
                 design: design.name().to_string(),
-                fa_random_power: random_total / random_runs.max(1) as f64,
-                fa_alp_power: alp.power_mw,
+                fa_random_power: random_total / runs as f64,
+                fa_alp_power: row[0].metrics.power,
             }
         })
         .collect()
@@ -377,29 +418,59 @@ pub struct SkewPoint {
     pub reference: f64,
 }
 
+/// First-appearance deduplication of sweep values (exact bit equality), so repeated
+/// sweep points stay legal for callers while the engine's axes remain conflict-free.
+fn dedup_sweep_values(values: &[f64]) -> Vec<f64> {
+    let mut unique: Vec<f64> = Vec::new();
+    for value in values {
+        if !unique.iter().any(|seen| seen.to_bits() == value.to_bits()) {
+            unique.push(*value);
+        }
+    }
+    unique
+}
+
+/// Position of `value` in `unique` (by bit equality); `unique` came from
+/// [`dedup_sweep_values`] over the same input, so the lookup always succeeds.
+fn sweep_position(unique: &[f64], value: f64) -> usize {
+    unique
+        .iter()
+        .position(|seen| seen.to_bits() == value.to_bits())
+        .expect("every sweep value appears in its deduplicated list")
+}
+
 /// Sweeps the input arrival-time skew of a synthetic 8-operand sum and reports the
 /// critical delay of FA_AOT, the fixed Wallace selection and CSA_OPT at every point.
+///
+/// The whole sweep is one `dpsyn-explore` run: the (deduplicated) skew values become
+/// the engine's arrival-skew axis over a `random_sum` workload source, so every
+/// (skew, flow) pair is one parallel job; repeated input values repeat their row.
 pub fn arrival_skew_sweep(skews: &[f64], tech: &TechLibrary, seed: u64) -> Vec<SkewPoint> {
+    if skews.is_empty() {
+        return Vec::new();
+    }
+    let unique = dedup_sweep_values(skews);
+    let flows = [Flow::FaAot, Flow::WallaceFixed, Flow::CsaOpt];
+    let spec = ExplorationSpec::builder()
+        .sum_workload(8)
+        .width(12)
+        .skews(unique.iter().map(|skew| SkewProfile::Uniform(*skew)))
+        .flows(flows)
+        .tech(tech.clone())
+        .seed(seed)
+        .threads(sweep_threads())
+        .build()
+        .expect("arrival sweep spec is well-formed");
+    let results = explore(&spec).expect("every sweep flow succeeds");
     skews
         .iter()
         .map(|skew| {
-            let workload = SumWorkload {
-                operands: 8,
-                width: 12,
-                max_arrival: *skew,
-                probability_skew: 0.0,
-            };
-            let design = random_sum(&workload, seed);
-            let width = design.output_width();
-            let ours = fa_aot(design.expr(), design.spec(), width, tech).expect("fa_aot");
-            let fixed =
-                wallace_fixed(design.expr(), design.spec(), width, tech).expect("wallace_fixed");
-            let word = csa_opt(design.expr(), design.spec(), width, tech).expect("csa_opt");
+            let row = &results.points()[sweep_position(&unique, *skew) * flows.len()..];
             SkewPoint {
                 skew: *skew,
-                ours: ours.delay,
-                wallace: fixed.delay,
-                reference: word.delay,
+                ours: row[0].metrics.delay,
+                wallace: row[1].metrics.delay,
+                reference: row[2].metrics.delay,
             }
         })
         .collect()
@@ -407,28 +478,35 @@ pub fn arrival_skew_sweep(skews: &[f64], tech: &TechLibrary, seed: u64) -> Vec<S
 
 /// Sweeps the input probability skew of a synthetic 8-operand sum and reports the
 /// switching energy of FA_ALP, the fixed Wallace selection and FA_random.
+///
+/// Like [`arrival_skew_sweep`], one `dpsyn-explore` run: the (deduplicated) skew
+/// values become the engine's probability-bias axis.
 pub fn probability_skew_sweep(skews: &[f64], tech: &TechLibrary, seed: u64) -> Vec<SkewPoint> {
+    if skews.is_empty() {
+        return Vec::new();
+    }
+    let unique = dedup_sweep_values(skews);
+    let flows = [Flow::FaAlp, Flow::WallaceFixed, Flow::FaRandom(seed + 1)];
+    let spec = ExplorationSpec::builder()
+        .sum_workload(8)
+        .width(12)
+        .biases(unique.iter().map(|skew| BiasProfile::Uniform(*skew)))
+        .flows(flows)
+        .tech(tech.clone())
+        .seed(seed)
+        .threads(sweep_threads())
+        .build()
+        .expect("probability sweep spec is well-formed");
+    let results = explore(&spec).expect("every sweep flow succeeds");
     skews
         .iter()
         .map(|skew| {
-            let workload = SumWorkload {
-                operands: 8,
-                width: 12,
-                max_arrival: 0.0,
-                probability_skew: *skew,
-            };
-            let design = random_sum(&workload, seed);
-            let width = design.output_width();
-            let ours = fa_alp(design.expr(), design.spec(), width, tech).expect("fa_alp");
-            let fixed =
-                wallace_fixed(design.expr(), design.spec(), width, tech).expect("wallace_fixed");
-            let random =
-                fa_random(design.expr(), design.spec(), width, tech, seed + 1).expect("fa_random");
+            let row = &results.points()[sweep_position(&unique, *skew) * flows.len()..];
             SkewPoint {
                 skew: *skew,
-                ours: ours.switching_energy,
-                wallace: fixed.switching_energy,
-                reference: random.switching_energy,
+                ours: row[0].metrics.switching_energy,
+                wallace: row[1].metrics.switching_energy,
+                reference: row[2].metrics.switching_energy,
             }
         })
         .collect()
@@ -475,6 +553,26 @@ mod tests {
         let text = format_table1(&rows);
         assert!(text.contains("x_squared"));
         assert!(text.contains("average delay improvement"));
+    }
+
+    #[test]
+    fn sweeps_tolerate_repeated_values() {
+        // The pre-engine loops simply computed repeated points twice; the engine path
+        // must keep that contract (deduplicated axes, rows repeated on the way out).
+        let lib = TechLibrary::unit();
+        let arrival = arrival_skew_sweep(&[1.0, 1.0, 0.0], &lib, 7);
+        assert_eq!(arrival.len(), 3);
+        assert_eq!(arrival[0].ours, arrival[1].ours);
+        assert_eq!(arrival[0].wallace, arrival[1].wallace);
+        assert_eq!(arrival[0].reference, arrival[1].reference);
+        let probability = probability_skew_sweep(&[0.2, 0.0, 0.2], &lib, 7);
+        assert_eq!(probability.len(), 3);
+        assert_eq!(probability[0].ours, probability[2].ours);
+        assert_eq!(probability[0].reference, probability[2].reference);
+        // The deduplicated run matches a run over the unique values alone.
+        let unique = arrival_skew_sweep(&[1.0, 0.0], &lib, 7);
+        assert_eq!(unique[0].ours, arrival[0].ours);
+        assert_eq!(unique[1].ours, arrival[2].ours);
     }
 
     #[test]

@@ -93,30 +93,88 @@ impl Design {
     /// Returns a copy of the design whose input bits carry pseudo-random signal
     /// probabilities (the setup of the paper's power experiment, Table 2).
     pub fn with_random_probabilities(&self, seed: u64) -> Design {
-        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).max(1);
-        let mut next = || {
-            state ^= state << 13;
-            state ^= state >> 7;
-            state ^= state << 17;
-            // Keep probabilities in [0.05, 0.95] to avoid degenerate constants.
-            0.05 + 0.9 * ((state >> 11) as f64 / (1u64 << 53) as f64)
-        };
+        let mut state = XorShift::new(seed);
+        // Keep probabilities in [0.05, 0.95] to avoid degenerate constants.
+        self.remap_profiles(|bit| {
+            dpsyn_ir::BitProfile::new(bit.arrival, 0.05 + 0.9 * state.next_unit())
+        })
+    }
+
+    /// Returns a copy of the design whose input bits carry pseudo-random arrival times
+    /// drawn uniformly from `[0, max_arrival]`, keeping every signal probability.
+    ///
+    /// Deterministic in `seed`; the exploration engine uses this to apply an
+    /// arrival-skew profile to a fixed benchmark design.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_arrival` is negative or not finite (the redrawn spec fails
+    /// validation); callers are expected to validate the skew first.
+    pub fn with_uniform_arrival_skew(&self, seed: u64, max_arrival: f64) -> Design {
+        let mut state = XorShift::new(seed);
+        self.remap_profiles(|bit| {
+            dpsyn_ir::BitProfile::new(max_arrival * state.next_unit(), bit.probability)
+        })
+    }
+
+    /// Returns a copy of the design whose input bits carry pseudo-random signal
+    /// probabilities drawn uniformly from `[0.5 − bias, 0.5 + bias]`, keeping every
+    /// arrival time.
+    ///
+    /// Deterministic in `seed`; the exploration engine uses this to apply a
+    /// probability-bias profile to a fixed benchmark design.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bias` is outside `[0, 0.5]` (a redrawn probability escapes `[0, 1]`
+    /// and the spec fails validation); callers are expected to validate first.
+    pub fn with_probability_bias(&self, seed: u64, bias: f64) -> Design {
+        let mut state = XorShift::new(seed);
+        self.remap_profiles(|bit| {
+            dpsyn_ir::BitProfile::new(bit.arrival, 0.5 - bias + 2.0 * bias * state.next_unit())
+        })
+    }
+
+    /// Rebuilds the design with every bit profile passed through `remap`, preserving
+    /// variable iteration order (name order) so seeded redraws are reproducible.
+    fn remap_profiles(
+        &self,
+        mut remap: impl FnMut(dpsyn_ir::BitProfile) -> dpsyn_ir::BitProfile,
+    ) -> Design {
         let mut builder = InputSpec::builder();
         for var in self.spec.vars() {
-            let profiles: Vec<dpsyn_ir::BitProfile> = var
-                .bits()
-                .iter()
-                .map(|bit| dpsyn_ir::BitProfile::new(bit.arrival, next()))
-                .collect();
+            let profiles: Vec<dpsyn_ir::BitProfile> =
+                var.bits().iter().map(|bit| remap(*bit)).collect();
             builder = builder.var_with_profiles(var.name(), profiles);
         }
         Design {
             name: self.name.clone(),
             description: self.description.clone(),
             expr: self.expr.clone(),
-            spec: builder.build().expect("probabilities stay within [0, 1]"),
+            spec: builder.build().expect("remapped profiles stay legal"),
             output_width: self.output_width,
         }
+    }
+}
+
+/// The deterministic xorshift generator behind the seeded profile redraws.
+struct XorShift {
+    state: u64,
+}
+
+impl XorShift {
+    fn new(seed: u64) -> Self {
+        XorShift {
+            state: seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).max(1),
+        }
+    }
+
+    /// Next value uniform in `[0, 1)`.
+    fn next_unit(&mut self) -> f64 {
+        self.state ^= self.state << 13;
+        self.state ^= self.state >> 7;
+        self.state ^= self.state << 17;
+        (self.state >> 11) as f64 / (1u64 << 53) as f64
     }
 }
 
@@ -408,6 +466,56 @@ mod tests {
         }
         // Arrival times are preserved.
         assert_eq!(first.spec().max_arrival(), design.spec().max_arrival());
+    }
+
+    #[test]
+    fn uniform_arrival_skew_redraws_arrivals_only() {
+        let design = x2_x_y();
+        let skewed = design.with_uniform_arrival_skew(5, 3.0);
+        let again = design.with_uniform_arrival_skew(5, 3.0);
+        let arrivals = |d: &Design| -> Vec<f64> {
+            d.spec()
+                .vars()
+                .flat_map(|v| v.bits().iter().map(|b| b.arrival))
+                .collect()
+        };
+        let probabilities = |d: &Design| -> Vec<f64> {
+            d.spec()
+                .vars()
+                .flat_map(|v| v.bits().iter().map(|b| b.probability))
+                .collect()
+        };
+        assert_eq!(arrivals(&skewed), arrivals(&again));
+        assert_ne!(arrivals(&skewed), arrivals(&design));
+        assert_eq!(probabilities(&skewed), probabilities(&design));
+        for arrival in arrivals(&skewed) {
+            assert!((0.0..=3.0).contains(&arrival));
+        }
+        // A zero skew collapses every arrival to exactly zero.
+        let flat = design.with_uniform_arrival_skew(5, 0.0);
+        assert!(arrivals(&flat).iter().all(|a| *a == 0.0));
+    }
+
+    #[test]
+    fn probability_bias_redraws_probabilities_only() {
+        let design = iir();
+        let biased = design.with_probability_bias(9, 0.3);
+        let again = design.with_probability_bias(9, 0.3);
+        let probabilities = |d: &Design| -> Vec<f64> {
+            d.spec()
+                .vars()
+                .flat_map(|v| v.bits().iter().map(|b| b.probability))
+                .collect()
+        };
+        assert_eq!(probabilities(&biased), probabilities(&again));
+        assert_ne!(probabilities(&biased), probabilities(&design));
+        for p in probabilities(&biased) {
+            assert!((0.2..=0.8).contains(&p), "{p}");
+        }
+        assert_eq!(biased.spec().max_arrival(), design.spec().max_arrival());
+        // A zero bias collapses every probability to exactly 0.5.
+        let flat = design.with_probability_bias(9, 0.0);
+        assert!(probabilities(&flat).iter().all(|p| *p == 0.5));
     }
 
     #[test]

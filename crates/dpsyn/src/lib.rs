@@ -34,11 +34,13 @@
 //! | Analysis | [`power`], [`timing`] | probability & static timing analysis |
 //! | Engine | [`core`] | the FA-tree allocation synthesizer |
 //! | Evaluation | [`designs`], [`baselines`], [`bench`] | workloads, rival flows, tables |
+//! | Exploration | [`explore`] | multi-threaded design-space sweeps + Pareto reduction |
 
 pub use dpsyn_baselines as baselines;
 pub use dpsyn_bench as bench;
 pub use dpsyn_core as core;
 pub use dpsyn_designs as designs;
+pub use dpsyn_explore as explore;
 pub use dpsyn_ir as ir;
 pub use dpsyn_modules as modules;
 pub use dpsyn_netlist as netlist;

@@ -1,0 +1,147 @@
+//! The job-sharded, multi-threaded exploration engine.
+
+use crate::error::ExploreError;
+use crate::job::Job;
+use crate::pareto::{pareto_front, PointMetrics};
+use crate::spec::ExplorationSpec;
+use crate::summary::{render_summary, summarize_flows, FlowSummary};
+use dpsyn_baselines::FlowResult;
+use dpsyn_netlist::NetlistStats;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::thread;
+
+/// One evaluated point of the exploration: the job, its metrics and (optionally) the
+/// synthesized artifact.
+#[derive(Debug, Clone)]
+pub struct ExplorationPoint {
+    /// The job that produced the point.
+    pub job: Job,
+    /// Name of the materialized design (workload names include their shape).
+    pub design: String,
+    /// The extracted quality metrics.
+    pub metrics: PointMetrics,
+    /// The full flow result (netlist, word map) when the specification retains
+    /// artifacts; `None` otherwise.
+    pub artifact: Option<FlowResult>,
+}
+
+/// The outcome of one exploration: every evaluated point in canonical job order plus
+/// the dominance-filtered Pareto front.
+#[derive(Debug, Clone)]
+pub struct ExplorationResults {
+    points: Vec<ExplorationPoint>,
+    front: Vec<usize>,
+}
+
+impl ExplorationResults {
+    /// Every evaluated point, in canonical job order (independent of thread count).
+    pub fn points(&self) -> &[ExplorationPoint] {
+        &self.points
+    }
+
+    /// Indices (into [`Self::points`]) of the Pareto-optimal points over
+    /// delay × power × area, ascending.
+    pub fn front_indices(&self) -> &[usize] {
+        &self.front
+    }
+
+    /// Iterates over the Pareto-optimal points in index order.
+    pub fn front(&self) -> impl Iterator<Item = &ExplorationPoint> {
+        self.front.iter().map(|&index| &self.points[index])
+    }
+
+    /// Per-flow aggregate summaries, in order of first appearance in the job matrix.
+    pub fn summaries(&self) -> Vec<FlowSummary> {
+        summarize_flows(self)
+    }
+
+    /// Renders the per-flow summary tables plus the Pareto front as text.
+    ///
+    /// The rendering is a pure function of the evaluated points, so it is
+    /// byte-identical across runs and thread counts.
+    pub fn render_summary(&self) -> String {
+        render_summary(self)
+    }
+}
+
+/// Runs an exploration: shards the job matrix across the specification's worker
+/// threads, evaluates every point, and reduces the results into canonical order plus
+/// the Pareto front.
+///
+/// Workers pull jobs from a shared counter (dynamic load balancing), but every result
+/// is keyed by its job index and re-assembled in canonical order, and every job is a
+/// pure function of the specification — so the returned results are **bit-identical
+/// for any worker count**.
+///
+/// # Errors
+///
+/// Returns [`ExploreError::Flow`] when a synthesis flow fails on a job; if several
+/// jobs fail, the error of the lowest-indexed job is returned (again independent of
+/// the thread count).
+pub fn explore(spec: &ExplorationSpec) -> Result<ExplorationResults, ExploreError> {
+    let jobs = spec.jobs();
+    let next_job = AtomicUsize::new(0);
+    let collected: Mutex<Vec<(usize, Result<ExplorationPoint, ExploreError>)>> =
+        Mutex::new(Vec::with_capacity(jobs.len()));
+    thread::scope(|scope| {
+        for _ in 0..spec.threads() {
+            scope.spawn(|| loop {
+                let index = next_job.fetch_add(1, Ordering::Relaxed);
+                let Some(job) = jobs.get(index) else {
+                    break;
+                };
+                let outcome = evaluate(spec, job);
+                collected
+                    .lock()
+                    .expect("a worker panicked while holding the results lock")
+                    .push((index, outcome));
+            });
+        }
+    });
+    let mut collected = collected
+        .into_inner()
+        .expect("a worker panicked while holding the results lock");
+    collected.sort_by_key(|(index, _)| *index);
+    let mut points = Vec::with_capacity(collected.len());
+    for (_, outcome) in collected {
+        points.push(outcome?);
+    }
+    let metrics: Vec<PointMetrics> = points.iter().map(|point| point.metrics).collect();
+    let front = pareto_front(&metrics);
+    Ok(ExplorationResults { points, front })
+}
+
+/// Evaluates one job: materializes its design, runs its flow, and extracts the
+/// metrics (delay from timing analysis, power from probability propagation, area and
+/// structure from the netlist).
+fn evaluate(spec: &ExplorationSpec, job: &Job) -> Result<ExplorationPoint, ExploreError> {
+    let design = spec.materialize(job);
+    let result = job
+        .flow()
+        .run(
+            design.expr(),
+            design.spec(),
+            design.output_width(),
+            spec.tech(),
+        )
+        .map_err(|source| ExploreError::Flow {
+            job: job.label(),
+            source,
+        })?;
+    let stats = NetlistStats::of(&result.netlist);
+    let metrics = PointMetrics {
+        delay: result.delay,
+        power: result.power_mw,
+        area: result.area,
+        switching_energy: result.switching_energy,
+        cell_count: stats.cell_count(),
+        logic_depth: stats.logic_depth(),
+    };
+    Ok(ExplorationPoint {
+        job: job.clone(),
+        design: design.name().to_string(),
+        metrics,
+        artifact: spec.retain_artifacts.then_some(result),
+    })
+}

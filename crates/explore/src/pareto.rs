@@ -1,0 +1,97 @@
+//! Dominance filtering over the delay × power × area objective space.
+
+/// The quality metrics of one evaluated design point.
+///
+/// `delay`, `power` and `area` span the Pareto objective space (all minimized);
+/// `switching_energy`, `cell_count` and `logic_depth` ride along for summaries.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PointMetrics {
+    /// Critical delay under the point's arrival profile (library time units).
+    pub delay: f64,
+    /// Switching power on the milliwatt-like scale of the paper's Table 2.
+    pub power: f64,
+    /// Total cell area (library area units).
+    pub area: f64,
+    /// Weighted switching energy `Σ W·p(1−p)`.
+    pub switching_energy: f64,
+    /// Total cell count of the netlist.
+    pub cell_count: usize,
+    /// Structural logic depth of the netlist.
+    pub logic_depth: usize,
+}
+
+impl PointMetrics {
+    /// Pareto dominance over (delay, power, area): `self` dominates `other` when it is
+    /// no worse on every objective and strictly better on at least one.
+    pub fn dominates(&self, other: &PointMetrics) -> bool {
+        let no_worse =
+            self.delay <= other.delay && self.power <= other.power && self.area <= other.area;
+        let strictly_better =
+            self.delay < other.delay || self.power < other.power || self.area < other.area;
+        no_worse && strictly_better
+    }
+}
+
+/// Returns the indices (ascending) of the points not dominated by any other point.
+///
+/// The result is a pure function of the *set* of metrics: permuting the input permutes
+/// the indices but selects the same points, and duplicated metrics are all kept
+/// (equal points do not dominate each other). The property suite in
+/// `tests/prop_pareto.rs` pins both invariants down.
+pub fn pareto_front(metrics: &[PointMetrics]) -> Vec<usize> {
+    (0..metrics.len())
+        .filter(|&candidate| {
+            metrics
+                .iter()
+                .all(|other| !other.dominates(&metrics[candidate]))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn point(delay: f64, power: f64, area: f64) -> PointMetrics {
+        PointMetrics {
+            delay,
+            power,
+            area,
+            switching_energy: power / 10.0,
+            cell_count: 10,
+            logic_depth: 3,
+        }
+    }
+
+    #[test]
+    fn dominance_requires_strict_improvement() {
+        let a = point(1.0, 1.0, 1.0);
+        let b = point(2.0, 1.0, 1.0);
+        assert!(a.dominates(&b));
+        assert!(!b.dominates(&a));
+        // Equal points do not dominate each other.
+        assert!(!a.dominates(&a));
+        // Trade-offs do not dominate.
+        let c = point(0.5, 2.0, 1.0);
+        assert!(!a.dominates(&c));
+        assert!(!c.dominates(&a));
+    }
+
+    #[test]
+    fn front_keeps_exactly_the_non_dominated_points() {
+        let metrics = vec![
+            point(1.0, 3.0, 2.0), // on the front (best delay)
+            point(2.0, 1.0, 2.0), // on the front (best power)
+            point(2.0, 3.0, 2.0), // dominated by both
+            point(1.0, 3.0, 2.0), // duplicate of the first: also kept
+            point(3.0, 3.0, 1.0), // on the front (best area)
+        ];
+        assert_eq!(pareto_front(&metrics), vec![0, 1, 3, 4]);
+    }
+
+    #[test]
+    fn single_point_is_its_own_front() {
+        assert_eq!(pareto_front(&[point(1.0, 1.0, 1.0)]), vec![0]);
+        assert!(pareto_front(&[]).is_empty());
+    }
+}

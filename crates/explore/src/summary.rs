@@ -1,0 +1,128 @@
+//! Per-flow aggregate summaries and the deterministic text rendering.
+
+use crate::engine::ExplorationResults;
+use dpsyn_baselines::Flow;
+use std::fmt::Write as _;
+
+/// Aggregate quality of one flow over every design point it visited.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlowSummary {
+    /// The flow (seeded variants are distinct summaries).
+    pub flow: Flow,
+    /// Number of evaluated points.
+    pub points: usize,
+    /// Best (smallest) critical delay over the points.
+    pub best_delay: f64,
+    /// Mean critical delay over the points.
+    pub mean_delay: f64,
+    /// Best (smallest) switching power over the points.
+    pub best_power: f64,
+    /// Mean switching power over the points.
+    pub mean_power: f64,
+    /// Best (smallest) area over the points.
+    pub best_area: f64,
+    /// Mean area over the points.
+    pub mean_area: f64,
+    /// How many of the flow's points sit on the overall Pareto front.
+    pub pareto_points: usize,
+}
+
+/// Groups the evaluated points by flow (in order of first appearance in the job
+/// matrix) and aggregates each group.
+pub(crate) fn summarize_flows(results: &ExplorationResults) -> Vec<FlowSummary> {
+    let mut flows: Vec<Flow> = Vec::new();
+    for point in results.points() {
+        if !flows.contains(&point.job.flow()) {
+            flows.push(point.job.flow());
+        }
+    }
+    flows
+        .into_iter()
+        .map(|flow| {
+            let mut summary = FlowSummary {
+                flow,
+                points: 0,
+                best_delay: f64::INFINITY,
+                mean_delay: 0.0,
+                best_power: f64::INFINITY,
+                mean_power: 0.0,
+                best_area: f64::INFINITY,
+                mean_area: 0.0,
+                pareto_points: 0,
+            };
+            for point in results.points().iter().filter(|p| p.job.flow() == flow) {
+                summary.points += 1;
+                summary.best_delay = summary.best_delay.min(point.metrics.delay);
+                summary.mean_delay += point.metrics.delay;
+                summary.best_power = summary.best_power.min(point.metrics.power);
+                summary.mean_power += point.metrics.power;
+                summary.best_area = summary.best_area.min(point.metrics.area);
+                summary.mean_area += point.metrics.area;
+            }
+            summary.pareto_points = results
+                .front()
+                .filter(|point| point.job.flow() == flow)
+                .count();
+            let count = summary.points.max(1) as f64;
+            summary.mean_delay /= count;
+            summary.mean_power /= count;
+            summary.mean_area /= count;
+            summary
+        })
+        .collect()
+}
+
+/// Renders the per-flow summary table plus the Pareto front. Pure function of the
+/// evaluated points: byte-identical across runs and thread counts.
+pub(crate) fn render_summary(results: &ExplorationResults) -> String {
+    let mut text = String::new();
+    let _ = writeln!(
+        text,
+        "design-space exploration: {} points, {} on the Pareto front (delay x power x area)",
+        results.points().len(),
+        results.front_indices().len(),
+    );
+    let _ = writeln!(
+        text,
+        "{:<22} | {:>6} | {:>9} {:>9} | {:>9} {:>9} | {:>9} {:>9} | {:>6}",
+        "flow",
+        "points",
+        "best ns",
+        "mean ns",
+        "best mW",
+        "mean mW",
+        "best ar",
+        "mean ar",
+        "pareto"
+    );
+    let _ = writeln!(text, "{}", "-".repeat(108));
+    for summary in results.summaries() {
+        let _ = writeln!(
+            text,
+            "{:<22} | {:>6} | {:>9.3} {:>9.3} | {:>9.3} {:>9.3} | {:>9.0} {:>9.0} | {:>6}",
+            summary.flow.to_string(),
+            summary.points,
+            summary.best_delay,
+            summary.mean_delay,
+            summary.best_power,
+            summary.mean_power,
+            summary.best_area,
+            summary.mean_area,
+            summary.pareto_points,
+        );
+    }
+    let _ = writeln!(text, "{}", "-".repeat(108));
+    let _ = writeln!(text, "pareto front:");
+    for point in results.front() {
+        let _ = writeln!(
+            text,
+            "  [{:>4}] {:<52} delay {:>8.3} ns  power {:>8.3} mW  area {:>8.0}",
+            point.job.index(),
+            point.job.label(),
+            point.metrics.delay,
+            point.metrics.power,
+            point.metrics.area,
+        );
+    }
+    text
+}

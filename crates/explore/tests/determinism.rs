@@ -1,0 +1,105 @@
+//! Thread-count determinism: an exploration's results — point ordering, metrics, the
+//! Pareto front and the rendered summary bytes — are identical for 1, 2, 4 and 8
+//! workers, in the spirit of the repository-level `tests/determinism.rs`.
+
+use dpsyn_explore::{explore, BiasProfile, ExplorationResults, ExplorationSpec, Flow, SkewProfile};
+
+/// Builds the reference spec of the suite with the given worker count: two fixed
+/// designs plus a workload source, crossed with two widths, a skew and a bias profile,
+/// over four flows (64 jobs).
+fn spec(threads: usize) -> ExplorationSpec {
+    ExplorationSpec::builder()
+        .design(dpsyn_designs::x_squared())
+        .design(dpsyn_designs::mixed_poly())
+        .sum_workload(4)
+        .widths([3, 5])
+        .skews([SkewProfile::Keep, SkewProfile::Uniform(2.0)])
+        .biases([BiasProfile::Keep, BiasProfile::Uniform(0.3)])
+        .flows([Flow::CsaOpt, Flow::FaAot, Flow::FaAlp, Flow::FaRandom(5)])
+        .seed(11)
+        .threads(threads)
+        .build()
+        .expect("reference spec is well-formed")
+}
+
+/// Flattens a result into exactly-comparable bytes/bits: job labels, metric bit
+/// patterns, front indices and the rendered summary.
+fn fingerprint(results: &ExplorationResults) -> (Vec<String>, Vec<[u64; 3]>, Vec<usize>, String) {
+    let labels = results
+        .points()
+        .iter()
+        .map(|point| format!("{} -> {}", point.job, point.design))
+        .collect();
+    let metrics = results
+        .points()
+        .iter()
+        .map(|point| {
+            [
+                point.metrics.delay.to_bits(),
+                point.metrics.power.to_bits(),
+                point.metrics.area.to_bits(),
+            ]
+        })
+        .collect();
+    (
+        labels,
+        metrics,
+        results.front_indices().to_vec(),
+        results.render_summary(),
+    )
+}
+
+#[test]
+fn results_are_bit_identical_across_thread_counts() {
+    let reference = explore(&spec(1)).expect("single-threaded exploration succeeds");
+    let reference_fingerprint = fingerprint(&reference);
+    for threads in [2, 4, 8] {
+        let parallel = explore(&spec(threads)).expect("parallel exploration succeeds");
+        let parallel_fingerprint = fingerprint(&parallel);
+        assert_eq!(
+            reference_fingerprint.0, parallel_fingerprint.0,
+            "job ordering diverged at {threads} threads"
+        );
+        assert_eq!(
+            reference_fingerprint.1, parallel_fingerprint.1,
+            "metrics diverged at {threads} threads"
+        );
+        assert_eq!(
+            reference_fingerprint.2, parallel_fingerprint.2,
+            "Pareto front diverged at {threads} threads"
+        );
+        assert_eq!(
+            reference_fingerprint.3, parallel_fingerprint.3,
+            "rendered summary bytes diverged at {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn repeated_runs_are_bit_identical() {
+    let first = explore(&spec(4)).expect("exploration succeeds");
+    let second = explore(&spec(4)).expect("exploration succeeds");
+    assert_eq!(fingerprint(&first), fingerprint(&second));
+}
+
+#[test]
+fn more_workers_than_jobs_is_safe_and_identical() {
+    let small = ExplorationSpec::builder()
+        .design(dpsyn_designs::x_squared())
+        .flows([Flow::Conventional, Flow::FaAot])
+        .threads(8)
+        .build()
+        .expect("spec builds");
+    let wide = explore(&small).expect("8 workers over 2 jobs");
+    assert_eq!(wide.points().len(), 2);
+    let narrow = explore(
+        &ExplorationSpec::builder()
+            .design(dpsyn_designs::x_squared())
+            .flows([Flow::Conventional, Flow::FaAot])
+            .threads(1)
+            .build()
+            .expect("spec builds"),
+    )
+    .expect("1 worker over 2 jobs");
+    assert_eq!(fingerprint(&wide), fingerprint(&narrow));
+}

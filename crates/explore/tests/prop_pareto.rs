@@ -1,0 +1,121 @@
+//! Property suite for the Pareto reduction: the returned front is exactly the set of
+//! non-dominated points, and membership is independent of insertion order.
+
+use dpsyn_explore::{pareto_front, PointMetrics};
+use proptest::prelude::*;
+
+/// Builds a metrics point from three small integer objectives (small ranges force
+/// plenty of dominance and ties, the interesting cases).
+fn point(objectives: (u8, u8, u8)) -> PointMetrics {
+    PointMetrics {
+        delay: f64::from(objectives.0 % 8),
+        power: f64::from(objectives.1 % 8),
+        area: f64::from(objectives.2 % 8),
+        switching_energy: f64::from(objectives.1 % 8) / 10.0,
+        cell_count: usize::from(objectives.2),
+        logic_depth: usize::from(objectives.0),
+    }
+}
+
+/// Deterministically permutes `values` with a seeded Fisher–Yates shuffle.
+fn permuted(values: &[PointMetrics], seed: u64) -> Vec<PointMetrics> {
+    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).max(1);
+    let mut shuffled = values.to_vec();
+    for index in (1..shuffled.len()).rev() {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        shuffled.swap(index, (state % (index as u64 + 1)) as usize);
+    }
+    shuffled
+}
+
+/// The objective triple of a point, as exactly-comparable bits.
+fn key(metrics: &PointMetrics) -> (u64, u64, u64) {
+    (
+        metrics.delay.to_bits(),
+        metrics.power.to_bits(),
+        metrics.area.to_bits(),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// No point on the returned front is dominated by **any** evaluated point.
+    #[test]
+    fn front_points_are_never_dominated(
+        raw in prop::collection::vec((0u8..255, 0u8..255, 0u8..255), 1..40),
+    ) {
+        let metrics: Vec<PointMetrics> = raw.into_iter().map(point).collect();
+        let front = pareto_front(&metrics);
+        prop_assert!(!front.is_empty(), "a non-empty set always has a front");
+        for &index in &front {
+            for other in &metrics {
+                prop_assert!(
+                    !other.dominates(&metrics[index]),
+                    "front point {index} is dominated"
+                );
+            }
+        }
+    }
+
+    /// Every point excluded from the front is dominated by some evaluated point —
+    /// together with the invariant above: front == the exact non-dominated set.
+    #[test]
+    fn excluded_points_are_always_dominated(
+        raw in prop::collection::vec((0u8..255, 0u8..255, 0u8..255), 1..40),
+    ) {
+        let metrics: Vec<PointMetrics> = raw.into_iter().map(point).collect();
+        let front = pareto_front(&metrics);
+        for (index, candidate) in metrics.iter().enumerate() {
+            if front.contains(&index) {
+                continue;
+            }
+            prop_assert!(
+                metrics.iter().any(|other| other.dominates(candidate)),
+                "excluded point {index} is not dominated by anything"
+            );
+        }
+    }
+
+    /// The front is insertion-order-independent: permuting the evaluated points
+    /// selects the same multiset of objective triples.
+    #[test]
+    fn front_is_insertion_order_independent(
+        raw in prop::collection::vec((0u8..255, 0u8..255, 0u8..255), 1..40),
+        seed in 0u64..1000,
+    ) {
+        let metrics: Vec<PointMetrics> = raw.into_iter().map(point).collect();
+        let shuffled = permuted(&metrics, seed);
+        let mut original: Vec<_> = pareto_front(&metrics)
+            .into_iter()
+            .map(|index| key(&metrics[index]))
+            .collect();
+        let mut reordered: Vec<_> = pareto_front(&shuffled)
+            .into_iter()
+            .map(|index| key(&shuffled[index]))
+            .collect();
+        original.sort_unstable();
+        reordered.sort_unstable();
+        prop_assert_eq!(original, reordered);
+    }
+
+    /// Duplicated metrics are all kept or all excluded together (equal points cannot
+    /// dominate each other).
+    #[test]
+    fn duplicates_share_their_fate(
+        raw in prop::collection::vec((0u8..255, 0u8..255, 0u8..255), 1..20),
+        duplicated in 0usize..20,
+    ) {
+        let mut metrics: Vec<PointMetrics> = raw.into_iter().map(point).collect();
+        let duplicated = duplicated % metrics.len();
+        metrics.push(metrics[duplicated]);
+        let front = pareto_front(&metrics);
+        prop_assert_eq!(
+            front.contains(&duplicated),
+            front.contains(&(metrics.len() - 1)),
+            "a duplicate pair split across the front boundary"
+        );
+    }
+}

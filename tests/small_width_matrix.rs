@@ -9,6 +9,7 @@
 use dpsyn_core::{Objective, Synthesizer};
 use dpsyn_designs::workloads::{random_sum, random_sum_of_products, single_column, SumWorkload};
 use dpsyn_designs::Design;
+use dpsyn_explore::{explore, BiasProfile, ExplorationSpec, Flow, SkewProfile};
 use dpsyn_sim::check_equivalence;
 use dpsyn_tech::TechLibrary;
 
@@ -95,4 +96,60 @@ fn fixed_small_designs_are_equivalent_under_both_objectives() {
     // The Table-1 designs whose specs are small enough to enumerate exhaustively.
     check_both_objectives(&dpsyn_designs::x_squared());
     check_both_objectives(&dpsyn_designs::x_cubed());
+}
+
+#[test]
+fn every_explorer_driven_point_at_small_widths_is_equivalent() {
+    // Explorer-driven configs: the exploration engine materializes the design of every
+    // point itself (workload widths, skew and bias profiles applied), so this check
+    // covers the engine's job materialization as well as every flow it dispatches.
+    // All operand widths stay <= 4, so every point is checked exhaustively.
+    let spec = ExplorationSpec::builder()
+        .design(dpsyn_designs::x_squared())
+        .design(dpsyn_designs::x_cubed())
+        .sum_workload(3)
+        .sum_of_products_workload(2)
+        .widths([2, 4])
+        .skews([SkewProfile::Keep, SkewProfile::Uniform(2.0)])
+        .biases([BiasProfile::Uniform(0.3)])
+        .flows([
+            Flow::Conventional,
+            Flow::CsaOpt,
+            Flow::WallaceFixed,
+            Flow::FaRandom(13),
+            Flow::FaAot,
+            Flow::FaAlp,
+        ])
+        .seed(29)
+        .threads(4)
+        .retain_artifacts(true)
+        .build()
+        .expect("explorer spec is well-formed");
+    let results = explore(&spec).expect("exploration succeeds");
+    // 2 fixed designs x 2 skews x 6 flows + 2 workloads x 2 widths x 2 skews x 6 flows.
+    assert_eq!(results.points().len(), 24 + 48);
+    let jobs = spec.jobs();
+    for point in results.points() {
+        let job = &jobs[point.job.index()];
+        let design = spec.materialize(job);
+        assert!(
+            design.spec().total_bits() <= 16,
+            "{}: widen the exhaustive budget if this grows",
+            point.job
+        );
+        let artifact = point
+            .artifact
+            .as_ref()
+            .expect("retain_artifacts keeps every netlist");
+        check_equivalence(
+            &artifact.netlist,
+            &artifact.word_map,
+            design.expr(),
+            design.spec(),
+            design.output_width(),
+            4096,
+            41,
+        )
+        .unwrap_or_else(|error| panic!("{}: {error}", point.job));
+    }
 }
