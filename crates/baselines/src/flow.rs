@@ -1,7 +1,7 @@
 //! Common result type and analysis helper shared by every synthesis flow.
 
 use dpsyn_ir::InputSpec;
-use dpsyn_netlist::{Netlist, NetlistError, WordMap};
+use dpsyn_netlist::{CompiledNetlist, Netlist, NetlistError, WordMap};
 use dpsyn_power::{PowerError, ProbabilityAnalysis};
 use dpsyn_tech::TechLibrary;
 use dpsyn_timing::{TimingAnalysis, TimingError};
@@ -97,6 +97,10 @@ pub struct FlowResult {
     pub netlist: Netlist,
     /// The word-level interface of the netlist.
     pub word_map: WordMap,
+    /// The compiled analysis program the metrics were computed over — compiled once
+    /// per netlist and shared by timing, power, area and any later re-analysis
+    /// (simulation, exploration statistics).
+    pub compiled: CompiledNetlist,
     /// Critical delay under the design's arrival profile (library time units).
     pub delay: f64,
     /// Total cell area (library area units).
@@ -111,6 +115,8 @@ impl FlowResult {
     /// Analyses a freshly built netlist (timing, power, area) under the design's input
     /// characteristics and wraps everything into a `FlowResult`.
     ///
+    /// The netlist is compiled **once**; every analysis runs over the shared program.
+    ///
     /// # Errors
     ///
     /// Returns an error when the netlist is invalid or an analysis fails.
@@ -121,7 +127,8 @@ impl FlowResult {
         spec: &InputSpec,
         tech: &TechLibrary,
     ) -> Result<Self, BaselineError> {
-        netlist.validate()?;
+        netlist.validate_structure()?;
+        let compiled = netlist.compile()?;
         let mut arrivals = BTreeMap::new();
         let mut probabilities = BTreeMap::new();
         for word in word_map.inputs() {
@@ -134,11 +141,11 @@ impl FlowResult {
         }
         let timing = TimingAnalysis::new(tech)
             .with_input_arrivals(arrivals)
-            .run(&netlist)?;
+            .run_compiled(&compiled)?;
         let power = ProbabilityAnalysis::new(tech)
             .with_input_probabilities(probabilities)
-            .run(&netlist)?;
-        let area = tech.netlist_area(&netlist);
+            .run_compiled(&compiled)?;
+        let area = tech.compiled_area(&compiled);
         Ok(FlowResult {
             flow: flow.into(),
             delay: timing.critical_delay(),
@@ -147,20 +154,22 @@ impl FlowResult {
             power_mw: power.power_mw(),
             netlist,
             word_map,
+            compiled,
         })
     }
 
-    /// Wraps an already-analysed design from the core synthesizer.
+    /// Wraps an already-analysed design from the core synthesizer, inheriting its
+    /// compiled program.
     pub fn from_synthesized(
         flow: impl Into<String>,
         design: dpsyn_core::SynthesizedDesign,
     ) -> Self {
-        let report = design.report().clone();
-        let (netlist, word_map, _) = design.into_parts();
+        let (netlist, word_map, compiled, report) = design.into_analysis_parts();
         FlowResult {
             flow: flow.into(),
             netlist,
             word_map,
+            compiled,
             delay: report.delay,
             area: report.area,
             switching_energy: report.switching_energy,
@@ -225,6 +234,9 @@ mod tests {
         assert!(result.area > 0.0);
         assert!(result.switching_energy > 0.0);
         assert!(result.power_mw > 0.0);
+        // The carried compiled program is the one of the carried netlist.
+        assert_eq!(result.compiled, result.netlist.compile().unwrap());
+        assert_eq!(result.compiled.cell_count(), result.netlist.cell_count());
     }
 
     #[test]
@@ -233,6 +245,7 @@ mod tests {
             flow: "fast".to_string(),
             netlist: Netlist::new("a"),
             word_map: WordMap::new(vec![], Word::new("out", vec![])),
+            compiled: Netlist::new("a").compile().unwrap(),
             delay: 2.0,
             area: 50.0,
             switching_energy: 1.0,
@@ -242,6 +255,7 @@ mod tests {
             flow: "slow".to_string(),
             netlist: Netlist::new("b"),
             word_map: WordMap::new(vec![], Word::new("out", vec![])),
+            compiled: Netlist::new("b").compile().unwrap(),
             delay: 4.0,
             area: 100.0,
             switching_energy: 2.0,

@@ -26,6 +26,20 @@ fn bench_analysis(criterion: &mut Criterion) {
     group.bench_function("probability_propagation", |bencher| {
         bencher.iter(|| ProbabilityAnalysis::new(&lib).run(netlist).unwrap())
     });
+    // The same analyses over a pre-compiled shared program (what the synthesizer,
+    // the flow layer and the explorer do): levelization is paid once, outside the
+    // measured loop.
+    let compiled = netlist.compile().unwrap();
+    group.bench_function("static_timing_analysis_compiled", |bencher| {
+        bencher.iter(|| TimingAnalysis::new(&lib).run_compiled(&compiled).unwrap())
+    });
+    group.bench_function("probability_propagation_compiled", |bencher| {
+        bencher.iter(|| {
+            ProbabilityAnalysis::new(&lib)
+                .run_compiled(&compiled)
+                .unwrap()
+        })
+    });
     group.bench_function("logic_simulation_100_vectors", |bencher| {
         let simulator = Simulator::compile(netlist).unwrap();
         let mut stimulus = Stimulus::with_seed(5);

@@ -1,0 +1,357 @@
+//! Criterion benchmark: the compiled-analysis layer vs. the legacy per-analysis
+//! traversals on the explorer's per-point evaluate path.
+//!
+//! Every explored design point runs the same analysis bundle over its netlist:
+//! validation, static timing analysis, probability/power propagation, cell area and
+//! the structural statistics of the report. Before the compiled-analysis refactor
+//! each of those re-derived the topological order (four Kahn traversals per point),
+//! re-allocated the fanout map and looked technology parameters up in a map per
+//! cell. The compiled path levelizes **once** per netlist and streams every analysis
+//! over the shared flat program with per-kind parameter tables.
+//!
+//! The harness reproduces the legacy implementations verbatim, verifies both paths
+//! produce bit-identical reports, then measures the full bundle on two workloads —
+//! the 16×16 Wallace-tree multiplier (~560 cells) and a full explorer sweep point
+//! (the IIR benchmark synthesized through the paper's FA_AOT flow, analysed under
+//! its spec profiles) — and **asserts the compiled path is at least 2× faster**,
+//! printing the `BENCH_analysis.json` record:
+//!
+//! ```bash
+//! cargo bench -p dpsyn-bench --bench analysis_throughput
+//! ```
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use dpsyn_baselines::Flow;
+use dpsyn_modules::multiplier::wallace_multiply;
+use dpsyn_netlist::{NetId, Netlist};
+use dpsyn_power::{propagate_cell, ProbabilityAnalysis};
+use dpsyn_tech::TechLibrary;
+use dpsyn_timing::TimingAnalysis;
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+/// One analysis workload: a netlist plus the input profiles the explorer would
+/// analyse it under.
+struct Workload {
+    name: &'static str,
+    netlist: Netlist,
+    arrivals: BTreeMap<NetId, f64>,
+    probabilities: BTreeMap<NetId, f64>,
+}
+
+/// The quality figures one explored point reports; both paths must agree bit for bit.
+#[derive(PartialEq, Debug)]
+struct Bundle {
+    delay: f64,
+    energy: f64,
+    area: f64,
+    cell_count: usize,
+    logic_depth: usize,
+}
+
+fn wallace_workload() -> Workload {
+    let mut netlist = Netlist::new("mult16");
+    let a: Vec<_> = (0..16)
+        .map(|i| netlist.add_input(format!("a{i}")))
+        .collect();
+    let b: Vec<_> = (0..16)
+        .map(|i| netlist.add_input(format!("b{i}")))
+        .collect();
+    let product = wallace_multiply(&mut netlist, &a, &b).expect("multiplier generation");
+    for net in &product {
+        netlist.mark_output(*net);
+    }
+    // Mildly skewed profiles so neither analysis degenerates to its defaults.
+    let arrivals = a
+        .iter()
+        .enumerate()
+        .map(|(bit, net)| (*net, bit as f64 * 0.05))
+        .collect();
+    let probabilities = b
+        .iter()
+        .enumerate()
+        .map(|(bit, net)| (*net, 0.3 + bit as f64 * 0.02))
+        .collect();
+    Workload {
+        name: "wallace_mult_16x16",
+        netlist,
+        arrivals,
+        probabilities,
+    }
+}
+
+/// A full explorer sweep point: the IIR benchmark through the FA_AOT flow, analysed
+/// under the profiles of its input specification — exactly the netlist and maps
+/// `dpsyn-explore` evaluates per job.
+fn explore_point_workload(tech: &TechLibrary) -> Workload {
+    let design = dpsyn_designs::iir();
+    let result = Flow::FaAot
+        .run(design.expr(), design.spec(), design.output_width(), tech)
+        .expect("iir synthesis");
+    let mut arrivals = BTreeMap::new();
+    let mut probabilities = BTreeMap::new();
+    for word in result.word_map.inputs() {
+        for (bit, net) in word.bits().iter().enumerate() {
+            if let Some(profile) = design.spec().bit_profile(word.name(), bit as u32) {
+                arrivals.insert(*net, profile.arrival);
+                probabilities.insert(*net, profile.probability);
+            }
+        }
+    }
+    Workload {
+        name: "explore_point_iir_fa_aot",
+        netlist: result.netlist,
+        arrivals,
+        probabilities,
+    }
+}
+
+/// The pre-refactor `Netlist::fanout_map`: one freshly allocated `Vec` per net.
+fn legacy_fanout_map(netlist: &Netlist) -> Vec<Vec<(dpsyn_netlist::CellId, usize)>> {
+    let mut map = vec![Vec::new(); netlist.net_count()];
+    for (id, cell) in netlist.cells() {
+        for (pin, net) in cell.inputs().iter().enumerate() {
+            map[net.index()].push((id, pin));
+        }
+    }
+    map
+}
+
+/// The pre-refactor `Netlist::topological_order`: an independent Kahn traversal over
+/// the allocating fanout map, reproduced here because the in-tree entry points now
+/// delegate to `CompiledNetlist` (measuring them would not be a legacy baseline).
+fn legacy_topological_order(netlist: &Netlist) -> Vec<dpsyn_netlist::CellId> {
+    let mut pending: Vec<usize> = netlist
+        .cells()
+        .map(|(_, cell)| {
+            cell.inputs()
+                .iter()
+                .filter(|net| netlist.net(**net).driver().is_some())
+                .count()
+        })
+        .collect();
+    let fanout = legacy_fanout_map(netlist);
+    let mut current: Vec<dpsyn_netlist::CellId> = netlist
+        .cells()
+        .filter(|(id, _)| pending[id.index()] == 0)
+        .map(|(id, _)| id)
+        .collect();
+    let mut order = Vec::with_capacity(netlist.cell_count());
+    while !current.is_empty() {
+        let mut next = Vec::new();
+        for cell in &current {
+            for net in netlist.cell(*cell).outputs() {
+                for (reader, _) in &fanout[net.index()] {
+                    pending[reader.index()] -= 1;
+                    if pending[reader.index()] == 0 {
+                        next.push(*reader);
+                    }
+                }
+            }
+        }
+        order.extend_from_slice(&current);
+        current = next;
+    }
+    assert_eq!(order.len(), netlist.cell_count(), "acyclic");
+    order
+}
+
+/// The pre-refactor per-net depth walk behind `logic_depth` / `NetlistStats`.
+fn legacy_logic_depth(netlist: &Netlist, order: &[dpsyn_netlist::CellId]) -> usize {
+    let mut depth = vec![0usize; netlist.net_count()];
+    let mut max_depth = 0;
+    for cell in order {
+        let cell = netlist.cell(*cell);
+        let input_depth = cell
+            .inputs()
+            .iter()
+            .map(|net| depth[net.index()])
+            .max()
+            .unwrap_or(0);
+        for net in cell.outputs() {
+            depth[net.index()] = input_depth + 1;
+            max_depth = max_depth.max(input_depth + 1);
+        }
+    }
+    max_depth
+}
+
+/// The pre-refactor per-point bundle: four independent traversals (validate, timing,
+/// power, stats) plus per-cell technology map lookups — reproduced verbatim from the
+/// pre-refactor sources, since the in-tree entry points now share `CompiledNetlist`.
+fn legacy_bundle(workload: &Workload, tech: &TechLibrary) -> Bundle {
+    let netlist = &workload.netlist;
+    netlist.validate_structure().expect("valid netlist");
+    legacy_topological_order(netlist); // validate()'s cycle check
+    let order = legacy_topological_order(netlist);
+    // Legacy STA.
+    let mut arrival = vec![0.0f64; netlist.net_count()];
+    for net in netlist.inputs() {
+        arrival[net.index()] = workload.arrivals.get(net).copied().unwrap_or(0.0);
+    }
+    for cell_id in &order {
+        let cell = netlist.cell(*cell_id);
+        let input_arrival = cell
+            .inputs()
+            .iter()
+            .map(|net| arrival[net.index()])
+            .max_by(|a, b| a.total_cmp(b))
+            .unwrap_or(0.0);
+        for (pin, net) in cell.outputs().iter().enumerate() {
+            arrival[net.index()] = input_arrival + tech.output_delay(cell.kind(), pin);
+        }
+    }
+    let delay = netlist
+        .outputs()
+        .iter()
+        .map(|net| arrival[net.index()])
+        .max_by(|a, b| a.total_cmp(b))
+        .unwrap_or(0.0);
+    // Legacy probability propagation (third traversal).
+    let order = legacy_topological_order(netlist);
+    let mut probability = vec![0.5f64; netlist.net_count()];
+    for net in netlist.inputs() {
+        probability[net.index()] = workload.probabilities.get(net).copied().unwrap_or(0.5);
+    }
+    let mut energy = 0.0f64;
+    for cell_id in &order {
+        let cell = netlist.cell(*cell_id);
+        let inputs: Vec<f64> = cell
+            .inputs()
+            .iter()
+            .map(|net| probability[net.index()])
+            .collect();
+        let outputs = propagate_cell(cell.kind(), &inputs);
+        let mut cell_energy = 0.0;
+        for (pin, (net, p)) in cell.outputs().iter().zip(outputs.iter()).enumerate() {
+            probability[net.index()] = *p;
+            let activity = p * (1.0 - p);
+            cell_energy += tech.switch_energy(cell.kind(), pin) * activity;
+        }
+        energy += cell_energy;
+    }
+    // Legacy area (per-cell map lookups) and stats (fourth traversal).
+    let area = tech.netlist_area(netlist);
+    let order = legacy_topological_order(netlist);
+    Bundle {
+        delay,
+        energy,
+        area,
+        cell_count: netlist.cell_count(),
+        logic_depth: legacy_logic_depth(netlist, &order),
+    }
+}
+
+/// The compiled-analysis bundle: one levelization shared by every analysis.
+fn compiled_bundle(workload: &Workload, tech: &TechLibrary) -> Bundle {
+    let netlist = &workload.netlist;
+    netlist.validate_structure().expect("valid netlist");
+    let compiled = netlist.compile().expect("acyclic");
+    let timing = TimingAnalysis::new(tech)
+        .with_input_arrivals(workload.arrivals.clone())
+        .run_compiled(&compiled)
+        .expect("timing analysis");
+    let power = ProbabilityAnalysis::new(tech)
+        .with_input_probabilities(workload.probabilities.clone())
+        .run_compiled(&compiled)
+        .expect("power analysis");
+    Bundle {
+        delay: timing.critical_delay(),
+        energy: power.total_energy(),
+        area: tech.compiled_area(&compiled),
+        cell_count: compiled.cell_count(),
+        logic_depth: compiled.level_count(),
+    }
+}
+
+fn bench_analysis_throughput(criterion: &mut Criterion) {
+    let tech = TechLibrary::lcbg10pv_like();
+    let workloads = [wallace_workload(), explore_point_workload(&tech)];
+    let mut group = criterion.benchmark_group("analysis_throughput");
+    group.sample_size(20);
+    for workload in &workloads {
+        // The two paths must report identical figures (bit for bit) before any
+        // timing comparison is meaningful.
+        let legacy = legacy_bundle(workload, &tech);
+        let compiled = compiled_bundle(workload, &tech);
+        assert_eq!(
+            legacy.delay.to_bits(),
+            compiled.delay.to_bits(),
+            "{}: delay mismatch",
+            workload.name
+        );
+        assert_eq!(
+            legacy.energy.to_bits(),
+            compiled.energy.to_bits(),
+            "{}: energy mismatch",
+            workload.name
+        );
+        assert_eq!(
+            legacy.area.to_bits(),
+            compiled.area.to_bits(),
+            "{}: area mismatch",
+            workload.name
+        );
+        assert_eq!(legacy.cell_count, compiled.cell_count, "{}", workload.name);
+        assert_eq!(
+            legacy.logic_depth, compiled.logic_depth,
+            "{}",
+            workload.name
+        );
+
+        group.bench_function(format!("legacy_{}", workload.name), |bencher| {
+            bencher.iter(|| black_box(legacy_bundle(workload, &tech)))
+        });
+        group.bench_function(format!("compiled_{}", workload.name), |bencher| {
+            bencher.iter(|| black_box(compiled_bundle(workload, &tech)))
+        });
+    }
+    group.finish();
+
+    speedup_gate(&workloads, &tech);
+}
+
+/// Times both bundles directly, prints the `BENCH_analysis.json` record for the
+/// explorer point, and enforces the ≥ 2× acceptance criterion on both workloads.
+fn speedup_gate(workloads: &[Workload], tech: &TechLibrary) {
+    for workload in workloads {
+        let mut legacy_points = 0u64;
+        let legacy_start = Instant::now();
+        while legacy_start.elapsed().as_millis() < 200 {
+            black_box(legacy_bundle(workload, tech));
+            legacy_points += 1;
+        }
+        let legacy_pps = legacy_points as f64 / legacy_start.elapsed().as_secs_f64();
+
+        let mut compiled_points = 0u64;
+        let compiled_start = Instant::now();
+        while compiled_start.elapsed().as_millis() < 200 {
+            black_box(compiled_bundle(workload, tech));
+            compiled_points += 1;
+        }
+        let compiled_pps = compiled_points as f64 / compiled_start.elapsed().as_secs_f64();
+
+        let speedup = compiled_pps / legacy_pps;
+        println!(
+            "{{\"workload\": \"{}\", \"cells\": {}, \"nets\": {}, \
+             \"legacy_points_per_sec\": {:.0}, \"compiled_points_per_sec\": {:.0}, \
+             \"speedup\": {:.1}}}",
+            workload.name,
+            workload.netlist.cell_count(),
+            workload.netlist.net_count(),
+            legacy_pps,
+            compiled_pps,
+            speedup
+        );
+        assert!(
+            speedup >= 2.0,
+            "the compiled analysis path must be at least 2x faster than the legacy \
+             per-analysis traversals on {} (measured {speedup:.1}x: {compiled_pps:.0} \
+             vs {legacy_pps:.0} points/sec)",
+            workload.name
+        );
+    }
+}
+
+criterion_group!(benches, bench_analysis_throughput);
+criterion_main!(benches);

@@ -7,7 +7,7 @@ use crate::leaves::build_leaves;
 use crate::report::SynthesisReport;
 use crate::strategy::{Objective, SelectionStrategy};
 use dpsyn_ir::{Expr, InputSpec, LoweringOptions};
-use dpsyn_netlist::{Netlist, Word, WordMap};
+use dpsyn_netlist::{CompiledNetlist, Netlist, Word, WordMap};
 use dpsyn_power::ProbabilityAnalysis;
 use dpsyn_tech::TechLibrary;
 use dpsyn_timing::TimingAnalysis;
@@ -134,7 +134,10 @@ impl<'a> Synthesizer<'a> {
             netlist.mark_output(*net);
         }
         let word_map = WordMap::new(leaves.input_words, Word::new("out", outputs));
-        netlist.validate()?;
+        netlist.validate_structure()?;
+        // Compile once: the same levelized program backs validation (acyclicity),
+        // timing, power, area and the structural report fields below.
+        let compiled = netlist.compile()?;
 
         // Static timing analysis with the spec's per-bit arrival profile.
         let mut arrivals = BTreeMap::new();
@@ -149,11 +152,11 @@ impl<'a> Synthesizer<'a> {
         }
         let timing = TimingAnalysis::new(tech)
             .with_input_arrivals(arrivals)
-            .run(&netlist)?;
+            .run_compiled(&compiled)?;
         let power = ProbabilityAnalysis::new(tech)
             .with_input_probabilities(probabilities)
-            .run(&netlist)?;
-        let area = tech.netlist_area(&netlist);
+            .run_compiled(&compiled)?;
+        let area = tech.compiled_area(&compiled);
         let report = SynthesisReport {
             name: self.name.clone(),
             objective: self.objective,
@@ -165,26 +168,28 @@ impl<'a> Synthesizer<'a> {
             tree_fa_count: rows.fa_count,
             tree_ha_count: rows.ha_count,
             final_input_arrival: rows.final_input_arrival,
-            cell_count: netlist.cell_count(),
-            net_count: netlist.net_count(),
-            logic_depth: netlist.logic_depth(),
+            cell_count: compiled.cell_count(),
+            net_count: compiled.net_count(),
+            logic_depth: compiled.level_count(),
             output_width: width,
         };
         Ok(SynthesizedDesign {
             netlist,
             word_map,
+            compiled,
             report,
             width,
         })
     }
 }
 
-/// A synthesized and analysed design: the netlist, its word-level interface and its
-/// quality-of-results report.
+/// A synthesized and analysed design: the netlist, its word-level interface, its
+/// compiled analysis program and its quality-of-results report.
 #[derive(Debug, Clone)]
 pub struct SynthesizedDesign {
     netlist: Netlist,
     word_map: WordMap,
+    compiled: CompiledNetlist,
     report: SynthesisReport,
     width: u32,
 }
@@ -198,6 +203,13 @@ impl SynthesizedDesign {
     /// The word-level interface (input words and the output word).
     pub fn word_map(&self) -> &WordMap {
         &self.word_map
+    }
+
+    /// The compiled analysis program of the netlist, built once during synthesis.
+    /// Hand this to `LaneSim::from_compiled`, `TimingAnalysis::run_compiled` or
+    /// `ProbabilityAnalysis::run_compiled` to re-analyse without re-levelizing.
+    pub fn compiled(&self) -> &CompiledNetlist {
+        &self.compiled
     }
 
     /// The quality-of-results report.
@@ -218,6 +230,12 @@ impl SynthesizedDesign {
     /// Decomposes the design into its parts (netlist, interface, report).
     pub fn into_parts(self) -> (Netlist, WordMap, SynthesisReport) {
         (self.netlist, self.word_map, self.report)
+    }
+
+    /// Like [`SynthesizedDesign::into_parts`] but also yields the compiled program,
+    /// so downstream consumers (the flow layer, the explorer) keep sharing it.
+    pub fn into_analysis_parts(self) -> (Netlist, WordMap, CompiledNetlist, SynthesisReport) {
+        (self.netlist, self.word_map, self.compiled, self.report)
     }
 }
 

@@ -6,7 +6,6 @@ use crate::pareto::{pareto_front, PointMetrics};
 use crate::spec::ExplorationSpec;
 use crate::summary::{render_summary, summarize_flows, FlowSummary};
 use dpsyn_baselines::FlowResult;
-use dpsyn_netlist::NetlistStats;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::thread;
@@ -114,7 +113,8 @@ pub fn explore(spec: &ExplorationSpec) -> Result<ExplorationResults, ExploreErro
 
 /// Evaluates one job: materializes its design, runs its flow, and extracts the
 /// metrics (delay from timing analysis, power from probability propagation, area and
-/// structure from the netlist).
+/// structure straight off the flow's compiled program — the netlist is compiled once
+/// per point and never re-traversed here).
 fn evaluate(spec: &ExplorationSpec, job: &Job) -> Result<ExplorationPoint, ExploreError> {
     let design = spec.materialize(job);
     let result = job
@@ -129,14 +129,13 @@ fn evaluate(spec: &ExplorationSpec, job: &Job) -> Result<ExplorationPoint, Explo
             job: job.label(),
             source,
         })?;
-    let stats = NetlistStats::of(&result.netlist);
     let metrics = PointMetrics {
         delay: result.delay,
         power: result.power_mw,
         area: result.area,
         switching_energy: result.switching_energy,
-        cell_count: stats.cell_count(),
-        logic_depth: stats.logic_depth(),
+        cell_count: result.compiled.cell_count(),
+        logic_depth: result.compiled.level_count(),
     };
     Ok(ExplorationPoint {
         job: job.clone(),

@@ -67,6 +67,30 @@ pub enum CellKind {
 }
 
 impl CellKind {
+    /// Number of distinct cell kinds; with [`CellKind::table_index`] this sizes the
+    /// dense per-kind parameter tables the compiled analyses index in their inner
+    /// loops instead of map lookups.
+    pub const COUNT: usize = 12;
+
+    /// A dense index in `0..CellKind::COUNT`, stable across runs (declaration order).
+    #[inline]
+    pub fn table_index(self) -> usize {
+        match self {
+            CellKind::Fa => 0,
+            CellKind::Ha => 1,
+            CellKind::And2 => 2,
+            CellKind::And3 => 3,
+            CellKind::Or2 => 4,
+            CellKind::Xor2 => 5,
+            CellKind::Xor3 => 6,
+            CellKind::Not => 7,
+            CellKind::Buf => 8,
+            CellKind::Mux2 => 9,
+            CellKind::Const0 => 10,
+            CellKind::Const1 => 11,
+        }
+    }
+
     /// Number of input pins of the cell kind.
     pub fn input_count(self) -> usize {
         match self {
@@ -256,6 +280,18 @@ mod tests {
     #[should_panic(expected = "expects")]
     fn evaluate_panics_on_arity_mismatch() {
         CellKind::Fa.evaluate(&[true, false]);
+    }
+
+    #[test]
+    fn table_indices_are_a_bijection() {
+        assert_eq!(CellKind::all().len(), CellKind::COUNT);
+        let mut seen = [false; CellKind::COUNT];
+        for kind in CellKind::all() {
+            let index = kind.table_index();
+            assert!(index < CellKind::COUNT);
+            assert!(!seen[index], "duplicate table index {index}");
+            seen[index] = true;
+        }
     }
 
     #[test]

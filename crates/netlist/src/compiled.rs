@@ -1,0 +1,295 @@
+//! The compiled-analysis layer: a netlist flattened into a levelized three-address
+//! program shared by every analysis.
+//!
+//! [`CompiledNetlist`] is built **once** per netlist ([`Netlist::compile`]) and then
+//! reused by every downstream consumer — the 64-lane simulator, static timing
+//! analysis, probability/power propagation and the design-space explorer — so the
+//! Kahn levelization, the fanout map and the per-cell bookkeeping are computed a
+//! single time instead of once per analysis:
+//!
+//! * **flat op array** ([`CompiledOp`]): one fixed-stride record per cell, holding the
+//!   kind and the net indices of its pins, in levelized order (concatenating the
+//!   levels yields a valid topological order);
+//! * **level offsets**: `ops[level_offset(i)..level_offset(i + 1)]` are the mutually
+//!   independent cells of level `i`;
+//! * **fanout CSR**: the `(reader cell, input pin)` pairs of every net, in one dense
+//!   arena (offsets + entries) instead of a `Vec<Vec<_>>`;
+//! * **stable net-slot map**: programs index dense per-net buffers by
+//!   [`NetId::index`], so one `Vec` per analysis replaces any keyed map;
+//! * **kind tables**: the per-cell kind array (cell-index order) and the kind
+//!   histogram, which analyses use to resolve technology parameters once per kind
+//!   instead of once per cell.
+//!
+//! # Example
+//!
+//! ```
+//! use dpsyn_netlist::{CellKind, Netlist};
+//!
+//! let mut netlist = Netlist::new("chain");
+//! let a = netlist.add_input("a");
+//! let b = netlist.add_input("b");
+//! let x = netlist.add_gate(CellKind::And2, &[a, b]).unwrap()[0];
+//! netlist.add_gate(CellKind::Not, &[x]).unwrap();
+//! let compiled = netlist.compile().unwrap();
+//! assert_eq!(compiled.op_count(), 2);
+//! assert_eq!(compiled.level_count(), 2);
+//! // The AND feeds the NOT: one fanout entry reading pin 0.
+//! assert_eq!(compiled.fanout(x), &[(compiled.ops()[1].cell, 0)]);
+//! ```
+
+use crate::cell::{CellId, CellKind};
+use crate::error::NetlistError;
+use crate::graph::{NetId, Netlist};
+
+/// One levelized instruction of a [`CompiledNetlist`]: a cell kind plus the net
+/// indices of its pins and the identity of the originating cell.
+///
+/// Unused pin slots stay 0 and are never read (the kind determines the arity), so the
+/// program is a fixed-stride array evaluation loops stream through without touching
+/// the netlist graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompiledOp {
+    /// The cell kind (determines how many of `ins` / `outs` are live).
+    pub kind: CellKind,
+    /// The originating cell, for attributing per-cell results (energy, culprits).
+    pub cell: CellId,
+    /// Nets of the input pins, in pin order; surplus slots alias net 0 and are never
+    /// read (the kind determines the arity).
+    pub ins: [NetId; 3],
+    /// Nets of the output pins, in pin order; surplus slots alias net 0 and are never
+    /// read.
+    pub outs: [NetId; 2],
+}
+
+impl CompiledOp {
+    /// The live input nets, in pin order.
+    #[inline]
+    pub fn input_nets(&self) -> &[NetId] {
+        &self.ins[..self.kind.input_count()]
+    }
+
+    /// The live output nets, in pin order.
+    #[inline]
+    pub fn output_nets(&self) -> &[NetId] {
+        &self.outs[..self.kind.output_count()]
+    }
+}
+
+/// A [`Netlist`] compiled once into a dense, levelized three-address program plus the
+/// shared lookup structures every analysis needs (fanout CSR, kind tables).
+///
+/// See the [module documentation](self) for the layout and an example; build one with
+/// [`Netlist::compile`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompiledNetlist {
+    net_count: usize,
+    inputs: Vec<NetId>,
+    outputs: Vec<NetId>,
+    ops: Vec<CompiledOp>,
+    level_offsets: Vec<usize>,
+    fanout_offsets: Vec<u32>,
+    fanout_readers: Vec<(CellId, u32)>,
+    cell_kinds: Vec<CellKind>,
+    kind_counts: Vec<(CellKind, usize)>,
+}
+
+impl CompiledNetlist {
+    /// Compiles `netlist` into a levelized program. Prefer [`Netlist::compile`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::CombinationalCycle`] when the netlist is cyclic; the
+    /// reported cell is the lowest-indexed cell left unplaced, matching the error the
+    /// former per-analysis traversals produced.
+    pub fn compile(netlist: &Netlist) -> Result<Self, NetlistError> {
+        let net_count = netlist.net_count();
+        let cell_count = netlist.cell_count();
+
+        // Kind tables and the fanout CSR, both in cell-index order so downstream
+        // consumers observe exactly the order the former allocating paths produced.
+        let mut cell_kinds = Vec::with_capacity(cell_count);
+        let mut kind_counts: Vec<(CellKind, usize)> = Vec::new();
+        let mut fanout_offsets = vec![0u32; net_count + 1];
+        for (_, cell) in netlist.cells() {
+            let kind = cell.kind();
+            cell_kinds.push(kind);
+            match kind_counts.iter_mut().find(|(seen, _)| *seen == kind) {
+                Some((_, count)) => *count += 1,
+                None => kind_counts.push((kind, 1)),
+            }
+            for net in cell.inputs() {
+                fanout_offsets[net.index() + 1] += 1;
+            }
+        }
+        for index in 0..net_count {
+            fanout_offsets[index + 1] += fanout_offsets[index];
+        }
+        let mut cursor: Vec<u32> = fanout_offsets[..net_count].to_vec();
+        let mut fanout_readers = vec![(CellId(0), 0u32); fanout_offsets[net_count] as usize];
+        for (id, cell) in netlist.cells() {
+            for (pin, net) in cell.inputs().iter().enumerate() {
+                let slot = &mut cursor[net.index()];
+                fanout_readers[*slot as usize] = (id, pin as u32);
+                *slot += 1;
+            }
+        }
+
+        // Kahn levelization over the CSR — the single traversal every analysis shares.
+        let mut pending: Vec<usize> = netlist
+            .cells()
+            .map(|(_, cell)| {
+                cell.inputs()
+                    .iter()
+                    .filter(|net| netlist.net(**net).driver().is_some())
+                    .count()
+            })
+            .collect();
+        let mut current: Vec<CellId> = pending
+            .iter()
+            .enumerate()
+            .filter(|(_, count)| **count == 0)
+            .map(|(index, _)| CellId(index as u32))
+            .collect();
+        let mut ops = Vec::with_capacity(cell_count);
+        let mut level_offsets = vec![0];
+        while !current.is_empty() {
+            let mut next = Vec::new();
+            for cell_id in &current {
+                let cell = netlist.cell(*cell_id);
+                let mut ins = [NetId(0); 3];
+                for (slot, net) in cell.inputs().iter().enumerate() {
+                    ins[slot] = *net;
+                }
+                let mut outs = [NetId(0); 2];
+                for (slot, net) in cell.outputs().iter().enumerate() {
+                    outs[slot] = *net;
+                    let begin = fanout_offsets[net.index()] as usize;
+                    let end = fanout_offsets[net.index() + 1] as usize;
+                    for (reader, _) in &fanout_readers[begin..end] {
+                        pending[reader.index()] -= 1;
+                        if pending[reader.index()] == 0 {
+                            next.push(*reader);
+                        }
+                    }
+                }
+                ops.push(CompiledOp {
+                    kind: cell.kind(),
+                    cell: *cell_id,
+                    ins,
+                    outs,
+                });
+            }
+            level_offsets.push(ops.len());
+            current = next;
+        }
+        if ops.len() != cell_count {
+            let culprit = pending
+                .iter()
+                .position(|count| *count > 0)
+                .map(|index| CellId(index as u32))
+                .unwrap_or(CellId(0));
+            return Err(NetlistError::CombinationalCycle { cell: culprit });
+        }
+        Ok(CompiledNetlist {
+            net_count,
+            inputs: netlist.inputs().to_vec(),
+            outputs: netlist.outputs().to_vec(),
+            ops,
+            level_offsets,
+            fanout_offsets,
+            fanout_readers,
+            cell_kinds,
+            kind_counts,
+        })
+    }
+
+    /// Number of nets — the length dense per-net buffers must have.
+    #[inline]
+    pub fn net_count(&self) -> usize {
+        self.net_count
+    }
+
+    /// Number of cells (= number of ops).
+    #[inline]
+    pub fn cell_count(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Number of compiled ops (one per cell).
+    #[inline]
+    pub fn op_count(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// The primary input nets, in the netlist's declaration order.
+    #[inline]
+    pub fn inputs(&self) -> &[NetId] {
+        &self.inputs
+    }
+
+    /// The primary output nets, in the netlist's declaration order.
+    #[inline]
+    pub fn outputs(&self) -> &[NetId] {
+        &self.outputs
+    }
+
+    /// The flat program, in levelized order (a valid topological order).
+    #[inline]
+    pub fn ops(&self) -> &[CompiledOp] {
+        &self.ops
+    }
+
+    /// Number of logic levels. Equal to the structural logic depth of the netlist
+    /// (cells on the longest input-to-output path).
+    #[inline]
+    pub fn level_count(&self) -> usize {
+        self.level_offsets.len() - 1
+    }
+
+    /// The ops of one level; all cells within a level are mutually independent.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `level >= level_count()`.
+    pub fn level(&self, level: usize) -> &[CompiledOp] {
+        &self.ops[self.level_offsets[level]..self.level_offsets[level + 1]]
+    }
+
+    /// The `(reader cell, input pin)` pairs consuming `net`, served from the
+    /// precomputed CSR (no allocation), in the same order the former
+    /// `Netlist::fanout_map` listed them.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `net` does not belong to the compiled netlist.
+    #[inline]
+    pub fn fanout(&self, net: NetId) -> &[(CellId, u32)] {
+        let begin = self.fanout_offsets[net.index()] as usize;
+        let end = self.fanout_offsets[net.index() + 1] as usize;
+        &self.fanout_readers[begin..end]
+    }
+
+    /// The kind of every cell, indexed by [`CellId::index`] (cell-index order, i.e.
+    /// the order [`Netlist::cells`] iterates in — not op order).
+    #[inline]
+    pub fn cell_kinds(&self) -> &[CellKind] {
+        &self.cell_kinds
+    }
+
+    /// Histogram of cell kinds, in order of first appearance in the cell table.
+    /// Analyses resolve technology parameters once per entry here instead of once
+    /// per cell.
+    #[inline]
+    pub fn kind_counts(&self) -> &[(CellKind, usize)] {
+        &self.kind_counts
+    }
+
+    /// Reconstructs the level grouping as owned `Vec`s — the shape
+    /// [`Netlist::levelize`] returns. Analyses should iterate [`Self::ops`] /
+    /// [`Self::level`] instead; this exists for the compatibility path.
+    pub fn levels(&self) -> Vec<Vec<CellId>> {
+        (0..self.level_count())
+            .map(|level| self.level(level).iter().map(|op| op.cell).collect())
+            .collect()
+    }
+}

@@ -1,6 +1,7 @@
 //! The netlist graph: nets, cells, connectivity and validation.
 
 use crate::cell::{Cell, CellId, CellKind};
+use crate::compiled::CompiledNetlist;
 use crate::error::NetlistError;
 use std::fmt;
 
@@ -284,7 +285,25 @@ impl Netlist {
         self.cells.iter().filter(|cell| cell.kind == kind).count()
     }
 
+    /// Compiles the netlist into the shared analysis program: a levelized flat op
+    /// array with the fanout CSR and kind tables every analysis consumes.
+    ///
+    /// Compile **once** per netlist and hand the result to the lane simulator,
+    /// timing analysis, power analysis and the report path; see
+    /// [`CompiledNetlist`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::CombinationalCycle`] when the netlist is cyclic.
+    pub fn compile(&self) -> Result<CompiledNetlist, NetlistError> {
+        CompiledNetlist::compile(self)
+    }
+
     /// For every net, the list of `(cell, input pin)` pairs that read it.
+    #[deprecated(
+        note = "allocates one Vec per net on every call; compile the netlist once and \
+                use `CompiledNetlist::fanout` instead"
+    )]
     pub fn fanout_map(&self) -> Vec<Vec<(CellId, usize)>> {
         let mut map = vec![Vec::new(); self.nets.len()];
         for (id, cell) in self.cells() {
@@ -305,7 +324,7 @@ impl Netlist {
     ///
     /// Returns [`NetlistError::CombinationalCycle`] when the netlist is cyclic.
     pub fn topological_order(&self) -> Result<Vec<CellId>, NetlistError> {
-        Ok(self.levelize()?.concat())
+        Ok(self.compile()?.ops().iter().map(|op| op.cell).collect())
     }
 
     /// Groups the cells into topological levels: level 0 holds the cells all of whose
@@ -335,59 +354,18 @@ impl Netlist {
     /// assert_eq!(levels[1].len(), 1); // the NOT reads the AND
     /// ```
     pub fn levelize(&self) -> Result<Vec<Vec<CellId>>, NetlistError> {
-        let mut pending: Vec<usize> = self
-            .cells
-            .iter()
-            .map(|cell| {
-                cell.inputs
-                    .iter()
-                    .filter(|net| self.nets[net.index()].driver.is_some())
-                    .count()
-            })
-            .collect();
-        let fanout = self.fanout_map();
-        let mut current: Vec<CellId> = pending
-            .iter()
-            .enumerate()
-            .filter(|(_, count)| **count == 0)
-            .map(|(index, _)| CellId(index as u32))
-            .collect();
-        let mut levels = Vec::new();
-        let mut placed = 0;
-        while !current.is_empty() {
-            placed += current.len();
-            let mut next = Vec::new();
-            for cell in &current {
-                for net in &self.cells[cell.index()].outputs {
-                    for (reader, _) in &fanout[net.index()] {
-                        pending[reader.index()] -= 1;
-                        if pending[reader.index()] == 0 {
-                            next.push(*reader);
-                        }
-                    }
-                }
-            }
-            levels.push(current);
-            current = next;
-        }
-        if placed != self.cells.len() {
-            let culprit = pending
-                .iter()
-                .position(|count| *count > 0)
-                .map(|index| CellId(index as u32))
-                .unwrap_or(CellId(0));
-            return Err(NetlistError::CombinationalCycle { cell: culprit });
-        }
-        Ok(levels)
+        Ok(self.compile()?.levels())
     }
 
-    /// Validates structural invariants: every net is driven by exactly one source
-    /// (a cell output or a primary input) and the netlist is acyclic.
+    /// Validates the invariants that do not require a traversal: every net is driven
+    /// by exactly one source (a cell output or a primary input) and every marked
+    /// output exists. Callers that also compile the netlist get the remaining
+    /// acyclicity check from [`Netlist::compile`] for free.
     ///
     /// # Errors
     ///
     /// Returns the first violated invariant.
-    pub fn validate(&self) -> Result<(), NetlistError> {
+    pub fn validate_structure(&self) -> Result<(), NetlistError> {
         for (id, net) in self.nets() {
             if net.driver.is_none() && !net.is_input {
                 return Err(NetlistError::UndrivenNet {
@@ -401,35 +379,29 @@ impl Netlist {
                 return Err(NetlistError::UnknownOutput(*net));
             }
         }
-        self.topological_order()?;
+        Ok(())
+    }
+
+    /// Validates structural invariants: every net is driven by exactly one source
+    /// (a cell output or a primary input) and the netlist is acyclic.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated invariant.
+    pub fn validate(&self) -> Result<(), NetlistError> {
+        self.validate_structure()?;
+        self.compile()?;
         Ok(())
     }
 
     /// Longest path length (in cells) from any primary input or constant to any net.
     ///
     /// This is a purely structural depth (every cell counts as one level) used in
-    /// reports and tests; the technology-aware delay lives in the timing crate.
+    /// reports and tests; the technology-aware delay lives in the timing crate. It
+    /// equals [`CompiledNetlist::level_count`] — callers holding a compiled program
+    /// should read that instead of re-traversing here.
     pub fn logic_depth(&self) -> usize {
-        let order = match self.topological_order() {
-            Ok(order) => order,
-            Err(_) => return 0,
-        };
-        let mut depth = vec![0usize; self.nets.len()];
-        let mut max_depth = 0;
-        for cell in order {
-            let cell = &self.cells[cell.index()];
-            let input_depth = cell
-                .inputs
-                .iter()
-                .map(|net| depth[net.index()])
-                .max()
-                .unwrap_or(0);
-            for net in &cell.outputs {
-                depth[net.index()] = input_depth + 1;
-                max_depth = max_depth.max(input_depth + 1);
-            }
-        }
-        max_depth
+        self.compile().map(|c| c.level_count()).unwrap_or(0)
     }
 }
 
@@ -592,10 +564,89 @@ mod tests {
     #[test]
     fn fanout_map_lists_readers() {
         let netlist = full_adder_netlist();
+        #[allow(deprecated)]
         let fanout = netlist.fanout_map();
         let a = netlist.inputs()[0];
         assert_eq!(fanout[a.index()].len(), 1);
         assert_eq!(fanout[a.index()][0].1, 0);
+        // The deprecated allocating path and the compiled CSR agree entry for entry.
+        let compiled = netlist.compile().unwrap();
+        for (net, _) in netlist.nets() {
+            let csr: Vec<(CellId, usize)> = compiled
+                .fanout(net)
+                .iter()
+                .map(|(cell, pin)| (*cell, *pin as usize))
+                .collect();
+            assert_eq!(csr, fanout[net.index()]);
+        }
+    }
+
+    #[test]
+    fn compiled_program_matches_levelize() {
+        let mut netlist = Netlist::new("levels");
+        let a = netlist.add_input("a");
+        let b = netlist.add_input("b");
+        let c = netlist.add_input("c");
+        let and = netlist.add_gate(CellKind::And2, &[a, b]).unwrap()[0];
+        let or = netlist.add_gate(CellKind::Or2, &[b, c]).unwrap()[0];
+        let xor = netlist.add_gate(CellKind::Xor2, &[and, or]).unwrap()[0];
+        netlist.mark_output(xor);
+        let compiled = netlist.compile().unwrap();
+        assert_eq!(compiled.levels(), netlist.levelize().unwrap());
+        assert_eq!(compiled.level_count(), netlist.logic_depth());
+        assert_eq!(compiled.cell_count(), netlist.cell_count());
+        assert_eq!(compiled.net_count(), netlist.net_count());
+        assert_eq!(compiled.inputs(), netlist.inputs());
+        assert_eq!(compiled.outputs(), netlist.outputs());
+        // Ops are the levelized concatenation, and pins mirror the cells.
+        let order = netlist.topological_order().unwrap();
+        let op_cells: Vec<CellId> = compiled.ops().iter().map(|op| op.cell).collect();
+        assert_eq!(op_cells, order);
+        for op in compiled.ops() {
+            let cell = netlist.cell(op.cell);
+            assert_eq!(op.kind, cell.kind());
+            assert_eq!(op.input_nets(), cell.inputs());
+            assert_eq!(op.output_nets(), cell.outputs());
+        }
+        // Kind tables: per-cell kinds in cell order, histogram in first-appearance order.
+        assert_eq!(compiled.cell_kinds().len(), netlist.cell_count());
+        assert_eq!(
+            compiled.kind_counts(),
+            &[(CellKind::And2, 1), (CellKind::Or2, 1), (CellKind::Xor2, 1)]
+        );
+        let total: usize = compiled.kind_counts().iter().map(|(_, n)| n).sum();
+        assert_eq!(total, netlist.cell_count());
+    }
+
+    #[test]
+    fn compiled_cycle_reports_the_same_culprit() {
+        let mut netlist = Netlist::new("cyclic");
+        let a = netlist.add_input("a");
+        let loop_net = netlist.add_net("loop");
+        let out = netlist.add_net("out");
+        netlist
+            .add_cell(CellKind::And2, "g0", vec![a, loop_net], vec![out])
+            .unwrap();
+        netlist
+            .add_cell(CellKind::Buf, "g1", vec![out], vec![loop_net])
+            .unwrap();
+        let compiled_err = netlist.compile().unwrap_err();
+        let levelize_err = netlist.levelize().unwrap_err();
+        assert_eq!(compiled_err, levelize_err);
+        assert!(matches!(
+            compiled_err,
+            NetlistError::CombinationalCycle { cell } if cell == CellId(0)
+        ));
+        assert_eq!(netlist.logic_depth(), 0);
+    }
+
+    #[test]
+    fn compiled_empty_netlist() {
+        let compiled = Netlist::new("empty").compile().unwrap();
+        assert_eq!(compiled.op_count(), 0);
+        assert_eq!(compiled.level_count(), 0);
+        assert!(compiled.levels().is_empty());
+        assert!(compiled.kind_counts().is_empty());
     }
 
     #[test]

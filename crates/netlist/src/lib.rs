@@ -36,6 +36,7 @@
 #![warn(missing_docs)]
 
 mod cell;
+mod compiled;
 mod error;
 mod graph;
 mod stats;
@@ -43,6 +44,7 @@ mod verilog;
 mod word;
 
 pub use cell::{Cell, CellId, CellKind};
+pub use compiled::{CompiledNetlist, CompiledOp};
 pub use error::NetlistError;
 pub use graph::{Net, NetId, Netlist};
 pub use stats::NetlistStats;

@@ -1,6 +1,6 @@
 //! Netlist statistics used in reports and tests.
 
-use crate::{CellKind, Netlist};
+use crate::{CellKind, CompiledNetlist, Netlist};
 use std::collections::BTreeMap;
 use std::fmt;
 
@@ -29,6 +29,9 @@ pub struct NetlistStats {
 
 impl NetlistStats {
     /// Computes the statistics of a netlist.
+    ///
+    /// This re-traverses the graph for the logic depth; callers that already hold a
+    /// [`CompiledNetlist`] should use [`NetlistStats::of_compiled`] instead.
     pub fn of(netlist: &Netlist) -> Self {
         let mut cells_by_kind = BTreeMap::new();
         for (_, cell) in netlist.cells() {
@@ -40,6 +43,18 @@ impl NetlistStats {
             input_count: netlist.inputs().len(),
             output_count: netlist.outputs().len(),
             logic_depth: netlist.logic_depth(),
+        }
+    }
+
+    /// Reads the same statistics straight off a compiled program — no traversal, no
+    /// second pass over the cell table.
+    pub fn of_compiled(compiled: &CompiledNetlist) -> Self {
+        NetlistStats {
+            cells_by_kind: compiled.kind_counts().iter().copied().collect(),
+            net_count: compiled.net_count(),
+            input_count: compiled.inputs().len(),
+            output_count: compiled.outputs().len(),
+            logic_depth: compiled.level_count(),
         }
     }
 
@@ -134,5 +149,21 @@ mod tests {
         let stats = NetlistStats::of(&Netlist::new("empty"));
         assert_eq!(stats.cell_count(), 0);
         assert_eq!(stats.logic_depth(), 0);
+    }
+
+    #[test]
+    fn compiled_stats_match_graph_stats() {
+        let mut netlist = Netlist::new("demo");
+        let a = netlist.add_input("a");
+        let b = netlist.add_input("b");
+        let c = netlist.add_input("c");
+        let fa = netlist.add_gate(CellKind::Fa, &[a, b, c]).unwrap();
+        let inverted = netlist.add_gate(CellKind::Not, &[fa[0]]).unwrap()[0];
+        netlist.mark_output(inverted);
+        let compiled = netlist.compile().unwrap();
+        assert_eq!(
+            NetlistStats::of_compiled(&compiled),
+            NetlistStats::of(&netlist)
+        );
     }
 }

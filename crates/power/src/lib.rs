@@ -49,8 +49,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use dpsyn_netlist::{CellKind, NetId, Netlist, NetlistError};
-use dpsyn_tech::{TechError, TechLibrary};
+use dpsyn_netlist::{CellKind, CompiledNetlist, NetId, Netlist, NetlistError};
+use dpsyn_tech::{ResolvedTech, TechError, TechLibrary};
 use std::collections::BTreeMap;
 use std::error::Error;
 use std::fmt;
@@ -152,12 +152,40 @@ impl<'lib> ProbabilityAnalysis<'lib> {
 
     /// Runs the propagation and power estimation over `netlist`.
     ///
+    /// This convenience entry point compiles the netlist internally; callers that
+    /// already hold the shared [`CompiledNetlist`] program should use
+    /// [`ProbabilityAnalysis::run_compiled`] so the levelization happens exactly once
+    /// per netlist rather than once per analysis.
+    ///
     /// # Errors
     ///
     /// Returns an error when the netlist is invalid, the library does not cover a used
     /// cell kind, or a probability is outside `[0, 1]`.
     pub fn run(&self, netlist: &Netlist) -> Result<PowerReport, PowerError> {
         self.tech.check_coverage(netlist)?;
+        self.check_probabilities()?;
+        let compiled = netlist.compile()?;
+        let resolved = self.tech.resolve(&compiled)?;
+        Ok(self.propagate(&compiled, &resolved))
+    }
+
+    /// Runs the propagation over an already-compiled program: a single pass over the
+    /// flat op array with the library resolved once into per-kind energy tables — no
+    /// map lookups, no per-cell allocation and no graph traversal in the loop. The
+    /// report is bit-identical to [`ProbabilityAnalysis::run`] on the originating
+    /// netlist.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the library does not cover a used cell kind or a
+    /// probability is outside `[0, 1]`.
+    pub fn run_compiled(&self, compiled: &CompiledNetlist) -> Result<PowerReport, PowerError> {
+        let resolved = self.tech.resolve(compiled)?;
+        self.check_probabilities()?;
+        Ok(self.propagate(compiled, &resolved))
+    }
+
+    fn check_probabilities(&self) -> Result<(), PowerError> {
         for (net, probability) in self
             .input_probabilities
             .iter()
@@ -168,43 +196,82 @@ impl<'lib> ProbabilityAnalysis<'lib> {
                 return Err(PowerError::InvalidProbability { net, probability });
             }
         }
-        let order = netlist.topological_order()?;
-        let mut probability = vec![self.default_probability; netlist.net_count()];
-        for net in netlist.inputs() {
+        Ok(())
+    }
+
+    /// The single-pass probability/energy propagation over the compiled program.
+    fn propagate(&self, compiled: &CompiledNetlist, resolved: &ResolvedTech) -> PowerReport {
+        let mut probability = vec![self.default_probability; compiled.net_count()];
+        for net in compiled.inputs() {
             probability[net.index()] = self
                 .input_probabilities
                 .get(net)
                 .copied()
                 .unwrap_or(self.default_probability);
         }
-        let mut cell_energy = vec![0.0f64; netlist.cell_count()];
+        let mut cell_energy = vec![0.0f64; compiled.cell_count()];
         let mut total_energy = 0.0f64;
         let mut total_activity = 0.0f64;
-        for cell_id in order {
-            let cell = netlist.cell(cell_id);
-            let inputs: Vec<f64> = cell
-                .inputs()
-                .iter()
-                .map(|net| probability[net.index()])
-                .collect();
-            let outputs = propagate_cell(cell.kind(), &inputs);
+        for op in compiled.ops() {
+            let mut inputs = [0.0f64; 3];
+            for (slot, net) in op.input_nets().iter().enumerate() {
+                inputs[slot] = probability[net.index()];
+            }
+            let outputs = propagate_op(op.kind, &inputs);
+            let weights = &resolved.energy[op.kind.table_index()];
             let mut energy = 0.0;
-            for (pin, (net, p)) in cell.outputs().iter().zip(outputs.iter()).enumerate() {
-                probability[net.index()] = *p;
+            for (pin, net) in op.output_nets().iter().enumerate() {
+                let p = outputs[pin];
+                probability[net.index()] = p;
                 let activity = p * (1.0 - p);
                 total_activity += activity;
-                energy += self.tech.switch_energy(cell.kind(), pin) * activity;
+                energy += weights[pin] * activity;
             }
-            cell_energy[cell_id.index()] = energy;
+            cell_energy[op.cell.index()] = energy;
             total_energy += energy;
         }
-        Ok(PowerReport {
+        PowerReport {
             probability,
             cell_energy,
             total_energy,
             total_activity,
             voltage: self.tech.voltage(),
-        })
+        }
+    }
+}
+
+/// Allocation-free kernel of [`propagate_cell`]: input probabilities arrive in a
+/// fixed-arity array (surplus slots 0 and ignored), outputs leave the same way.
+#[inline]
+fn propagate_op(kind: CellKind, inputs: &[f64; 3]) -> [f64; 2] {
+    match kind {
+        CellKind::Fa => {
+            let (x, y, z) = (inputs[0], inputs[1], inputs[2]);
+            [
+                q_transform::fa_sum_p(x, y, z),
+                q_transform::fa_carry_p(x, y, z),
+            ]
+        }
+        CellKind::Ha => {
+            let (x, y) = (inputs[0], inputs[1]);
+            [x + y - 2.0 * x * y, x * y]
+        }
+        CellKind::And2 => [inputs[0] * inputs[1], 0.0],
+        CellKind::And3 => [inputs[0] * inputs[1] * inputs[2], 0.0],
+        CellKind::Or2 => [inputs[0] + inputs[1] - inputs[0] * inputs[1], 0.0],
+        CellKind::Xor2 => [inputs[0] + inputs[1] - 2.0 * inputs[0] * inputs[1], 0.0],
+        CellKind::Xor3 => {
+            let xy = inputs[0] + inputs[1] - 2.0 * inputs[0] * inputs[1];
+            [xy + inputs[2] - 2.0 * xy * inputs[2], 0.0]
+        }
+        CellKind::Not => [1.0 - inputs[0], 0.0],
+        CellKind::Buf => [inputs[0], 0.0],
+        CellKind::Mux2 => {
+            let (a, b, sel) = (inputs[0], inputs[1], inputs[2]);
+            [(1.0 - sel) * a + sel * b, 0.0]
+        }
+        CellKind::Const0 => [0.0, 0.0],
+        CellKind::Const1 => [1.0, 0.0],
     }
 }
 
@@ -221,35 +288,9 @@ pub fn propagate_cell(kind: CellKind, inputs: &[f64]) -> Vec<f64> {
         "cell {kind:?} expects {} input probabilities",
         kind.input_count()
     );
-    match kind {
-        CellKind::Fa => {
-            let (x, y, z) = (inputs[0], inputs[1], inputs[2]);
-            vec![
-                q_transform::fa_sum_p(x, y, z),
-                q_transform::fa_carry_p(x, y, z),
-            ]
-        }
-        CellKind::Ha => {
-            let (x, y) = (inputs[0], inputs[1]);
-            vec![x + y - 2.0 * x * y, x * y]
-        }
-        CellKind::And2 => vec![inputs[0] * inputs[1]],
-        CellKind::And3 => vec![inputs[0] * inputs[1] * inputs[2]],
-        CellKind::Or2 => vec![inputs[0] + inputs[1] - inputs[0] * inputs[1]],
-        CellKind::Xor2 => vec![inputs[0] + inputs[1] - 2.0 * inputs[0] * inputs[1]],
-        CellKind::Xor3 => {
-            let xy = inputs[0] + inputs[1] - 2.0 * inputs[0] * inputs[1];
-            vec![xy + inputs[2] - 2.0 * xy * inputs[2]]
-        }
-        CellKind::Not => vec![1.0 - inputs[0]],
-        CellKind::Buf => vec![inputs[0]],
-        CellKind::Mux2 => {
-            let (a, b, sel) = (inputs[0], inputs[1], inputs[2]);
-            vec![(1.0 - sel) * a + sel * b]
-        }
-        CellKind::Const0 => vec![0.0],
-        CellKind::Const1 => vec![1.0],
-    }
+    let mut padded = [0.0f64; 3];
+    padded[..inputs.len()].copy_from_slice(inputs);
+    propagate_op(kind, &padded)[..kind.output_count()].to_vec()
 }
 
 /// Result of a probability propagation: per-net probabilities, per-cell energies and the
@@ -416,6 +457,44 @@ mod tests {
         assert!(report.power_mw() > report.total_energy());
         assert!((report.total_activity() - 0.5).abs() < 1e-12);
         assert!((report.switching_activity(outs[0]) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn run_compiled_is_bit_identical_to_run() {
+        let mut netlist = Netlist::new("mix");
+        let a = netlist.add_input("a");
+        let b = netlist.add_input("b");
+        let c = netlist.add_input("c");
+        let fa = netlist.add_gate(CellKind::Fa, &[a, b, c]).unwrap();
+        let xor = netlist.add_gate(CellKind::Xor2, &[fa[0], fa[1]]).unwrap()[0];
+        netlist.mark_output(xor);
+        let compiled = netlist.compile().unwrap();
+        for lib in [TechLibrary::unit(), TechLibrary::lcbg10pv_like()] {
+            let analysis = ProbabilityAnalysis::new(&lib)
+                .input_probability(a, 0.17)
+                .input_probability(c, 0.93)
+                .default_probability(0.4);
+            let from_netlist = analysis.run(&netlist).unwrap();
+            let from_compiled = analysis.run_compiled(&compiled).unwrap();
+            assert_eq!(from_netlist, from_compiled);
+        }
+    }
+
+    #[test]
+    fn run_compiled_reports_the_same_errors() {
+        let mut netlist = Netlist::new("buf");
+        let a = netlist.add_input("a");
+        let y = netlist.add_gate(CellKind::Buf, &[a]).unwrap()[0];
+        netlist.mark_output(y);
+        let compiled = netlist.compile().unwrap();
+        let lib = TechLibrary::unit();
+        let result = ProbabilityAnalysis::new(&lib)
+            .input_probability(a, 2.0)
+            .run_compiled(&compiled);
+        assert!(matches!(result, Err(PowerError::InvalidProbability { .. })));
+        let incomplete = TechLibrary::builder("incomplete").build().unwrap();
+        let result = ProbabilityAnalysis::new(&incomplete).run_compiled(&compiled);
+        assert!(matches!(result, Err(PowerError::Tech(_))));
     }
 
     #[test]

@@ -1,11 +1,12 @@
 //! The 64-lane bit-parallel evaluation core.
 //!
-//! [`LaneSim`] compiles a [`Netlist`] once into a levelized flat program — a dense
-//! `Vec` of three-address ops over net indices, grouped by logic level — and then
-//! evaluates **64 stimulus vectors per pass** by packing one vector into each bit of a
-//! `u64` lane word. Every gate becomes one or two bitwise machine operations
-//! (SIMD-within-a-register), so a pass over the program costs roughly the same as one
-//! scalar vector through [`Simulator`](crate::Simulator) while computing 64 of them.
+//! [`LaneSim`] evaluates the shared [`CompiledNetlist`] program — the levelized
+//! three-address op array `dpsyn-netlist` builds once per netlist and every analysis
+//! (timing, power, this simulator) consumes — **64 stimulus vectors per pass** by
+//! packing one vector into each bit of a `u64` lane word. Every gate becomes one or
+//! two bitwise machine operations (SIMD-within-a-register), so a pass over the
+//! program costs roughly the same as one scalar vector through
+//! [`Simulator`](crate::Simulator) while computing 64 of them.
 //!
 //! Lane conventions:
 //!
@@ -15,7 +16,7 @@
 //!   surplus bits (see [`lane_mask`]), which the word-level helpers do internally.
 
 use crate::SimError;
-use dpsyn_netlist::{CellKind, NetId, Netlist, WordMap};
+use dpsyn_netlist::{CellKind, CompiledNetlist, NetId, Netlist, WordMap};
 use std::collections::BTreeMap;
 
 /// Number of stimulus vectors evaluated per pass: one per bit of a `u64` lane word.
@@ -35,18 +36,6 @@ pub fn lane_mask(count: usize) -> u64 {
         count if count >= LANES => u64::MAX,
         count => (1u64 << count) - 1,
     }
-}
-
-/// One levelized instruction: a cell kind plus the net indices of its pins.
-///
-/// Unused slots stay 0 and are never read (the kind determines arity), so the
-/// program is a fixed-stride array the evaluation loop streams through without
-/// touching the netlist graph.
-#[derive(Debug, Clone, Copy)]
-struct Op {
-    kind: CellKind,
-    ins: [u32; 3],
-    outs: [u32; 2],
 }
 
 /// A netlist compiled into a levelized, bit-parallel program.
@@ -79,73 +68,56 @@ struct Op {
 /// ```
 #[derive(Debug, Clone)]
 pub struct LaneSim {
-    net_count: usize,
-    inputs: Vec<NetId>,
-    ops: Vec<Op>,
-    level_offsets: Vec<usize>,
+    compiled: CompiledNetlist,
 }
 
 impl LaneSim {
     /// Compiles a netlist into a levelized flat program.
     ///
+    /// This is a convenience wrapper over [`Netlist::compile`]; callers that already
+    /// hold a [`CompiledNetlist`] (the shared analysis program) should use
+    /// [`LaneSim::from_compiled`] instead so the netlist is compiled exactly once.
+    ///
     /// # Errors
     ///
     /// Returns an error when the netlist contains a combinational cycle.
     pub fn compile(netlist: &Netlist) -> Result<Self, SimError> {
-        let levels = netlist.levelize()?;
-        let mut ops = Vec::with_capacity(netlist.cell_count());
-        let mut level_offsets = Vec::with_capacity(levels.len() + 1);
-        level_offsets.push(0);
-        for level in &levels {
-            for cell_id in level {
-                let cell = netlist.cell(*cell_id);
-                let mut ins = [0u32; 3];
-                for (slot, net) in cell.inputs().iter().enumerate() {
-                    ins[slot] = net.index() as u32;
-                }
-                let mut outs = [0u32; 2];
-                for (slot, net) in cell.outputs().iter().enumerate() {
-                    outs[slot] = net.index() as u32;
-                }
-                ops.push(Op {
-                    kind: cell.kind(),
-                    ins,
-                    outs,
-                });
-            }
-            level_offsets.push(ops.len());
-        }
-        Ok(LaneSim {
-            net_count: netlist.net_count(),
-            inputs: netlist.inputs().to_vec(),
-            ops,
-            level_offsets,
-        })
+        Ok(Self::from_compiled(netlist.compile()?))
+    }
+
+    /// Wraps an already-compiled program; no traversal happens here.
+    pub fn from_compiled(compiled: CompiledNetlist) -> Self {
+        LaneSim { compiled }
+    }
+
+    /// The shared compiled program the simulator evaluates.
+    pub fn compiled(&self) -> &CompiledNetlist {
+        &self.compiled
     }
 
     /// Number of nets (the required lane-buffer length).
     pub fn net_count(&self) -> usize {
-        self.net_count
+        self.compiled.net_count()
     }
 
     /// The primary input nets, in the netlist's declaration order.
     pub fn inputs(&self) -> &[NetId] {
-        &self.inputs
+        self.compiled.inputs()
     }
 
     /// Number of logic levels of the compiled program.
     pub fn level_count(&self) -> usize {
-        self.level_offsets.len() - 1
+        self.compiled.level_count()
     }
 
     /// Number of compiled ops (one per cell).
     pub fn op_count(&self) -> usize {
-        self.ops.len()
+        self.compiled.op_count()
     }
 
     /// Allocates a zeroed lane buffer of the right length.
     pub fn lane_buffer(&self) -> Vec<u64> {
-        vec![0; self.net_count]
+        vec![0; self.compiled.net_count()]
     }
 
     /// Evaluates all 64 lanes in place: primary-input lanes must already be set in
@@ -157,63 +129,60 @@ impl LaneSim {
     pub fn evaluate_into(&self, lanes: &mut [u64]) {
         assert_eq!(
             lanes.len(),
-            self.net_count,
+            self.compiled.net_count(),
             "lane buffer must hold one u64 per net"
         );
-        for op in &self.ops {
+        for op in self.compiled.ops() {
             match op.kind {
                 CellKind::Fa => {
-                    let a = lanes[op.ins[0] as usize];
-                    let b = lanes[op.ins[1] as usize];
-                    let c = lanes[op.ins[2] as usize];
-                    lanes[op.outs[0] as usize] = a ^ b ^ c;
-                    lanes[op.outs[1] as usize] = (a & b) | (a & c) | (b & c);
+                    let a = lanes[op.ins[0].index()];
+                    let b = lanes[op.ins[1].index()];
+                    let c = lanes[op.ins[2].index()];
+                    lanes[op.outs[0].index()] = a ^ b ^ c;
+                    lanes[op.outs[1].index()] = (a & b) | (a & c) | (b & c);
                 }
                 CellKind::Ha => {
-                    let a = lanes[op.ins[0] as usize];
-                    let b = lanes[op.ins[1] as usize];
-                    lanes[op.outs[0] as usize] = a ^ b;
-                    lanes[op.outs[1] as usize] = a & b;
+                    let a = lanes[op.ins[0].index()];
+                    let b = lanes[op.ins[1].index()];
+                    lanes[op.outs[0].index()] = a ^ b;
+                    lanes[op.outs[1].index()] = a & b;
                 }
                 CellKind::And2 => {
-                    lanes[op.outs[0] as usize] =
-                        lanes[op.ins[0] as usize] & lanes[op.ins[1] as usize];
+                    lanes[op.outs[0].index()] = lanes[op.ins[0].index()] & lanes[op.ins[1].index()];
                 }
                 CellKind::And3 => {
-                    lanes[op.outs[0] as usize] = lanes[op.ins[0] as usize]
-                        & lanes[op.ins[1] as usize]
-                        & lanes[op.ins[2] as usize];
+                    lanes[op.outs[0].index()] = lanes[op.ins[0].index()]
+                        & lanes[op.ins[1].index()]
+                        & lanes[op.ins[2].index()];
                 }
                 CellKind::Or2 => {
-                    lanes[op.outs[0] as usize] =
-                        lanes[op.ins[0] as usize] | lanes[op.ins[1] as usize];
+                    lanes[op.outs[0].index()] = lanes[op.ins[0].index()] | lanes[op.ins[1].index()];
                 }
                 CellKind::Xor2 => {
-                    lanes[op.outs[0] as usize] =
-                        lanes[op.ins[0] as usize] ^ lanes[op.ins[1] as usize];
+                    lanes[op.outs[0].index()] = lanes[op.ins[0].index()] ^ lanes[op.ins[1].index()];
                 }
                 CellKind::Xor3 => {
-                    lanes[op.outs[0] as usize] = lanes[op.ins[0] as usize]
-                        ^ lanes[op.ins[1] as usize]
-                        ^ lanes[op.ins[2] as usize];
+                    lanes[op.outs[0].index()] = lanes[op.ins[0].index()]
+                        ^ lanes[op.ins[1].index()]
+                        ^ lanes[op.ins[2].index()];
                 }
                 CellKind::Not => {
-                    lanes[op.outs[0] as usize] = !lanes[op.ins[0] as usize];
+                    lanes[op.outs[0].index()] = !lanes[op.ins[0].index()];
                 }
                 CellKind::Buf => {
-                    lanes[op.outs[0] as usize] = lanes[op.ins[0] as usize];
+                    lanes[op.outs[0].index()] = lanes[op.ins[0].index()];
                 }
                 CellKind::Mux2 => {
-                    let a = lanes[op.ins[0] as usize];
-                    let b = lanes[op.ins[1] as usize];
-                    let sel = lanes[op.ins[2] as usize];
-                    lanes[op.outs[0] as usize] = (sel & b) | (!sel & a);
+                    let a = lanes[op.ins[0].index()];
+                    let b = lanes[op.ins[1].index()];
+                    let sel = lanes[op.ins[2].index()];
+                    lanes[op.outs[0].index()] = (sel & b) | (!sel & a);
                 }
                 CellKind::Const0 => {
-                    lanes[op.outs[0] as usize] = 0;
+                    lanes[op.outs[0].index()] = 0;
                 }
                 CellKind::Const1 => {
-                    lanes[op.outs[0] as usize] = u64::MAX;
+                    lanes[op.outs[0].index()] = u64::MAX;
                 }
             }
         }
@@ -223,7 +192,7 @@ impl LaneSim {
     /// default to all-zero lanes) and returns the lane word of every net.
     pub fn evaluate(&self, inputs: &BTreeMap<NetId, u64>) -> Vec<u64> {
         let mut lanes = self.lane_buffer();
-        for net in &self.inputs {
+        for net in self.compiled.inputs() {
             lanes[net.index()] = inputs.get(net).copied().unwrap_or(0);
         }
         self.evaluate_into(&mut lanes);
@@ -349,6 +318,27 @@ mod tests {
         assert_eq!(lane_sim.level_count(), netlist.logic_depth());
         assert_eq!(lane_sim.net_count(), netlist.net_count());
         assert_eq!(lane_sim.inputs(), netlist.inputs());
+    }
+
+    #[test]
+    fn from_compiled_shares_the_program() {
+        let (netlist, map) = ripple2();
+        let compiled = netlist.compile().unwrap();
+        let shared = LaneSim::from_compiled(compiled.clone());
+        let fresh = LaneSim::compile(&netlist).unwrap();
+        assert_eq!(shared.compiled(), &compiled);
+        let assignments: Vec<BTreeMap<String, u64>> = (0..16u64)
+            .map(|pattern| {
+                let mut assignment = BTreeMap::new();
+                assignment.insert("a".to_string(), pattern & 3);
+                assignment.insert("b".to_string(), pattern >> 2);
+                assignment
+            })
+            .collect();
+        assert_eq!(
+            shared.evaluate_word_batch(&map, &assignments),
+            fresh.evaluate_word_batch(&map, &assignments)
+        );
     }
 
     #[test]

@@ -28,10 +28,27 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use dpsyn_netlist::{CellKind, Netlist};
+use dpsyn_netlist::{CellKind, CompiledNetlist, Netlist};
 use std::collections::BTreeMap;
 use std::error::Error;
 use std::fmt;
+
+/// Per-kind parameter tables resolved once from a [`TechLibrary`] for one compiled
+/// netlist — the "tech parameters resolved once" half of the compiled-analysis layer.
+///
+/// Analyses index these dense arrays by [`CellKind::table_index`] in their inner
+/// loops instead of querying the library's map per cell. Only the kinds actually
+/// present in the compiled program are filled in; surplus rows stay zero and are
+/// never read.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ResolvedTech {
+    /// `output_delays` per kind (one entry per output pin; surplus pins 0).
+    pub delay: [[f64; 2]; CellKind::COUNT],
+    /// `switch_energy` per kind (one entry per output pin; surplus pins 0).
+    pub energy: [[f64; 2]; CellKind::COUNT],
+    /// Cell area per kind.
+    pub area: [f64; CellKind::COUNT],
+}
 
 /// Timing, area and power characteristics of one cell kind.
 #[derive(Debug, Clone, PartialEq)]
@@ -286,6 +303,55 @@ impl TechLibrary {
         Ok(())
     }
 
+    /// Whether the library has an entry for `kind`.
+    pub fn covers(&self, kind: CellKind) -> bool {
+        self.cells.contains_key(&kind)
+    }
+
+    /// Resolves the library into dense per-kind tables for one compiled netlist —
+    /// a handful of map lookups (one per *kind*, not per cell) that double as the
+    /// coverage check. Evaluation loops then index [`ResolvedTech`] arrays only.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TechError::MissingCell`] for the first uncovered kind, in order of
+    /// first appearance in the cell table (the same kind
+    /// [`TechLibrary::check_coverage`] reports).
+    pub fn resolve(&self, compiled: &CompiledNetlist) -> Result<ResolvedTech, TechError> {
+        let mut resolved = ResolvedTech {
+            delay: [[0.0; 2]; CellKind::COUNT],
+            energy: [[0.0; 2]; CellKind::COUNT],
+            area: [0.0; CellKind::COUNT],
+        };
+        for (kind, _) in compiled.kind_counts() {
+            let characteristics = self.cells.get(kind).ok_or(TechError::MissingCell(*kind))?;
+            let row = kind.table_index();
+            for (pin, delay) in characteristics.output_delays.iter().enumerate() {
+                resolved.delay[row][pin] = *delay;
+            }
+            for (pin, energy) in characteristics.switch_energy.iter().enumerate() {
+                resolved.energy[row][pin] = *energy;
+            }
+            resolved.area[row] = characteristics.area;
+        }
+        Ok(resolved)
+    }
+
+    /// Total cell area of a compiled netlist, summed in cell-index order (the same
+    /// fold [`TechLibrary::netlist_area`] performs, so the result is bit-identical)
+    /// but with the per-kind areas resolved once.
+    pub fn compiled_area(&self, compiled: &CompiledNetlist) -> f64 {
+        let mut area_by_kind = [0.0f64; CellKind::COUNT];
+        for (kind, _) in compiled.kind_counts() {
+            area_by_kind[kind.table_index()] = self.area(*kind);
+        }
+        compiled
+            .cell_kinds()
+            .iter()
+            .map(|kind| area_by_kind[kind.table_index()])
+            .sum()
+    }
+
     /// Delay of a balanced tree of 2-input AND gates combining `literals` inputs.
     ///
     /// Partial products of higher-order monomials (for example `x·y·z`) are generated by
@@ -446,6 +512,39 @@ mod tests {
             lib.check_coverage(&netlist),
             Err(TechError::MissingCell(CellKind::Not))
         );
+        assert!(!lib.covers(CellKind::Not));
+        assert!(TechLibrary::unit().covers(CellKind::Not));
+        // `resolve` reports the same first-appearance kind as `check_coverage`.
+        let compiled = netlist.compile().unwrap();
+        assert_eq!(
+            lib.resolve(&compiled).unwrap_err(),
+            TechError::MissingCell(CellKind::Not)
+        );
+    }
+
+    #[test]
+    fn resolved_tables_mirror_the_library() {
+        let mut netlist = Netlist::new("demo");
+        let a = netlist.add_input("a");
+        let b = netlist.add_input("b");
+        let c = netlist.add_input("c");
+        netlist.add_gate(CellKind::Fa, &[a, b, c]).unwrap();
+        netlist.add_gate(CellKind::And2, &[a, b]).unwrap();
+        let compiled = netlist.compile().unwrap();
+        let lib = TechLibrary::lcbg10pv_like();
+        let resolved = lib.resolve(&compiled).unwrap();
+        for kind in [CellKind::Fa, CellKind::And2] {
+            let row = kind.table_index();
+            for pin in 0..kind.output_count() {
+                assert_eq!(resolved.delay[row][pin], lib.output_delay(kind, pin));
+                assert_eq!(resolved.energy[row][pin], lib.switch_energy(kind, pin));
+            }
+            assert_eq!(resolved.area[row], lib.area(kind));
+        }
+        // Kinds absent from the program stay zeroed.
+        assert_eq!(resolved.area[CellKind::Mux2.table_index()], 0.0);
+        // The compiled area equals the per-cell fold bit for bit.
+        assert_eq!(lib.compiled_area(&compiled), lib.netlist_area(&netlist));
     }
 
     #[test]

@@ -5,6 +5,11 @@
 //! per-output pin-to-pin delays of a [`TechLibrary`]. The result is a [`TimingReport`]
 //! with per-net arrival times, the critical delay and the critical path.
 //!
+//! The propagation is a **single pass over the shared compiled program**
+//! ([`CompiledNetlist`]) with the library resolved once into per-kind delay tables;
+//! [`TimingAnalysis::run_compiled`] lets callers that analyse the same netlist several
+//! ways (timing, power, simulation) levelize it exactly once.
+//!
 //! # Example
 //!
 //! ```
@@ -39,8 +44,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use dpsyn_netlist::{NetId, Netlist, NetlistError};
-use dpsyn_tech::{TechError, TechLibrary};
+use dpsyn_netlist::{CompiledNetlist, NetId, Netlist, NetlistError};
+use dpsyn_tech::{ResolvedTech, TechError, TechLibrary};
+use std::cmp::Ordering;
 use std::collections::BTreeMap;
 use std::error::Error;
 use std::fmt;
@@ -131,12 +137,39 @@ impl<'lib> TimingAnalysis<'lib> {
 
     /// Runs the analysis over `netlist`.
     ///
+    /// This convenience entry point compiles the netlist internally; callers that
+    /// already hold the shared [`CompiledNetlist`] program should use
+    /// [`TimingAnalysis::run_compiled`] so the levelization happens exactly once per
+    /// netlist rather than once per analysis.
+    ///
     /// # Errors
     ///
     /// Returns an error when the netlist is invalid, the library does not cover a used
     /// cell kind, or an input arrival is negative / non-finite.
     pub fn run(&self, netlist: &Netlist) -> Result<TimingReport, TimingError> {
         self.tech.check_coverage(netlist)?;
+        self.check_arrivals()?;
+        let compiled = netlist.compile()?;
+        let resolved = self.tech.resolve(&compiled)?;
+        Ok(self.propagate(&compiled, &resolved))
+    }
+
+    /// Runs the analysis over an already-compiled program: a single pass over the
+    /// flat op array with the library resolved once into per-kind delay tables — no
+    /// map lookups and no graph traversal in the loop. The report is bit-identical
+    /// to [`TimingAnalysis::run`] on the originating netlist.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the library does not cover a used cell kind or an input
+    /// arrival is negative / non-finite.
+    pub fn run_compiled(&self, compiled: &CompiledNetlist) -> Result<TimingReport, TimingError> {
+        let resolved = self.tech.resolve(compiled)?;
+        self.check_arrivals()?;
+        Ok(self.propagate(compiled, &resolved))
+    }
+
+    fn check_arrivals(&self) -> Result<(), TimingError> {
         for (net, arrival) in &self.input_arrivals {
             if !arrival.is_finite() || *arrival < 0.0 {
                 return Err(TimingError::InvalidArrival {
@@ -145,28 +178,37 @@ impl<'lib> TimingAnalysis<'lib> {
                 });
             }
         }
-        let order = netlist.topological_order()?;
-        let mut arrival = vec![0.0f64; netlist.net_count()];
+        Ok(())
+    }
+
+    /// The single-pass arrival propagation over the compiled program.
+    fn propagate(&self, compiled: &CompiledNetlist, resolved: &ResolvedTech) -> TimingReport {
+        let mut arrival = vec![0.0f64; compiled.net_count()];
         // The input net on the worst path into each net's driver, used to rebuild the
         // critical path after propagation.
-        let mut worst_predecessor: Vec<Option<NetId>> = vec![None; netlist.net_count()];
-        for net in netlist.inputs() {
+        let mut worst_predecessor: Vec<Option<NetId>> = vec![None; compiled.net_count()];
+        for net in compiled.inputs() {
             arrival[net.index()] = self.input_arrivals.get(net).copied().unwrap_or(0.0);
         }
-        for cell_id in order {
-            let cell = netlist.cell(cell_id);
-            let (worst_input, input_arrival) = cell
-                .inputs()
-                .iter()
-                .map(|net| (Some(*net), arrival[net.index()]))
-                .max_by(|a, b| a.1.total_cmp(&b.1))
-                .unwrap_or((None, 0.0));
-            for (pin, net) in cell.outputs().iter().enumerate() {
-                arrival[net.index()] = input_arrival + self.tech.output_delay(cell.kind(), pin);
+        for op in compiled.ops() {
+            // Latest input, keeping the *last* maximum on ties exactly like the
+            // former `Iterator::max_by(total_cmp)` fold did.
+            let mut worst_input = None;
+            let mut input_arrival = 0.0f64;
+            for (pin, net) in op.input_nets().iter().enumerate() {
+                let candidate = arrival[net.index()];
+                if pin == 0 || input_arrival.total_cmp(&candidate) != Ordering::Greater {
+                    worst_input = Some(*net);
+                    input_arrival = candidate;
+                }
+            }
+            let delays = &resolved.delay[op.kind.table_index()];
+            for (pin, net) in op.output_nets().iter().enumerate() {
+                arrival[net.index()] = input_arrival + delays[pin];
                 worst_predecessor[net.index()] = worst_input;
             }
         }
-        let critical_output = netlist
+        let critical_output = compiled
             .outputs()
             .iter()
             .copied()
@@ -183,11 +225,11 @@ impl<'lib> TimingAnalysis<'lib> {
                 path
             })
             .unwrap_or_default();
-        Ok(TimingReport {
+        TimingReport {
             arrival,
             critical_output,
             critical_path,
-        })
+        }
     }
 }
 
@@ -363,6 +405,34 @@ mod tests {
         let lib = TechLibrary::unit();
         let report = TimingAnalysis::new(&lib).run(&netlist).unwrap();
         assert_eq!(report.critical_delay(), 0.0);
+    }
+
+    #[test]
+    fn run_compiled_is_bit_identical_to_run() {
+        let (netlist, nets) = chain_netlist();
+        let compiled = netlist.compile().unwrap();
+        for lib in [TechLibrary::unit(), TechLibrary::lcbg10pv_like()] {
+            let analysis = TimingAnalysis::new(&lib)
+                .input_arrival(nets[0], 1.25)
+                .input_arrival(nets[2], 0.5);
+            let from_netlist = analysis.run(&netlist).unwrap();
+            let from_compiled = analysis.run_compiled(&compiled).unwrap();
+            assert_eq!(from_netlist, from_compiled);
+        }
+    }
+
+    #[test]
+    fn run_compiled_reports_the_same_errors() {
+        let (netlist, nets) = chain_netlist();
+        let compiled = netlist.compile().unwrap();
+        let lib = TechLibrary::unit();
+        let result = TimingAnalysis::new(&lib)
+            .input_arrival(nets[0], f64::NAN)
+            .run_compiled(&compiled);
+        assert!(matches!(result, Err(TimingError::InvalidArrival { .. })));
+        let incomplete = TechLibrary::builder("incomplete").build().unwrap();
+        let result = TimingAnalysis::new(&incomplete).run_compiled(&compiled);
+        assert!(matches!(result, Err(TimingError::Tech(_))));
     }
 
     #[test]
