@@ -29,6 +29,28 @@ pub fn conventional(
     width: u32,
     tech: &TechLibrary,
 ) -> Result<FlowResult, BaselineError> {
+    let (netlist, word_map) = conventional_netlist(expr, spec, width)?;
+    FlowResult::analyze("conventional", netlist, word_map, spec, tech)
+}
+
+/// The synthesis step of [`conventional`] alone: builds the netlist and its
+/// word-level interface **without running any analysis**.
+///
+/// Module binding never looks at the spec's arrival or probability profiles — only at
+/// variable names and widths — so two design points that differ solely in their input
+/// profiles synthesize structurally identical netlists. The exploration engine relies
+/// on this to re-analyse profile-only re-runs through the incremental delta path
+/// instead of a full timing + power bundle.
+///
+/// # Errors
+///
+/// Returns an error when the expression references undeclared variables or netlist
+/// construction fails.
+pub fn conventional_netlist(
+    expr: &Expr,
+    spec: &InputSpec,
+    width: u32,
+) -> Result<(Netlist, WordMap), BaselineError> {
     let mut netlist = Netlist::new("conventional");
     let mut inputs: BTreeMap<String, Vec<NetId>> = BTreeMap::new();
     let mut input_words = Vec::new();
@@ -51,7 +73,7 @@ pub fn conventional(
         netlist.mark_output(*net);
     }
     let word_map = WordMap::new(input_words, Word::new("out", padded));
-    FlowResult::analyze("conventional", netlist, word_map, spec, tech)
+    Ok((netlist, word_map))
 }
 
 /// Recursive operation-to-module binder.

@@ -38,6 +38,30 @@ pub fn csa_opt(
     width: u32,
     tech: &TechLibrary,
 ) -> Result<FlowResult, BaselineError> {
+    let (netlist, word_map) = csa_opt_netlist(expr, spec, width, tech)?;
+    FlowResult::analyze("csa_opt", netlist, word_map, spec, tech)
+}
+
+/// The synthesis step of [`csa_opt`] alone: builds the netlist and its word-level
+/// interface **without running the timing/power analyses**.
+///
+/// Unlike [`crate::conventional_netlist`], the structure here *does* depend on the
+/// spec's arrival profile (operands are compressed earliest-words-first using the
+/// library's delays), so profile-only re-runs may or may not reproduce the same
+/// netlist — callers that cache compiled programs must verify structural identity
+/// (e.g. via `Netlist::structural_hash` plus a cell-by-cell check) before reusing
+/// one, and fall back to a full analysis otherwise.
+///
+/// # Errors
+///
+/// Returns an error when the expression references undeclared variables, reduces to a
+/// constant zero, or when netlist construction fails.
+pub fn csa_opt_netlist(
+    expr: &Expr,
+    spec: &InputSpec,
+    width: u32,
+    tech: &TechLibrary,
+) -> Result<(Netlist, WordMap), BaselineError> {
     for name in expr.variables() {
         if spec.var(&name).is_none() {
             return Err(BaselineError::Ir(dpsyn_ir::IrError::UnknownVariable(name)));
@@ -213,7 +237,7 @@ pub fn csa_opt(
         netlist.mark_output(*net);
     }
     let word_map = WordMap::new(input_words, Word::new("out", result));
-    FlowResult::analyze("csa_opt", netlist, word_map, spec, tech)
+    Ok((netlist, word_map))
 }
 
 #[cfg(test)]

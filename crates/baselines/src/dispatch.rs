@@ -8,11 +8,46 @@
 //! `(expr, spec, width, tech) -> FlowResult` signature.
 
 use crate::flow::{BaselineError, FlowResult};
-use crate::{conventional, csa_opt, fa_alp, fa_aot, fa_random, wallace_fixed};
+use crate::{
+    conventional, conventional_netlist, csa_opt, csa_opt_netlist, fa_alp, fa_aot, fa_random,
+    wallace_fixed,
+};
 use dpsyn_core::Objective;
 use dpsyn_ir::{Expr, InputSpec};
+use dpsyn_netlist::{Netlist, WordMap};
 use dpsyn_tech::TechLibrary;
 use std::fmt;
+
+/// The outcome of [`Flow::synthesize`]: the synthesis step of a flow, decoupled from
+/// its analyses where the flow permits it.
+///
+/// The two module-binding flows (`conventional`, `csa_opt`) build their netlists
+/// without ever running timing or power, so they can hand back an
+/// [`FlowSynthesis::Unanalyzed`] netlist for the caller to analyse — possibly through
+/// the incremental delta path when a structurally identical program is already
+/// cached. The FA-tree flows analyse *during* construction (arrival-ordered and
+/// probability-ordered selection need live analysis values), so splitting would only
+/// run the analyses twice; they return the finished [`FlowSynthesis::Analyzed`]
+/// result instead.
+#[derive(Debug, Clone)]
+pub enum FlowSynthesis {
+    /// A bare synthesized netlist; no analysis has run yet.
+    Unanalyzed(Box<SynthesizedParts>),
+    /// A fully analysed result (flows whose engines analyse during construction).
+    Analyzed(Box<FlowResult>),
+}
+
+/// The payload of [`FlowSynthesis::Unanalyzed`]: everything a later (full or delta)
+/// analysis needs from the synthesis step.
+#[derive(Debug, Clone)]
+pub struct SynthesizedParts {
+    /// The flow name, as [`FlowResult::flow`] would carry it.
+    pub flow: &'static str,
+    /// The synthesized netlist.
+    pub netlist: Netlist,
+    /// Its word-level interface.
+    pub word_map: WordMap,
+}
 
 /// One of the six synthesis flows of the DAC 2000 evaluation, as a dispatchable value.
 ///
@@ -108,6 +143,48 @@ impl Flow {
             Flow::FaAlp => fa_alp(expr, spec, width, tech),
         }
     }
+
+    /// Runs only the synthesis step of the flow where that is cheaper than the full
+    /// [`Flow::run`], for callers that analyse (or delta-re-analyse) separately.
+    ///
+    /// For `Conventional` and `CsaOpt` this skips the whole timing + power + area
+    /// bundle; for every other flow it is equivalent to [`Flow::run`] and returns the
+    /// finished result. In both cases, following an `Unanalyzed` outcome with
+    /// [`FlowResult::analyze`] reproduces [`Flow::run`] bit for bit.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if lowering, synthesis — or, for the `Analyzed` flows, any
+    /// analysis — fails.
+    pub fn synthesize(
+        &self,
+        expr: &Expr,
+        spec: &InputSpec,
+        width: u32,
+        tech: &TechLibrary,
+    ) -> Result<FlowSynthesis, BaselineError> {
+        match self {
+            Flow::Conventional => {
+                let (netlist, word_map) = conventional_netlist(expr, spec, width)?;
+                Ok(FlowSynthesis::Unanalyzed(Box::new(SynthesizedParts {
+                    flow: "conventional",
+                    netlist,
+                    word_map,
+                })))
+            }
+            Flow::CsaOpt => {
+                let (netlist, word_map) = csa_opt_netlist(expr, spec, width, tech)?;
+                Ok(FlowSynthesis::Unanalyzed(Box::new(SynthesizedParts {
+                    flow: "csa_opt",
+                    netlist,
+                    word_map,
+                })))
+            }
+            _ => self
+                .run(expr, spec, width, tech)
+                .map(|result| FlowSynthesis::Analyzed(Box::new(result))),
+        }
+    }
 }
 
 impl fmt::Display for Flow {
@@ -161,6 +238,53 @@ mod tests {
                 "{flow}"
             );
             assert_eq!(dispatched.power_mw, reference.power_mw, "{flow}");
+        }
+    }
+
+    #[test]
+    fn synthesize_then_analyze_matches_run_bit_for_bit() {
+        let expr = parse_expr("a*b + c - 1").unwrap();
+        let spec = InputSpec::builder()
+            .var_with_arrival("a", 3, 1.0)
+            .var("b", 3)
+            .var_with_probability("c", 3, 0.2)
+            .build()
+            .unwrap();
+        let lib = TechLibrary::lcbg10pv_like();
+        for flow in [
+            Flow::Conventional,
+            Flow::CsaOpt,
+            Flow::WallaceFixed,
+            Flow::FaRandom(11),
+            Flow::FaAot,
+            Flow::FaAlp,
+        ] {
+            let reference = flow.run(&expr, &spec, 8, &lib).unwrap();
+            let result = match flow.synthesize(&expr, &spec, 8, &lib).unwrap() {
+                FlowSynthesis::Unanalyzed(parts) => {
+                    // Only the two module-binding flows may skip analysis.
+                    assert!(matches!(flow, Flow::Conventional | Flow::CsaOpt), "{flow}");
+                    FlowResult::analyze(parts.flow, parts.netlist, parts.word_map, &spec, &lib)
+                        .unwrap()
+                }
+                FlowSynthesis::Analyzed(result) => *result,
+            };
+            assert_eq!(result.flow, reference.flow, "{flow}");
+            assert_eq!(result.delay.to_bits(), reference.delay.to_bits(), "{flow}");
+            assert_eq!(result.area.to_bits(), reference.area.to_bits(), "{flow}");
+            assert_eq!(
+                result.switching_energy.to_bits(),
+                reference.switching_energy.to_bits(),
+                "{flow}"
+            );
+            assert_eq!(
+                result.power_mw.to_bits(),
+                reference.power_mw.to_bits(),
+                "{flow}"
+            );
+            assert_eq!(result.netlist, reference.netlist, "{flow}");
+            assert_eq!(result.word_map, reference.word_map, "{flow}");
+            assert_eq!(result.compiled, reference.compiled, "{flow}");
         }
     }
 

@@ -49,10 +49,10 @@ mod dispatch;
 mod flow;
 mod wrappers;
 
-pub use conventional::conventional;
-pub use csa_opt::csa_opt;
-pub use dispatch::Flow;
-pub use flow::{BaselineError, FlowResult};
+pub use conventional::{conventional, conventional_netlist};
+pub use csa_opt::{csa_opt, csa_opt_netlist};
+pub use dispatch::{Flow, FlowSynthesis, SynthesizedParts};
+pub use flow::{input_profiles, BaselineError, FlowResult};
 pub use wrappers::{fa_alp, fa_aot, fa_random, wallace_fixed};
 
 #[cfg(test)]

@@ -1,0 +1,224 @@
+//! The per-worker compiled-program cache behind the engine's delta-evaluation path.
+//!
+//! Exploration jobs that share `(source, width, flow)` and differ only in their
+//! skew/bias axes usually synthesize **structurally identical** netlists (module
+//! binding never looks at input profiles; see `dpsyn_baselines::conventional_netlist`).
+//! Paying a full compile + tech-resolve + timing + power + area bundle for each of
+//! them is pure waste: the compiled program, the resolved technology tables, the cell
+//! area and the primed [`DeltaState`] of the first point can absorb every later point
+//! as an input-profile delta through the affected cone.
+//!
+//! [`CompiledCache::analyze`] implements that reuse with a strict correctness ladder:
+//!
+//! 1. probe by [`Netlist::structural_hash`] (no compile needed on the probe side);
+//! 2. **verify** a candidate cell-by-cell against the cached program's
+//!    [`CompiledNetlist::cell_ops`] plus the input/output lists and the word map —
+//!    hash equality alone is never trusted;
+//! 3. on a verified hit, re-analyse through `rerun_delta` (bit-identical to a fresh
+//!    bundle by the delta invariant);
+//! 4. on any mismatch, fall back to the full path — so results are bit-identical for
+//!    any worker count, cache state and eviction history.
+//!
+//! The cache is deliberately **per worker**: no locks, no cross-thread coherence, and
+//! eviction (FIFO, small bound) only ever costs speed, never correctness.
+
+use dpsyn_baselines::{input_profiles, BaselineError, FlowResult};
+use dpsyn_ir::InputSpec;
+use dpsyn_netlist::{CompiledNetlist, CompiledOp, DeltaState, InputDelta, Netlist, WordMap};
+use dpsyn_power::IncrementalPower;
+use dpsyn_tech::TechLibrary;
+use dpsyn_timing::IncrementalTiming;
+use std::collections::{HashMap, VecDeque};
+
+/// Upper bound on live entries per worker; beyond it the oldest entry is evicted.
+/// Entries hold a compiled program plus primed per-net state (O(cells)), so the bound
+/// keeps a long exploration's memory flat while still covering the handful of netlist
+/// structures a worker's current groups cycle through.
+const MAX_ENTRIES: usize = 8;
+
+/// The analysed figures of one evaluated point, plus the retained artifact when the
+/// specification asks for one. Produced by both the cached-delta and the full path —
+/// bit-identically.
+pub(crate) struct Evaluated {
+    pub delay: f64,
+    pub area: f64,
+    pub switching_energy: f64,
+    pub power_mw: f64,
+    pub cell_count: usize,
+    pub logic_depth: usize,
+    pub artifact: Option<FlowResult>,
+}
+
+/// One cached program: the compiled netlist, its structural identity in cell order,
+/// the once-resolved incremental analyses, the primed value state and the cached area.
+struct CacheEntry {
+    compiled: CompiledNetlist,
+    /// `compiled`'s ops in cell-index order, for exact candidate verification.
+    cell_ops: Vec<CompiledOp>,
+    word_map: WordMap,
+    timing: IncrementalTiming,
+    power: IncrementalPower,
+    state: DeltaState,
+    area: f64,
+    /// Reusable delta buffer (cleared per point).
+    delta: InputDelta,
+}
+
+impl CacheEntry {
+    /// Exact structural verification of a candidate against the cached program:
+    /// net universe, primary inputs/outputs, word-level interface and every cell's
+    /// kind + pin connectivity. This is what makes a hash hit safe to reuse.
+    fn matches(&self, netlist: &Netlist, word_map: &WordMap) -> bool {
+        if netlist.net_count() != self.compiled.net_count()
+            || netlist.cell_count() != self.compiled.cell_count()
+            || netlist.inputs() != self.compiled.inputs()
+            || netlist.outputs() != self.compiled.outputs()
+            || word_map != &self.word_map
+        {
+            return false;
+        }
+        netlist.cells().all(|(id, cell)| {
+            let op = &self.cell_ops[id.index()];
+            op.kind == cell.kind()
+                && op.input_nets() == cell.inputs()
+                && op.output_nets() == cell.outputs()
+        })
+    }
+}
+
+/// A per-worker cache of compiled programs keyed by structural netlist hash.
+pub(crate) struct CompiledCache {
+    entries: HashMap<u64, CacheEntry>,
+    order: VecDeque<u64>,
+}
+
+impl CompiledCache {
+    pub(crate) fn new() -> Self {
+        CompiledCache {
+            entries: HashMap::new(),
+            order: VecDeque::new(),
+        }
+    }
+
+    /// Analyses one synthesized-but-unanalysed point, through the delta path when a
+    /// structurally identical program is cached and the full path otherwise.
+    ///
+    /// Both paths produce bit-identical figures and (when `retain` is set) an
+    /// artifact carrying the point's **own** netlist and word map plus the shared
+    /// compiled program — retained points lose nothing to caching.
+    pub(crate) fn analyze(
+        &mut self,
+        flow: &str,
+        netlist: Netlist,
+        word_map: WordMap,
+        spec: &InputSpec,
+        tech: &TechLibrary,
+        retain: bool,
+    ) -> Result<Evaluated, BaselineError> {
+        let (arrivals, probabilities) = input_profiles(&word_map, spec);
+        let hash = netlist.structural_hash();
+        if let Some(entry) = self.entries.get_mut(&hash) {
+            if entry.matches(&netlist, &word_map) {
+                let CacheEntry {
+                    compiled,
+                    timing,
+                    power,
+                    state,
+                    area,
+                    delta,
+                    ..
+                } = entry;
+                // The full profile of the new point; `rerun_delta` skips the
+                // unchanged values bit-for-bit, so this stays a cone-sized rerun.
+                delta.clear();
+                for net in compiled.inputs() {
+                    delta.set_arrival(*net, arrivals.get(net).copied().unwrap_or(0.0));
+                    delta.set_probability(*net, probabilities.get(net).copied().unwrap_or(0.5));
+                }
+                let timing_report = timing.rerun_delta(compiled, state, delta)?;
+                let power_report = power.rerun_delta(compiled, state, delta)?;
+                let area = *area;
+                let artifact = retain.then(|| FlowResult {
+                    flow: flow.to_string(),
+                    delay: timing_report.critical_delay(),
+                    area,
+                    switching_energy: power_report.total_energy(),
+                    power_mw: power_report.power_mw(),
+                    netlist,
+                    word_map,
+                    compiled: compiled.clone(),
+                });
+                return Ok(Evaluated {
+                    delay: timing_report.critical_delay(),
+                    area,
+                    switching_energy: power_report.total_energy(),
+                    power_mw: power_report.power_mw(),
+                    cell_count: compiled.cell_count(),
+                    logic_depth: compiled.level_count(),
+                    artifact,
+                });
+            }
+        }
+        // Full path: miss, or a hash collision with a different structure (the
+        // resident entry is kept; collisions only cost the delta speedup).
+        // The step order below mirrors `FlowResult::analyze` exactly, so every
+        // failure surfaces as the same error the non-cached path would report.
+        netlist.validate_structure()?;
+        let compiled = netlist.compile()?;
+        let timing = IncrementalTiming::new(tech, &compiled)?;
+        let mut state = DeltaState::new(&compiled);
+        let timing_report = timing.run_full(&compiled, &arrivals, &mut state)?;
+        let power = IncrementalPower::new(tech, &compiled)?;
+        let power_report = power.run_full(&compiled, &probabilities, &mut state)?;
+        let area = tech.compiled_area(&compiled);
+        let delay = timing_report.critical_delay();
+        let switching_energy = power_report.total_energy();
+        let power_mw = power_report.power_mw();
+        let cell_count = compiled.cell_count();
+        let logic_depth = compiled.level_count();
+        let artifact = retain.then(|| FlowResult {
+            flow: flow.to_string(),
+            delay,
+            area,
+            switching_energy,
+            power_mw,
+            netlist,
+            word_map: word_map.clone(),
+            compiled: compiled.clone(),
+        });
+        // Insert — and on a verified mismatch *replace* the resident same-hash entry
+        // (it just failed to serve this structure; the newest full evaluation owns
+        // the slot so the rest of its chunk gets the delta path). Replacement keeps
+        // the hash's FIFO position; only brand-new hashes count against the bound.
+        if !self.entries.contains_key(&hash) {
+            if self.order.len() >= MAX_ENTRIES {
+                if let Some(evicted) = self.order.pop_front() {
+                    self.entries.remove(&evicted);
+                }
+            }
+            self.order.push_back(hash);
+        }
+        self.entries.insert(
+            hash,
+            CacheEntry {
+                cell_ops: compiled.cell_ops(),
+                compiled,
+                word_map,
+                timing,
+                power,
+                state,
+                area,
+                delta: InputDelta::new(),
+            },
+        );
+        Ok(Evaluated {
+            delay,
+            area,
+            switching_energy,
+            power_mw,
+            cell_count,
+            logic_depth,
+            artifact,
+        })
+    }
+}

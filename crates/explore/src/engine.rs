@@ -1,13 +1,15 @@
 //! The job-sharded, multi-threaded exploration engine.
 
+use crate::cache::{CompiledCache, Evaluated};
 use crate::error::ExploreError;
 use crate::job::Job;
 use crate::pareto::{pareto_front, PointMetrics};
 use crate::spec::ExplorationSpec;
 use crate::summary::{render_summary, summarize_flows, FlowSummary};
-use dpsyn_baselines::FlowResult;
+use dpsyn_baselines::{FlowResult, FlowSynthesis};
+use std::ops::Range;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::OnceLock;
 use std::thread;
 
 /// One evaluated point of the exploration: the job, its metrics and (optionally) the
@@ -64,14 +66,78 @@ impl ExplorationResults {
     }
 }
 
+/// The execution schedule of one run: job indices re-ordered so that jobs sharing
+/// `(source, width, flow)` — i.e. differing only in their skew/bias profiles — are
+/// adjacent, plus the claimable work units. Workers claim whole chunks, so a chunk's
+/// delta chain (first point full, later points through the dirty cone) runs on one
+/// thread against one cache entry, in an order that is a pure function of the
+/// specification (the chunking affects only scheduling, never results — the delta
+/// path is bit-identical to the full path by construction).
+///
+/// Groups larger than `ceil(group_len / threads)` are split into that many-sized
+/// chunks so one dominant group can never serialize the run onto a single worker:
+/// with more threads than points the schedule degenerates to the old per-job
+/// scheduling (maximal parallelism, no delta chains), and with one thread each group
+/// is a single maximal delta chain. Chunks of one structure still share the worker's
+/// cache when the same worker claims several of them.
+struct Schedule {
+    /// Job indices, group-major; within a group the canonical (skew, bias) order.
+    order: Vec<usize>,
+    /// Half-open ranges into `order`, one per claimable chunk.
+    chunks: Vec<Range<usize>>,
+}
+
+fn schedule(spec: &ExplorationSpec, jobs: &[Job]) -> Schedule {
+    // The flow's position in the specification (not its value) keys the sort so the
+    // schedule never depends on an ordering of `Flow` itself.
+    let flow_rank = |job: &Job| {
+        spec.flows
+            .iter()
+            .position(|flow| *flow == job.flow())
+            .unwrap_or(usize::MAX)
+    };
+    let key = |index: usize| {
+        let job = &jobs[index];
+        (job.source_index(), job.width(), flow_rank(job))
+    };
+    let mut order: Vec<usize> = (0..jobs.len()).collect();
+    // Stable: within a group the canonical enumeration order (skew-major) survives.
+    order.sort_by_key(|&index| key(index));
+    let mut groups: Vec<Range<usize>> = Vec::new();
+    for position in 0..order.len() {
+        if position == 0 || key(order[position]) != key(order[position - 1]) {
+            groups.push(position..position + 1);
+        } else if let Some(last) = groups.last_mut() {
+            last.end += 1;
+        }
+    }
+    let mut chunks = Vec::with_capacity(groups.len());
+    for group in groups {
+        let len = group.len();
+        let chunk_size = len.div_ceil(spec.threads()).max(1);
+        let mut begin = group.start;
+        while begin < group.end {
+            let end = (begin + chunk_size).min(group.end);
+            chunks.push(begin..end);
+            begin = end;
+        }
+    }
+    Schedule { order, chunks }
+}
+
 /// Runs an exploration: shards the job matrix across the specification's worker
 /// threads, evaluates every point, and reduces the results into canonical order plus
 /// the Pareto front.
 ///
-/// Workers pull jobs from a shared counter (dynamic load balancing), but every result
-/// is keyed by its job index and re-assembled in canonical order, and every job is a
-/// pure function of the specification — so the returned results are **bit-identical
-/// for any worker count**.
+/// Workers pull **chunks** of jobs sharing a source, width and flow (see
+/// [`Schedule`]) from a shared counter, evaluate the first point of a chunk through
+/// the full synthesis + analysis path and the remaining skew/bias points through the
+/// per-worker compiled-program cache's delta path — falling back to the full path
+/// whenever the synthesized structure does not verify against the cached program.
+/// Every result lands in a preallocated slot keyed by its canonical job index, so the
+/// returned results are **bit-identical for any worker count** (the delta path's
+/// reports are bit-identical to full re-analysis by construction, and the property
+/// suites pin that down).
 ///
 /// # Errors
 ///
@@ -80,30 +146,34 @@ impl ExplorationResults {
 /// the thread count).
 pub fn explore(spec: &ExplorationSpec) -> Result<ExplorationResults, ExploreError> {
     let jobs = spec.jobs();
-    let next_job = AtomicUsize::new(0);
-    let collected: Mutex<Vec<(usize, Result<ExplorationPoint, ExploreError>)>> =
-        Mutex::new(Vec::with_capacity(jobs.len()));
+    let plan = schedule(spec, &jobs);
+    let next_chunk = AtomicUsize::new(0);
+    // One write-once slot per job: no result lock, no post-run sort.
+    let slots: Vec<OnceLock<Result<ExplorationPoint, ExploreError>>> =
+        jobs.iter().map(|_| OnceLock::new()).collect();
     thread::scope(|scope| {
         for _ in 0..spec.threads() {
-            scope.spawn(|| loop {
-                let index = next_job.fetch_add(1, Ordering::Relaxed);
-                let Some(job) = jobs.get(index) else {
-                    break;
-                };
-                let outcome = evaluate(spec, job);
-                collected
-                    .lock()
-                    .expect("a worker panicked while holding the results lock")
-                    .push((index, outcome));
+            scope.spawn(|| {
+                let mut cache = CompiledCache::new();
+                loop {
+                    let chunk = next_chunk.fetch_add(1, Ordering::Relaxed);
+                    let Some(range) = plan.chunks.get(chunk) else {
+                        break;
+                    };
+                    for &job_index in &plan.order[range.clone()] {
+                        let outcome = evaluate(spec, &jobs[job_index], &mut cache);
+                        let stored = slots[job_index].set(outcome);
+                        debug_assert!(stored.is_ok(), "every job index is claimed once");
+                    }
+                }
             });
         }
     });
-    let mut collected = collected
-        .into_inner()
-        .expect("a worker panicked while holding the results lock");
-    collected.sort_by_key(|(index, _)| *index);
-    let mut points = Vec::with_capacity(collected.len());
-    for (_, outcome) in collected {
+    let mut points = Vec::with_capacity(jobs.len());
+    for slot in slots {
+        let outcome = slot
+            .into_inner()
+            .expect("every job slot is filled by exactly one worker");
         points.push(outcome?);
     }
     let metrics: Vec<PointMetrics> = points.iter().map(|point| point.metrics).collect();
@@ -111,15 +181,20 @@ pub fn explore(spec: &ExplorationSpec) -> Result<ExplorationResults, ExploreErro
     Ok(ExplorationResults { points, front })
 }
 
-/// Evaluates one job: materializes its design, runs its flow, and extracts the
-/// metrics (delay from timing analysis, power from probability propagation, area and
-/// structure straight off the flow's compiled program — the netlist is compiled once
-/// per point and never re-traversed here).
-fn evaluate(spec: &ExplorationSpec, job: &Job) -> Result<ExplorationPoint, ExploreError> {
+/// Evaluates one job: materializes its design, runs its flow's synthesis, and obtains
+/// the metrics (delay from timing analysis, power from probability propagation, area
+/// and structure straight off the compiled program). Flows that synthesize without
+/// analysing go through the worker's [`CompiledCache`] — a structurally verified hit
+/// re-analyses only the dirty cone; everything else takes the full compiled bundle.
+fn evaluate(
+    spec: &ExplorationSpec,
+    job: &Job,
+    cache: &mut CompiledCache,
+) -> Result<ExplorationPoint, ExploreError> {
     let design = spec.materialize(job);
-    let result = job
+    let synthesis = job
         .flow()
-        .run(
+        .synthesize(
             design.expr(),
             design.spec(),
             design.output_width(),
@@ -129,18 +204,42 @@ fn evaluate(spec: &ExplorationSpec, job: &Job) -> Result<ExplorationPoint, Explo
             job: job.label(),
             source,
         })?;
+    let evaluated = match synthesis {
+        FlowSynthesis::Analyzed(result) => Evaluated {
+            delay: result.delay,
+            area: result.area,
+            switching_energy: result.switching_energy,
+            power_mw: result.power_mw,
+            cell_count: result.compiled.cell_count(),
+            logic_depth: result.compiled.level_count(),
+            artifact: spec.retain_artifacts.then_some(*result),
+        },
+        FlowSynthesis::Unanalyzed(parts) => cache
+            .analyze(
+                parts.flow,
+                parts.netlist,
+                parts.word_map,
+                design.spec(),
+                spec.tech(),
+                spec.retain_artifacts,
+            )
+            .map_err(|source| ExploreError::Flow {
+                job: job.label(),
+                source,
+            })?,
+    };
     let metrics = PointMetrics {
-        delay: result.delay,
-        power: result.power_mw,
-        area: result.area,
-        switching_energy: result.switching_energy,
-        cell_count: result.compiled.cell_count(),
-        logic_depth: result.compiled.level_count(),
+        delay: evaluated.delay,
+        power: evaluated.power_mw,
+        area: evaluated.area,
+        switching_energy: evaluated.switching_energy,
+        cell_count: evaluated.cell_count,
+        logic_depth: evaluated.logic_depth,
     };
     Ok(ExplorationPoint {
         job: job.clone(),
         design: design.name().to_string(),
         metrics,
-        artifact: spec.retain_artifacts.then_some(result),
+        artifact: evaluated.artifact,
     })
 }

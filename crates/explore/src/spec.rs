@@ -184,6 +184,14 @@ pub struct ExplorationSpec {
     pub(crate) tech: TechLibrary,
     pub(crate) seed: u64,
     pub(crate) threads: usize,
+    /// Whether every evaluated point keeps its full [`dpsyn_baselines::FlowResult`].
+    ///
+    /// This is the **single** storage of the flag: the builder wraps a spec and
+    /// writes it here directly, so there is no second copy to keep in sync. The
+    /// engine honours it on every path — points evaluated through the per-worker
+    /// compiled-program cache's delta path still retain a full artifact (the point's
+    /// own synthesized netlist and word map plus the shared compiled program),
+    /// bit-identical to what the non-cached path would have produced.
     pub(crate) retain_artifacts: bool,
 }
 
@@ -292,31 +300,30 @@ impl ExplorationSpec {
 }
 
 /// Builder for [`ExplorationSpec`]; see the type-level example.
+///
+/// The builder wraps the specification it is assembling instead of duplicating every
+/// field: each setter writes straight into the wrapped spec, and [`build`]
+/// (`ExplorationSpecBuilder::build`) only validates and unwraps it — there is no
+/// field-by-field copy that could drift out of sync.
 #[derive(Debug, Clone)]
 pub struct ExplorationSpecBuilder {
-    sources: Vec<ExprSource>,
-    widths: Vec<u32>,
-    skews: Vec<SkewProfile>,
-    biases: Vec<BiasProfile>,
-    flows: Vec<Flow>,
-    tech: TechLibrary,
-    seed: u64,
-    threads: usize,
-    retain_artifacts: bool,
+    spec: ExplorationSpec,
 }
 
 impl Default for ExplorationSpecBuilder {
     fn default() -> Self {
         ExplorationSpecBuilder {
-            sources: Vec::new(),
-            widths: Vec::new(),
-            skews: Vec::new(),
-            biases: Vec::new(),
-            flows: Vec::new(),
-            tech: TechLibrary::lcbg10pv_like(),
-            seed: 1,
-            threads: 1,
-            retain_artifacts: false,
+            spec: ExplorationSpec {
+                sources: Vec::new(),
+                widths: Vec::new(),
+                skews: Vec::new(),
+                biases: Vec::new(),
+                flows: Vec::new(),
+                tech: TechLibrary::lcbg10pv_like(),
+                seed: 1,
+                threads: 1,
+                retain_artifacts: false,
+            },
         }
     }
 }
@@ -324,100 +331,106 @@ impl Default for ExplorationSpecBuilder {
 impl ExplorationSpecBuilder {
     /// Adds a fixed benchmark design as a source.
     pub fn design(mut self, design: Design) -> Self {
-        self.sources.push(ExprSource::Fixed(design));
+        self.spec.sources.push(ExprSource::Fixed(design));
         self
     }
 
     /// Adds several fixed benchmark designs as sources.
     pub fn designs(mut self, designs: impl IntoIterator<Item = Design>) -> Self {
-        self.sources
+        self.spec
+            .sources
             .extend(designs.into_iter().map(ExprSource::Fixed));
         self
     }
 
     /// Adds a `random_sum` workload source with the given operand count.
     pub fn sum_workload(mut self, operands: usize) -> Self {
-        self.sources.push(ExprSource::Sum { operands });
+        self.spec.sources.push(ExprSource::Sum { operands });
         self
     }
 
     /// Adds a `random_sum_of_products` workload source with the given term count.
     pub fn sum_of_products_workload(mut self, terms: usize) -> Self {
-        self.sources.push(ExprSource::SumOfProducts { terms });
+        self.spec.sources.push(ExprSource::SumOfProducts { terms });
         self
     }
 
     /// Adds one operand width to the width axis (workload sources only).
     pub fn width(mut self, width: u32) -> Self {
-        self.widths.push(width);
+        self.spec.widths.push(width);
         self
     }
 
     /// Adds several operand widths to the width axis.
     pub fn widths(mut self, widths: impl IntoIterator<Item = u32>) -> Self {
-        self.widths.extend(widths);
+        self.spec.widths.extend(widths);
         self
     }
 
     /// Adds one arrival-skew profile.
     pub fn skew(mut self, skew: SkewProfile) -> Self {
-        self.skews.push(skew);
+        self.spec.skews.push(skew);
         self
     }
 
     /// Adds several arrival-skew profiles.
     pub fn skews(mut self, skews: impl IntoIterator<Item = SkewProfile>) -> Self {
-        self.skews.extend(skews);
+        self.spec.skews.extend(skews);
         self
     }
 
     /// Adds one probability-bias profile.
     pub fn bias(mut self, bias: BiasProfile) -> Self {
-        self.biases.push(bias);
+        self.spec.biases.push(bias);
         self
     }
 
     /// Adds several probability-bias profiles.
     pub fn biases(mut self, biases: impl IntoIterator<Item = BiasProfile>) -> Self {
-        self.biases.extend(biases);
+        self.spec.biases.extend(biases);
         self
     }
 
     /// Adds one synthesis flow to run on every design point.
     pub fn flow(mut self, flow: Flow) -> Self {
-        self.flows.push(flow);
+        self.spec.flows.push(flow);
         self
     }
 
     /// Adds several synthesis flows.
     pub fn flows(mut self, flows: impl IntoIterator<Item = Flow>) -> Self {
-        self.flows.extend(flows);
+        self.spec.flows.extend(flows);
         self
     }
 
     /// Sets the technology library (default: `lcbg10pv_like`).
     pub fn tech(mut self, tech: TechLibrary) -> Self {
-        self.tech = tech;
+        self.spec.tech = tech;
         self
     }
 
     /// Sets the seed behind every pseudo-random draw (default: 1).
     pub fn seed(mut self, seed: u64) -> Self {
-        self.seed = seed;
+        self.spec.seed = seed;
         self
     }
 
     /// Sets the worker-thread count (default: 1). Results are bit-identical for every
     /// worker count; more workers only change the wall-clock time.
     pub fn threads(mut self, threads: usize) -> Self {
-        self.threads = threads;
+        self.spec.threads = threads;
         self
     }
 
     /// Keeps the synthesized netlist of every point in the results (default: false).
     /// Needed by equivalence cross-checks; large sweeps should leave this off.
+    ///
+    /// The flag is honoured uniformly: points the engine evaluates through the
+    /// compiled-program cache's delta path retain exactly the same full per-point
+    /// artifact (their own netlist and word map plus the shared compiled program) as
+    /// points that ran the full analysis bundle.
     pub fn retain_artifacts(mut self, retain: bool) -> Self {
-        self.retain_artifacts = retain;
+        self.spec.retain_artifacts = retain;
         self
     }
 
@@ -429,21 +442,22 @@ impl ExplorationSpecBuilder {
     /// zero, a workload source lacks widths or operands, a skew/bias profile is
     /// invalid or conflicts with another, or the matrix enumerates no jobs.
     pub fn build(mut self) -> Result<ExplorationSpec, ExploreError> {
-        if self.threads == 0 {
+        if self.spec.threads == 0 {
             return Err(ExploreError::ZeroWorkers);
         }
-        if self.widths.contains(&0) {
+        if self.spec.widths.contains(&0) {
             return Err(ExploreError::ZeroWidth);
         }
-        let has_workloads = self.sources.iter().any(ExprSource::is_workload);
-        if has_workloads && self.widths.is_empty() {
+        let has_workloads = self.spec.sources.iter().any(ExprSource::is_workload);
+        if has_workloads && self.spec.widths.is_empty() {
             return Err(ExploreError::MissingWidths);
         }
         let has_sum_workloads = self
+            .spec
             .sources
             .iter()
             .any(ExprSource::maps_profiles_to_workload_params);
-        for source in &self.sources {
+        for source in &self.spec.sources {
             match source {
                 ExprSource::Sum { operands: 0 } | ExprSource::SumOfProducts { terms: 0 } => {
                     return Err(ExploreError::EmptySource);
@@ -451,51 +465,41 @@ impl ExplorationSpecBuilder {
                 _ => {}
             }
         }
-        if self.skews.is_empty() {
-            self.skews.push(SkewProfile::Keep);
+        if self.spec.skews.is_empty() {
+            self.spec.skews.push(SkewProfile::Keep);
         }
-        if self.biases.is_empty() {
-            self.biases.push(BiasProfile::Keep);
+        if self.spec.biases.is_empty() {
+            self.spec.biases.push(BiasProfile::Keep);
         }
-        for skew in &self.skews {
+        for skew in &self.spec.skews {
             if let SkewProfile::Uniform(max_arrival) = skew {
                 if !max_arrival.is_finite() || *max_arrival < 0.0 {
                     return Err(ExploreError::InvalidSkew(*max_arrival));
                 }
             }
         }
-        for bias in &self.biases {
+        for bias in &self.spec.biases {
             if let BiasProfile::Uniform(value) = bias {
                 if !value.is_finite() || !(0.0..=0.5).contains(value) {
                     return Err(ExploreError::InvalidBias(*value));
                 }
             }
         }
-        for (index, first) in self.skews.iter().enumerate() {
-            for second in &self.skews[index + 1..] {
+        for (index, first) in self.spec.skews.iter().enumerate() {
+            for second in &self.spec.skews[index + 1..] {
                 if first.conflicts_with(second, has_sum_workloads) {
                     return Err(ExploreError::ConflictingSkews(*first, *second));
                 }
             }
         }
-        for (index, first) in self.biases.iter().enumerate() {
-            for second in &self.biases[index + 1..] {
+        for (index, first) in self.spec.biases.iter().enumerate() {
+            for second in &self.spec.biases[index + 1..] {
                 if first.conflicts_with(second, has_sum_workloads) {
                     return Err(ExploreError::ConflictingBiases(*first, *second));
                 }
             }
         }
-        let spec = ExplorationSpec {
-            sources: self.sources,
-            widths: self.widths,
-            skews: self.skews,
-            biases: self.biases,
-            flows: self.flows,
-            tech: self.tech,
-            seed: self.seed,
-            threads: self.threads,
-            retain_artifacts: self.retain_artifacts,
-        };
+        let spec = self.spec;
         if spec.jobs().is_empty() {
             return Err(ExploreError::EmptyMatrix);
         }

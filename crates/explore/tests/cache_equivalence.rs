@@ -1,0 +1,92 @@
+//! Pins the engine's compiled-program cache + delta-evaluation path to the plain
+//! per-job full path: every evaluated point — metrics *and* retained artifact — must
+//! be bit-identical to an independent `Flow::run` of the same job, no matter whether
+//! the engine evaluated it through a full bundle or a cached delta rerun.
+//!
+//! The matrix deliberately crosses profile axes with the two module-binding flows
+//! (`Conventional` synthesizes profile-invariant structures — guaranteed cache hits;
+//! `CsaOpt`'s structure shifts with the arrival profile — exercising the structural
+//! verification fallback) plus an FA-tree flow (always pre-analysed).
+
+use dpsyn_explore::{explore, BiasProfile, ExplorationSpec, Flow, SkewProfile};
+
+fn spec(threads: usize) -> ExplorationSpec {
+    ExplorationSpec::builder()
+        .design(dpsyn_designs::iir())
+        .design(dpsyn_designs::mixed_poly())
+        .sum_workload(4)
+        .width(5)
+        .skews([
+            SkewProfile::Keep,
+            SkewProfile::Uniform(2.0),
+            SkewProfile::Uniform(4.0),
+        ])
+        .biases([BiasProfile::Keep, BiasProfile::Uniform(0.3)])
+        .flows([Flow::Conventional, Flow::CsaOpt, Flow::FaAot])
+        .seed(13)
+        .threads(threads)
+        .retain_artifacts(true)
+        .build()
+        .expect("spec is well-formed")
+}
+
+#[test]
+fn cached_delta_points_match_independent_full_runs() {
+    for threads in [1, 3] {
+        let spec = spec(threads);
+        let results = explore(&spec).expect("exploration succeeds");
+        assert_eq!(results.points().len(), spec.jobs().len());
+        for point in results.points() {
+            let design = spec.materialize(&point.job);
+            let reference = point
+                .job
+                .flow()
+                .run(
+                    design.expr(),
+                    design.spec(),
+                    design.output_width(),
+                    spec.tech(),
+                )
+                .expect("direct flow run succeeds");
+            let label = point.job.label();
+            assert_eq!(
+                point.metrics.delay.to_bits(),
+                reference.delay.to_bits(),
+                "{label}: delay"
+            );
+            assert_eq!(
+                point.metrics.area.to_bits(),
+                reference.area.to_bits(),
+                "{label}: area"
+            );
+            assert_eq!(
+                point.metrics.switching_energy.to_bits(),
+                reference.switching_energy.to_bits(),
+                "{label}: switching energy"
+            );
+            assert_eq!(
+                point.metrics.power.to_bits(),
+                reference.power_mw.to_bits(),
+                "{label}: power"
+            );
+            let artifact = point
+                .artifact
+                .as_ref()
+                .expect("retain_artifacts keeps every point's artifact");
+            assert_eq!(artifact.flow, reference.flow, "{label}: flow name");
+            assert_eq!(artifact.netlist, reference.netlist, "{label}: netlist");
+            assert_eq!(artifact.word_map, reference.word_map, "{label}: word map");
+            assert_eq!(artifact.compiled, reference.compiled, "{label}: program");
+            assert_eq!(
+                artifact.delay.to_bits(),
+                reference.delay.to_bits(),
+                "{label}: artifact delay"
+            );
+            assert_eq!(
+                artifact.switching_energy.to_bits(),
+                reference.switching_energy.to_bits(),
+                "{label}: artifact energy"
+            );
+        }
+    }
+}

@@ -41,6 +41,82 @@ use crate::cell::{CellId, CellKind};
 use crate::error::NetlistError;
 use crate::graph::{NetId, Netlist};
 
+/// An order-sensitive splitmix64 chain over the canonical structural word stream
+/// shared by [`Netlist::structural_hash`] and [`CompiledNetlist::structural_hash`]:
+/// the net count, the primary input/output lists, and every cell's kind and pin nets
+/// in cell-index order. Names never enter the stream — two designs that differ only
+/// in net or instance names hash identically, and compile to identical programs.
+/// One full mix per 64-bit word (not per byte) keeps the hash cheap enough to be
+/// computed eagerly inside every [`Netlist::compile`].
+pub(crate) struct StructuralHasher(u64);
+
+impl StructuralHasher {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+
+    pub(crate) fn new() -> Self {
+        StructuralHasher(Self::OFFSET)
+    }
+
+    pub(crate) fn write(&mut self, value: u64) {
+        let mut z = self.0 ^ value.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        self.0 = z ^ (z >> 31);
+    }
+
+    pub(crate) fn write_nets(&mut self, nets: &[NetId]) {
+        self.write(nets.len() as u64);
+        for net in nets {
+            self.write(net.index() as u64);
+        }
+    }
+
+    pub(crate) fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// Folds one cell's kind and pin connectivity into a single word (distinct odd
+/// multipliers per pin slot, `index + 1` so net 0 still contributes), so the chained
+/// hash pays **one mix per cell** — cheap enough to compute eagerly in every
+/// [`Netlist::compile`]. Pin order and kind both perturb the word; cell order is
+/// captured by the chaining in [`StructuralHasher::write`].
+pub(crate) fn cell_word(kind: CellKind, inputs: &[NetId], outputs: &[NetId]) -> u64 {
+    const PIN_SALTS: [u64; 5] = [
+        0x9e37_79b9_7f4a_7c15,
+        0xc2b2_ae3d_27d4_eb4f,
+        0x1656_67b1_9e37_79f9,
+        0x27d4_eb2f_1656_67c5,
+        0x8546_5629_1d9d_5d69,
+    ];
+    let mut word = (kind.table_index() as u64 + 1).wrapping_mul(0xff51_afd7_ed55_8ccd);
+    for (slot, net) in inputs.iter().enumerate() {
+        word ^= (net.index() as u64 + 1).wrapping_mul(PIN_SALTS[slot]);
+    }
+    for (slot, net) in outputs.iter().enumerate() {
+        word ^= (net.index() as u64 + 1).wrapping_mul(PIN_SALTS[slot + 3]);
+    }
+    word
+}
+
+/// Hashes one structural identity; `cells` must yield `(kind, inputs, outputs)` in
+/// cell-index order.
+pub(crate) fn hash_structure<'n>(
+    net_count: usize,
+    inputs: &[NetId],
+    outputs: &[NetId],
+    cells: impl Iterator<Item = (CellKind, &'n [NetId], &'n [NetId])>,
+) -> u64 {
+    let mut hasher = StructuralHasher::new();
+    hasher.write(net_count as u64);
+    hasher.write_nets(inputs);
+    hasher.write_nets(outputs);
+    for (kind, cell_inputs, cell_outputs) in cells {
+        hasher.write(cell_word(kind, cell_inputs, cell_outputs));
+    }
+    hasher.finish()
+}
+
 /// One levelized instruction of a [`CompiledNetlist`]: a cell kind plus the net
 /// indices of its pins and the identity of the originating cell.
 ///
@@ -91,6 +167,7 @@ pub struct CompiledNetlist {
     fanout_readers: Vec<(CellId, u32)>,
     cell_kinds: Vec<CellKind>,
     kind_counts: Vec<(CellKind, usize)>,
+    structural_hash: u64,
 }
 
 impl CompiledNetlist {
@@ -200,6 +277,7 @@ impl CompiledNetlist {
             fanout_readers,
             cell_kinds,
             kind_counts,
+            structural_hash: netlist.structural_hash(),
         })
     }
 
@@ -291,5 +369,40 @@ impl CompiledNetlist {
         (0..self.level_count())
             .map(|level| self.level(level).iter().map(|op| op.cell).collect())
             .collect()
+    }
+
+    /// Reconstructs the ops in **cell-index order** (the order [`Netlist::cells`]
+    /// iterates in), as opposed to the levelized op order of [`Self::ops`].
+    ///
+    /// Used by structural verification (comparing a freshly synthesized netlist
+    /// against a cached program cell by cell) and by [`crate::DeltaState::rebind`]'s
+    /// changed-cell diff.
+    pub fn cell_ops(&self) -> Vec<CompiledOp> {
+        let placeholder = CompiledOp {
+            kind: CellKind::Const0,
+            cell: CellId(0),
+            ins: [NetId(0); 3],
+            outs: [NetId(0); 2],
+        };
+        let mut by_cell = vec![placeholder; self.ops.len()];
+        for op in &self.ops {
+            by_cell[op.cell.index()] = *op;
+        }
+        by_cell
+    }
+
+    /// A 64-bit hash of the program's structural identity: net count, primary
+    /// input/output lists, and every cell's kind and pin connectivity (names are
+    /// excluded). Equal to [`Netlist::structural_hash`] of the originating netlist,
+    /// so a freshly synthesized netlist can be matched against a cached compiled
+    /// program **without recompiling it** — the key of the explorer's per-worker
+    /// compiled-program cache. Cache consumers must still verify candidates
+    /// structurally (hash equality is necessary, not sufficient).
+    ///
+    /// Memoized at compile time, so this is a free read — the incremental analyses
+    /// assert it on every delta to catch state/program mix-ups.
+    #[inline]
+    pub fn structural_hash(&self) -> u64 {
+        self.structural_hash
     }
 }

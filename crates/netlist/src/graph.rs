@@ -299,21 +299,6 @@ impl Netlist {
         CompiledNetlist::compile(self)
     }
 
-    /// For every net, the list of `(cell, input pin)` pairs that read it.
-    #[deprecated(
-        note = "allocates one Vec per net on every call; compile the netlist once and \
-                use `CompiledNetlist::fanout` instead"
-    )]
-    pub fn fanout_map(&self) -> Vec<Vec<(CellId, usize)>> {
-        let mut map = vec![Vec::new(); self.nets.len()];
-        for (id, cell) in self.cells() {
-            for (pin, net) in cell.inputs.iter().enumerate() {
-                map[net.index()].push((id, pin));
-            }
-        }
-        map
-    }
-
     /// Computes a topological order of the cells (inputs before the cells that read
     /// them).
     ///
@@ -392,6 +377,101 @@ impl Netlist {
         self.validate_structure()?;
         self.compile()?;
         Ok(())
+    }
+
+    /// Reconnects one input pin of an existing cell to another net (a local rewire).
+    ///
+    /// Only the reader side changes: no net gains or loses its driver, so a
+    /// [`crate::DeltaState`] bound to the old compiled program can be migrated to the
+    /// recompile with [`crate::DeltaState::rebind`]. The caller is responsible for
+    /// keeping the graph acyclic (rewiring to a net whose driver precedes the cell in
+    /// the current topological order always is); [`Netlist::compile`] reports a
+    /// [`NetlistError::CombinationalCycle`] otherwise.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::UnknownNet`] when `net` does not belong to this
+    /// netlist.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `cell` does not belong to this netlist or `pin` is not one of its
+    /// input pins.
+    pub fn rewire_input(
+        &mut self,
+        cell: CellId,
+        pin: usize,
+        net: NetId,
+    ) -> Result<(), NetlistError> {
+        if net.index() >= self.nets.len() {
+            return Err(NetlistError::UnknownNet(net));
+        }
+        self.cells[cell.index()].inputs[pin] = net;
+        Ok(())
+    }
+
+    /// Replaces the kind of an existing cell with another kind of identical arity
+    /// (e.g. `And2` → `Or2`), keeping every pin connection.
+    ///
+    /// # Errors
+    ///
+    /// Returns an arity-mismatch error when `kind` does not have the same pin counts
+    /// as the cell's current kind.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `cell` does not belong to this netlist.
+    pub fn replace_cell_kind(&mut self, cell: CellId, kind: CellKind) -> Result<(), NetlistError> {
+        let slot = &mut self.cells[cell.index()];
+        if slot.inputs.len() != kind.input_count() {
+            return Err(NetlistError::InputArityMismatch {
+                kind,
+                supplied: slot.inputs.len(),
+                expected: kind.input_count(),
+            });
+        }
+        if slot.outputs.len() != kind.output_count() {
+            return Err(NetlistError::OutputArityMismatch {
+                kind,
+                supplied: slot.outputs.len(),
+                expected: kind.output_count(),
+            });
+        }
+        slot.kind = kind;
+        Ok(())
+    }
+
+    /// A 64-bit hash of the netlist's structural identity: net count, primary
+    /// input/output lists, and every cell's kind and pin connectivity in cell order.
+    /// Net and instance **names are excluded** — renaming never changes the hash.
+    ///
+    /// Guaranteed equal to [`CompiledNetlist::structural_hash`] of this netlist's
+    /// compiled program, which is what lets a caller holding a freshly synthesized
+    /// netlist probe a cache of compiled programs without levelizing first. Equal
+    /// hashes are a *probe*, not a proof: verify candidates cell-by-cell (e.g.
+    /// against [`CompiledNetlist::cell_ops`]) before trusting a match.
+    ///
+    /// # Example
+    /// ```
+    /// use dpsyn_netlist::{CellKind, Netlist};
+    /// let mut netlist = Netlist::new("demo");
+    /// let a = netlist.add_input("a");
+    /// let b = netlist.add_input("b");
+    /// netlist.add_gate(CellKind::And2, &[a, b]).unwrap();
+    /// let hash = netlist.structural_hash();
+    /// assert_eq!(hash, netlist.compile().unwrap().structural_hash());
+    /// netlist.set_net_name(a, "renamed");
+    /// assert_eq!(hash, netlist.structural_hash()); // names are structural no-ops
+    /// ```
+    pub fn structural_hash(&self) -> u64 {
+        crate::compiled::hash_structure(
+            self.nets.len(),
+            &self.inputs,
+            &self.outputs,
+            self.cells
+                .iter()
+                .map(|cell| (cell.kind, cell.inputs.as_slice(), cell.outputs.as_slice())),
+        )
     }
 
     /// Longest path length (in cells) from any primary input or constant to any net.
@@ -562,23 +642,74 @@ mod tests {
     }
 
     #[test]
-    fn fanout_map_lists_readers() {
+    fn compiled_fanout_lists_readers() {
         let netlist = full_adder_netlist();
-        #[allow(deprecated)]
-        let fanout = netlist.fanout_map();
-        let a = netlist.inputs()[0];
-        assert_eq!(fanout[a.index()].len(), 1);
-        assert_eq!(fanout[a.index()][0].1, 0);
-        // The deprecated allocating path and the compiled CSR agree entry for entry.
         let compiled = netlist.compile().unwrap();
-        for (net, _) in netlist.nets() {
-            let csr: Vec<(CellId, usize)> = compiled
-                .fanout(net)
-                .iter()
-                .map(|(cell, pin)| (*cell, *pin as usize))
-                .collect();
-            assert_eq!(csr, fanout[net.index()]);
+        // Every input feeds the single FA on its corresponding pin; the outputs
+        // have no readers. (This test rode on the removed allocating
+        // `Netlist::fanout_map`; the CSR is now the only fanout source.)
+        for (pin, net) in netlist.inputs().iter().enumerate() {
+            assert_eq!(compiled.fanout(*net), &[(CellId(0), pin as u32)]);
         }
+        for net in netlist.outputs() {
+            assert!(compiled.fanout(*net).is_empty());
+        }
+        // And the CSR agrees with a straight walk over the cell table.
+        let mut expected = vec![Vec::new(); netlist.net_count()];
+        for (id, cell) in netlist.cells() {
+            for (pin, net) in cell.inputs().iter().enumerate() {
+                expected[net.index()].push((id, pin as u32));
+            }
+        }
+        for (net, _) in netlist.nets() {
+            assert_eq!(compiled.fanout(net), expected[net.index()].as_slice());
+        }
+    }
+
+    #[test]
+    fn structural_hash_tracks_structure_not_names() {
+        let mut netlist = full_adder_netlist();
+        let baseline = netlist.structural_hash();
+        assert_eq!(baseline, netlist.compile().unwrap().structural_hash());
+        // Renames are invisible.
+        netlist.set_net_name(netlist.inputs()[0], "renamed");
+        assert_eq!(baseline, netlist.structural_hash());
+        // A kind flip of identical arity changes the hash (and stays compilable).
+        let mut flipped = full_adder_netlist();
+        let (a, b) = (flipped.inputs()[0], flipped.inputs()[1]);
+        flipped.add_gate(CellKind::And2, &[a, b]).unwrap();
+        let and_cell = CellId(1); // the FA is cell 0
+        let with_and = flipped.structural_hash();
+        assert_ne!(baseline, with_and);
+        flipped.replace_cell_kind(and_cell, CellKind::Or2).unwrap();
+        assert_ne!(with_and, flipped.structural_hash());
+        assert_eq!(
+            flipped.structural_hash(),
+            flipped.compile().unwrap().structural_hash()
+        );
+    }
+
+    #[test]
+    fn rewire_input_moves_a_reader() {
+        let mut netlist = Netlist::new("rewire");
+        let a = netlist.add_input("a");
+        let b = netlist.add_input("b");
+        let c = netlist.add_input("c");
+        let and = netlist.add_gate(CellKind::And2, &[a, b]).unwrap()[0];
+        netlist.mark_output(and);
+        let cell = CellId(0);
+        netlist.rewire_input(cell, 1, c).unwrap();
+        assert_eq!(netlist.cell(cell).inputs(), &[a, c]);
+        assert!(netlist.validate().is_ok());
+        assert!(matches!(
+            netlist.rewire_input(cell, 0, NetId(99)),
+            Err(NetlistError::UnknownNet(_))
+        ));
+        // Arity-mismatched kind replacement is rejected.
+        assert!(matches!(
+            netlist.replace_cell_kind(cell, CellKind::Not),
+            Err(NetlistError::InputArityMismatch { .. })
+        ));
     }
 
     #[test]

@@ -37,6 +37,7 @@
 
 mod cell;
 mod compiled;
+mod delta;
 mod error;
 mod graph;
 mod stats;
@@ -45,6 +46,7 @@ mod word;
 
 pub use cell::{Cell, CellId, CellKind};
 pub use compiled::{CompiledNetlist, CompiledOp};
+pub use delta::{DeltaState, DirtyWorklist, InputDelta, PowerChannel, TimingChannel};
 pub use error::NetlistError;
 pub use graph::{Net, NetId, Netlist};
 pub use stats::NetlistStats;

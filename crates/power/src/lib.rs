@@ -49,7 +49,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use dpsyn_netlist::{CellKind, CompiledNetlist, NetId, Netlist, NetlistError};
+use dpsyn_netlist::{
+    CellKind, CompiledNetlist, CompiledOp, DeltaState, InputDelta, NetId, Netlist, NetlistError,
+};
 use dpsyn_tech::{ResolvedTech, TechError, TechLibrary};
 use std::collections::BTreeMap;
 use std::error::Error;
@@ -186,50 +188,24 @@ impl<'lib> ProbabilityAnalysis<'lib> {
     }
 
     fn check_probabilities(&self) -> Result<(), PowerError> {
-        for (net, probability) in self
-            .input_probabilities
-            .iter()
-            .map(|(net, p)| (Some(*net), *p))
-            .chain(std::iter::once((None, self.default_probability)))
-        {
-            if !(0.0..=1.0).contains(&probability) || !probability.is_finite() {
-                return Err(PowerError::InvalidProbability { net, probability });
-            }
+        for (net, probability) in self.input_probabilities.iter() {
+            check_probability(Some(*net), *probability)?;
         }
-        Ok(())
+        check_probability(None, self.default_probability)
     }
 
     /// The single-pass probability/energy propagation over the compiled program.
     fn propagate(&self, compiled: &CompiledNetlist, resolved: &ResolvedTech) -> PowerReport {
-        let mut probability = vec![self.default_probability; compiled.net_count()];
-        for net in compiled.inputs() {
-            probability[net.index()] = self
-                .input_probabilities
-                .get(net)
-                .copied()
-                .unwrap_or(self.default_probability);
-        }
-        let mut cell_energy = vec![0.0f64; compiled.cell_count()];
-        let mut total_energy = 0.0f64;
-        let mut total_activity = 0.0f64;
-        for op in compiled.ops() {
-            let mut inputs = [0.0f64; 3];
-            for (slot, net) in op.input_nets().iter().enumerate() {
-                inputs[slot] = probability[net.index()];
-            }
-            let outputs = propagate_op(op.kind, &inputs);
-            let weights = &resolved.energy[op.kind.table_index()];
-            let mut energy = 0.0;
-            for (pin, net) in op.output_nets().iter().enumerate() {
-                let p = outputs[pin];
-                probability[net.index()] = p;
-                let activity = p * (1.0 - p);
-                total_activity += activity;
-                energy += weights[pin] * activity;
-            }
-            cell_energy[op.cell.index()] = energy;
-            total_energy += energy;
-        }
+        let mut probability = Vec::new();
+        let mut cell_energy = Vec::new();
+        let (total_energy, total_activity) = propagate_into(
+            compiled,
+            resolved,
+            &self.input_probabilities,
+            self.default_probability,
+            &mut probability,
+            &mut cell_energy,
+        );
         PowerReport {
             probability,
             cell_energy,
@@ -237,6 +213,289 @@ impl<'lib> ProbabilityAnalysis<'lib> {
             total_activity,
             voltage: self.tech.voltage(),
         }
+    }
+}
+
+/// Validates one probability with the exact predicate of [`ProbabilityAnalysis::run`].
+fn check_probability(net: Option<NetId>, probability: f64) -> Result<(), PowerError> {
+    if !(0.0..=1.0).contains(&probability) || !probability.is_finite() {
+        return Err(PowerError::InvalidProbability { net, probability });
+    }
+    Ok(())
+}
+
+/// The full probability/energy propagation, writing into caller-provided
+/// (persistent) buffers and returning `(total_energy, total_activity)`.
+///
+/// Shared verbatim by [`ProbabilityAnalysis::run_compiled`] and
+/// [`IncrementalPower::run_full`], which is what makes the primed [`DeltaState`]
+/// arrays bit-identical to a fresh report.
+fn propagate_into(
+    compiled: &CompiledNetlist,
+    resolved: &ResolvedTech,
+    input_probabilities: &BTreeMap<NetId, f64>,
+    default_probability: f64,
+    probability: &mut Vec<f64>,
+    cell_energy: &mut Vec<f64>,
+) -> (f64, f64) {
+    probability.clear();
+    probability.resize(compiled.net_count(), default_probability);
+    for net in compiled.inputs() {
+        probability[net.index()] = input_probabilities
+            .get(net)
+            .copied()
+            .unwrap_or(default_probability);
+    }
+    cell_energy.clear();
+    cell_energy.resize(compiled.cell_count(), 0.0);
+    let mut total_energy = 0.0f64;
+    let mut total_activity = 0.0f64;
+    for op in compiled.ops() {
+        let mut inputs = [0.0f64; 3];
+        for (slot, net) in op.input_nets().iter().enumerate() {
+            inputs[slot] = probability[net.index()];
+        }
+        let outputs = propagate_op(op.kind, &inputs);
+        let weights = &resolved.energy[op.kind.table_index()];
+        let mut energy = 0.0;
+        for (pin, net) in op.output_nets().iter().enumerate() {
+            let p = outputs[pin];
+            probability[net.index()] = p;
+            let activity = p * (1.0 - p);
+            total_activity += activity;
+            energy += weights[pin] * activity;
+        }
+        cell_energy[op.cell.index()] = energy;
+        total_energy += energy;
+    }
+    (total_energy, total_activity)
+}
+
+/// Recomputes one cell on the delta path: probabilities through `propagate_op`, the
+/// per-cell energy from the per-kind weights. Returns the bitmask of output pins
+/// whose stored probability changed bits — the early-termination signal.
+///
+/// The energy accumulates `weights[pin] * (p * (1 − p))` in pin order, the exact
+/// expression and order of the full pass, so a recomputed cell's energy is
+/// bit-identical to what a fresh pass computes.
+#[inline]
+fn step_op(
+    op: &CompiledOp,
+    resolved: &ResolvedTech,
+    probability: &mut [f64],
+    cell_energy: &mut [f64],
+) -> u8 {
+    let mut inputs = [0.0f64; 3];
+    for (slot, net) in op.input_nets().iter().enumerate() {
+        inputs[slot] = probability[net.index()];
+    }
+    let outputs = propagate_op(op.kind, &inputs);
+    let weights = &resolved.energy[op.kind.table_index()];
+    let mut energy = 0.0;
+    let mut changed = 0u8;
+    for (pin, net) in op.output_nets().iter().enumerate() {
+        let p = outputs[pin];
+        if probability[net.index()].to_bits() != p.to_bits() {
+            changed |= 1 << pin;
+        }
+        probability[net.index()] = p;
+        let activity = p * (1.0 - p);
+        energy += weights[pin] * activity;
+    }
+    cell_energy[op.cell.index()] = energy;
+    changed
+}
+
+/// Recomputes the two totals from the (delta-updated) per-net probabilities and
+/// per-cell energies, replicating the full pass's accumulation **order** exactly:
+/// per-pin activities stream into `total_activity` in op-major pin order and
+/// per-cell energies into `total_energy` in op order, each into its own
+/// accumulator — so the floating-point rounding sequence, and therefore every bit of
+/// both totals, matches a fresh pass. This is the O(cells) tail that keeps delta
+/// reports bit-identical without re-running `propagate_op` on clean cells.
+fn recompute_totals(
+    compiled: &CompiledNetlist,
+    probability: &[f64],
+    cell_energy: &[f64],
+) -> (f64, f64) {
+    let mut total_energy = 0.0f64;
+    let mut total_activity = 0.0f64;
+    for op in compiled.ops() {
+        for net in op.output_nets() {
+            let p = probability[net.index()];
+            total_activity += p * (1.0 - p);
+        }
+        total_energy += cell_energy[op.cell.index()];
+    }
+    (total_energy, total_activity)
+}
+
+/// Incremental probability propagation and power estimation over one compiled
+/// program: the power-channel counterpart of `dpsyn_timing::IncrementalTiming`.
+///
+/// The library is resolved **once** per program at construction; the persistent
+/// per-net/per-cell arrays live in a caller-owned [`DeltaState`]. Every report is
+/// **bit-identical** to a fresh [`ProbabilityAnalysis::run_compiled`] under the same
+/// cumulative input profile (see [`recompute_totals`] for why the aggregate figures
+/// keep their exact bits).
+#[derive(Debug, Clone)]
+pub struct IncrementalPower {
+    resolved: ResolvedTech,
+    voltage: f64,
+    default_probability: f64,
+}
+
+impl IncrementalPower {
+    /// Resolves the library against `compiled` once, for reuse across every delta.
+    /// Unmentioned inputs default to the unbiased probability 0.5, matching
+    /// [`ProbabilityAnalysis::new`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the library does not cover a cell kind of the program.
+    pub fn new(tech: &TechLibrary, compiled: &CompiledNetlist) -> Result<Self, PowerError> {
+        Ok(IncrementalPower {
+            resolved: tech.resolve(compiled)?,
+            voltage: tech.voltage(),
+            default_probability: 0.5,
+        })
+    }
+
+    /// Sets the probability assumed for inputs missing from the prime profile.
+    pub fn default_probability(mut self, probability: f64) -> Self {
+        self.default_probability = probability;
+        self
+    }
+
+    /// Primes (or re-primes) the state with a full pass under
+    /// `input_probabilities`, returning the same report a fresh
+    /// [`ProbabilityAnalysis::run_compiled`] would.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when a probability (or the default) is outside `[0, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `state` is bound (via [`DeltaState::new`] /
+    /// [`DeltaState::rebind`]) to a different program than `compiled`.
+    pub fn run_full(
+        &self,
+        compiled: &CompiledNetlist,
+        input_probabilities: &BTreeMap<NetId, f64>,
+        state: &mut DeltaState,
+    ) -> Result<PowerReport, PowerError> {
+        for (net, probability) in input_probabilities {
+            check_probability(Some(*net), *probability)?;
+        }
+        check_probability(None, self.default_probability)?;
+        assert_eq!(
+            state.bound_hash,
+            compiled.structural_hash(),
+            "run_full requires a DeltaState bound to this exact program \
+             (DeltaState::new / rebind)"
+        );
+        let channel = &mut state.power;
+        channel.worklist.reset();
+        let (total_energy, total_activity) = propagate_into(
+            compiled,
+            &self.resolved,
+            input_probabilities,
+            self.default_probability,
+            &mut channel.probability,
+            &mut channel.cell_energy,
+        );
+        channel.total_energy = total_energy;
+        channel.total_activity = total_activity;
+        channel.primed = true;
+        Ok(PowerReport {
+            probability: channel.probability.clone(),
+            cell_energy: channel.cell_energy.clone(),
+            total_energy,
+            total_activity,
+            voltage: self.voltage,
+        })
+    }
+
+    /// Applies an input delta and re-propagates probabilities **only through the
+    /// dirty cone**, then (if any cell was recomputed) rebuilds the two aggregate
+    /// figures with the exact accumulation order of a full pass. The report is
+    /// bit-identical to a fresh full pass under the cumulative profile; a delta that
+    /// touches nothing returns the stored figures untouched.
+    ///
+    /// The delta is validated **before** any state is mutated, so a failed call
+    /// leaves the state exactly as it was. Assignments to nets that are **not
+    /// primary inputs** of the program (including unknown nets) are validated for
+    /// value but otherwise ignored — exactly how the full passes treat profile map
+    /// keys that are not primary inputs — so they can never corrupt the state.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when a delta probability is outside `[0, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the state was never primed with [`IncrementalPower::run_full`],
+    /// or is bound to a different program than `compiled` (structural-hash check).
+    pub fn rerun_delta(
+        &self,
+        compiled: &CompiledNetlist,
+        state: &mut DeltaState,
+        delta: &InputDelta,
+    ) -> Result<PowerReport, PowerError> {
+        for (net, probability) in delta.probabilities() {
+            check_probability(Some(*net), *probability)?;
+        }
+        assert_eq!(
+            state.bound_hash,
+            compiled.structural_hash(),
+            "rerun_delta requires a DeltaState bound to this exact program \
+             (DeltaState::new / rebind)"
+        );
+        assert!(
+            state.power.primed,
+            "rerun_delta requires a state primed by run_full on the same program"
+        );
+        // Split borrows: the drain closure mutates the value arrays while the
+        // worklist advances.
+        let DeltaState {
+            power:
+                dpsyn_netlist::PowerChannel {
+                    probability,
+                    cell_energy,
+                    total_energy,
+                    total_activity,
+                    worklist,
+                    ..
+                },
+            input_mask,
+            ..
+        } = state;
+        for (net, new_probability) in delta.probabilities() {
+            if !input_mask.get(net.index()).copied().unwrap_or(false) {
+                continue;
+            }
+            if probability[net.index()].to_bits() != new_probability.to_bits() {
+                probability[net.index()] = *new_probability;
+                worklist.seed_readers(compiled, *net);
+            }
+        }
+        let resolved = &self.resolved;
+        let processed = worklist.drain(compiled, |op| {
+            step_op(op, resolved, probability, cell_energy)
+        });
+        if processed > 0 {
+            let (energy, activity) = recompute_totals(compiled, probability, cell_energy);
+            *total_energy = energy;
+            *total_activity = activity;
+        }
+        Ok(PowerReport {
+            probability: probability.clone(),
+            cell_energy: cell_energy.clone(),
+            total_energy: *total_energy,
+            total_activity: *total_activity,
+            voltage: self.voltage,
+        })
     }
 }
 
@@ -495,6 +754,149 @@ mod tests {
         let incomplete = TechLibrary::builder("incomplete").build().unwrap();
         let result = ProbabilityAnalysis::new(&incomplete).run_compiled(&compiled);
         assert!(matches!(result, Err(PowerError::Tech(_))));
+    }
+
+    #[test]
+    fn incremental_matches_fresh_runs_across_deltas() {
+        let mut netlist = Netlist::new("mix");
+        let a = netlist.add_input("a");
+        let b = netlist.add_input("b");
+        let c = netlist.add_input("c");
+        let fa = netlist.add_gate(CellKind::Fa, &[a, b, c]).unwrap();
+        let xor = netlist.add_gate(CellKind::Xor2, &[fa[0], fa[1]]).unwrap()[0];
+        let and = netlist.add_gate(CellKind::And2, &[xor, a]).unwrap()[0];
+        netlist.mark_output(and);
+        let compiled = netlist.compile().unwrap();
+        let lib = TechLibrary::lcbg10pv_like();
+        let engine = IncrementalPower::new(&lib, &compiled).unwrap();
+        let mut state = DeltaState::new(&compiled);
+        let mut oracle: BTreeMap<NetId, f64> = BTreeMap::new();
+        oracle.insert(a, 0.17);
+        let primed = engine.run_full(&compiled, &oracle, &mut state).unwrap();
+        assert_eq!(
+            primed,
+            ProbabilityAnalysis::new(&lib)
+                .with_input_probabilities(oracle.clone())
+                .run_compiled(&compiled)
+                .unwrap()
+        );
+        for (net, value) in [
+            (c, 0.93),
+            (a, 0.17), // unchanged: must not disturb anything (early termination)
+            (b, 0.0),
+            (a, 0.5),
+            (b, 1.0),
+        ] {
+            let mut delta = InputDelta::new();
+            delta.set_probability(net, value);
+            oracle.insert(net, value);
+            let incremental = engine.rerun_delta(&compiled, &mut state, &delta).unwrap();
+            let fresh = ProbabilityAnalysis::new(&lib)
+                .with_input_probabilities(oracle.clone())
+                .run_compiled(&compiled)
+                .unwrap();
+            assert_eq!(incremental, fresh, "delta ({net}, {value})");
+            assert_eq!(
+                incremental.total_energy().to_bits(),
+                fresh.total_energy().to_bits()
+            );
+            assert_eq!(
+                incremental.total_activity().to_bits(),
+                fresh.total_activity().to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn delta_entries_for_non_input_nets_are_ignored_like_fresh_map_keys() {
+        let mut netlist = Netlist::new("and");
+        let a = netlist.add_input("a");
+        let b = netlist.add_input("b");
+        let y = netlist.add_gate(CellKind::And2, &[a, b]).unwrap()[0];
+        netlist.mark_output(y);
+        let compiled = netlist.compile().unwrap();
+        let lib = TechLibrary::unit();
+        let engine = IncrementalPower::new(&lib, &compiled).unwrap();
+        let mut state = DeltaState::new(&compiled);
+        engine
+            .run_full(&compiled, &BTreeMap::new(), &mut state)
+            .unwrap();
+        // `y` is a driven internal/output net and the foreign net's index is out of
+        // range; the fresh path validates such map entries but never applies them.
+        let mut delta = InputDelta::new();
+        delta.set_probability(y, 0.9);
+        let mut other = Netlist::new("other");
+        let foreign = (0..16).map(|i| other.add_input(format!("x{i}"))).last();
+        delta.set_probability(foreign.unwrap(), 0.1);
+        delta.set_probability(a, 0.25);
+        let incremental = engine.rerun_delta(&compiled, &mut state, &delta).unwrap();
+        let mut oracle = BTreeMap::new();
+        oracle.insert(y, 0.9);
+        oracle.insert(a, 0.25);
+        let fresh = ProbabilityAnalysis::new(&lib)
+            .with_input_probabilities(oracle)
+            .run_compiled(&compiled)
+            .unwrap();
+        assert_eq!(incremental, fresh);
+    }
+
+    #[test]
+    #[should_panic(expected = "bound to this exact program")]
+    fn rerun_delta_rejects_a_state_bound_to_another_program() {
+        let mut netlist = Netlist::new("buf");
+        let a = netlist.add_input("a");
+        let y = netlist.add_gate(CellKind::Buf, &[a]).unwrap()[0];
+        netlist.mark_output(y);
+        let compiled = netlist.compile().unwrap();
+        let lib = TechLibrary::unit();
+        let engine = IncrementalPower::new(&lib, &compiled).unwrap();
+        let mut state = DeltaState::new(&compiled);
+        engine
+            .run_full(&compiled, &BTreeMap::new(), &mut state)
+            .unwrap();
+        let mut other = Netlist::new("other");
+        let oa = other.add_input("a");
+        let oy = other.add_gate(CellKind::Not, &[oa]).unwrap()[0];
+        other.mark_output(oy);
+        let other_compiled = other.compile().unwrap();
+        let _ = engine.rerun_delta(&other_compiled, &mut state, &InputDelta::new());
+    }
+
+    #[test]
+    fn incremental_reports_the_same_errors_without_corrupting_state() {
+        let mut netlist = Netlist::new("buf");
+        let a = netlist.add_input("a");
+        let y = netlist.add_gate(CellKind::Buf, &[a]).unwrap()[0];
+        netlist.mark_output(y);
+        let compiled = netlist.compile().unwrap();
+        let incomplete = TechLibrary::builder("incomplete").build().unwrap();
+        assert!(matches!(
+            IncrementalPower::new(&incomplete, &compiled),
+            Err(PowerError::Tech(_))
+        ));
+        let lib = TechLibrary::unit();
+        let engine = IncrementalPower::new(&lib, &compiled).unwrap();
+        let mut state = DeltaState::new(&compiled);
+        let baseline = engine
+            .run_full(&compiled, &BTreeMap::new(), &mut state)
+            .unwrap();
+        let mut delta = InputDelta::new();
+        delta.set_probability(a, 2.0);
+        let result = engine.rerun_delta(&compiled, &mut state, &delta);
+        assert!(matches!(result, Err(PowerError::InvalidProbability { .. })));
+        let unchanged = engine
+            .rerun_delta(&compiled, &mut state, &InputDelta::new())
+            .unwrap();
+        assert_eq!(unchanged, baseline);
+        // An invalid default is also rejected up front.
+        let biased = IncrementalPower::new(&lib, &compiled)
+            .unwrap()
+            .default_probability(-0.5);
+        let result = biased.run_full(&compiled, &BTreeMap::new(), &mut state);
+        assert!(matches!(
+            result,
+            Err(PowerError::InvalidProbability { net: None, .. })
+        ));
     }
 
     #[test]

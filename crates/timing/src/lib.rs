@@ -44,7 +44,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use dpsyn_netlist::{CompiledNetlist, NetId, Netlist, NetlistError};
+use dpsyn_netlist::{
+    CompiledNetlist, CompiledOp, DeltaState, InputDelta, NetId, Netlist, NetlistError,
+};
 use dpsyn_tech::{ResolvedTech, TechError, TechLibrary};
 use std::cmp::Ordering;
 use std::collections::BTreeMap;
@@ -171,65 +173,301 @@ impl<'lib> TimingAnalysis<'lib> {
 
     fn check_arrivals(&self) -> Result<(), TimingError> {
         for (net, arrival) in &self.input_arrivals {
-            if !arrival.is_finite() || *arrival < 0.0 {
-                return Err(TimingError::InvalidArrival {
-                    net: *net,
-                    arrival: *arrival,
-                });
-            }
+            check_arrival(*net, *arrival)?;
         }
         Ok(())
     }
 
     /// The single-pass arrival propagation over the compiled program.
     fn propagate(&self, compiled: &CompiledNetlist, resolved: &ResolvedTech) -> TimingReport {
-        let mut arrival = vec![0.0f64; compiled.net_count()];
-        // The input net on the worst path into each net's driver, used to rebuild the
-        // critical path after propagation.
-        let mut worst_predecessor: Vec<Option<NetId>> = vec![None; compiled.net_count()];
-        for net in compiled.inputs() {
-            arrival[net.index()] = self.input_arrivals.get(net).copied().unwrap_or(0.0);
-        }
-        for op in compiled.ops() {
-            // Latest input, keeping the *last* maximum on ties exactly like the
-            // former `Iterator::max_by(total_cmp)` fold did.
-            let mut worst_input = None;
-            let mut input_arrival = 0.0f64;
-            for (pin, net) in op.input_nets().iter().enumerate() {
-                let candidate = arrival[net.index()];
-                if pin == 0 || input_arrival.total_cmp(&candidate) != Ordering::Greater {
-                    worst_input = Some(*net);
-                    input_arrival = candidate;
-                }
-            }
-            let delays = &resolved.delay[op.kind.table_index()];
-            for (pin, net) in op.output_nets().iter().enumerate() {
-                arrival[net.index()] = input_arrival + delays[pin];
-                worst_predecessor[net.index()] = worst_input;
-            }
-        }
-        let critical_output = compiled
-            .outputs()
-            .iter()
-            .copied()
-            .max_by(|a, b| arrival[a.index()].total_cmp(&arrival[b.index()]));
-        let critical_path = critical_output
-            .map(|output| {
-                let mut path = vec![output];
-                let mut current = output;
-                while let Some(previous) = worst_predecessor[current.index()] {
-                    path.push(previous);
-                    current = previous;
-                }
-                path.reverse();
-                path
-            })
-            .unwrap_or_default();
+        let mut arrival = Vec::new();
+        let mut worst_predecessor = Vec::new();
+        propagate_into(
+            compiled,
+            resolved,
+            &self.input_arrivals,
+            &mut arrival,
+            &mut worst_predecessor,
+        );
+        let (critical_output, critical_path) = finalize(compiled, &arrival, &worst_predecessor);
         TimingReport {
             arrival,
             critical_output,
             critical_path,
         }
+    }
+}
+
+/// Validates one arrival value with the exact predicate of [`TimingAnalysis::run`].
+fn check_arrival(net: NetId, arrival: f64) -> Result<(), TimingError> {
+    if !arrival.is_finite() || arrival < 0.0 {
+        return Err(TimingError::InvalidArrival { net, arrival });
+    }
+    Ok(())
+}
+
+/// The full arrival propagation, writing into caller-provided (persistent) buffers.
+///
+/// Shared verbatim by [`TimingAnalysis::run_compiled`] and
+/// [`IncrementalTiming::run_full`], which is what makes the primed [`DeltaState`]
+/// arrays bit-identical to a fresh report.
+fn propagate_into(
+    compiled: &CompiledNetlist,
+    resolved: &ResolvedTech,
+    input_arrivals: &BTreeMap<NetId, f64>,
+    arrival: &mut Vec<f64>,
+    worst_predecessor: &mut Vec<Option<NetId>>,
+) {
+    arrival.clear();
+    arrival.resize(compiled.net_count(), 0.0);
+    // The input net on the worst path into each net's driver, used to rebuild the
+    // critical path after propagation.
+    worst_predecessor.clear();
+    worst_predecessor.resize(compiled.net_count(), None);
+    for net in compiled.inputs() {
+        arrival[net.index()] = input_arrivals.get(net).copied().unwrap_or(0.0);
+    }
+    for op in compiled.ops() {
+        step_op(op, resolved, arrival, worst_predecessor);
+    }
+}
+
+/// Recomputes one cell: the latest input (keeping the *last* maximum on ties exactly
+/// like the former `Iterator::max_by(total_cmp)` fold did) plus the per-kind output
+/// delays. Returns the bitmask of output pins whose stored arrival changed bits —
+/// the early-termination signal of the delta path.
+#[inline]
+fn step_op(
+    op: &CompiledOp,
+    resolved: &ResolvedTech,
+    arrival: &mut [f64],
+    worst_predecessor: &mut [Option<NetId>],
+) -> u8 {
+    let mut worst_input = None;
+    let mut input_arrival = 0.0f64;
+    for (pin, net) in op.input_nets().iter().enumerate() {
+        let candidate = arrival[net.index()];
+        if pin == 0 || input_arrival.total_cmp(&candidate) != Ordering::Greater {
+            worst_input = Some(*net);
+            input_arrival = candidate;
+        }
+    }
+    let delays = &resolved.delay[op.kind.table_index()];
+    let mut changed = 0u8;
+    for (pin, net) in op.output_nets().iter().enumerate() {
+        let next = input_arrival + delays[pin];
+        if arrival[net.index()].to_bits() != next.to_bits() {
+            changed |= 1 << pin;
+        }
+        arrival[net.index()] = next;
+        worst_predecessor[net.index()] = worst_input;
+    }
+    changed
+}
+
+/// Rebuilds the critical output and path from the (possibly delta-updated) arrays.
+fn finalize(
+    compiled: &CompiledNetlist,
+    arrival: &[f64],
+    worst_predecessor: &[Option<NetId>],
+) -> (Option<NetId>, Vec<NetId>) {
+    let critical_output = compiled
+        .outputs()
+        .iter()
+        .copied()
+        .max_by(|a, b| arrival[a.index()].total_cmp(&arrival[b.index()]));
+    let critical_path = critical_output
+        .map(|output| {
+            let mut path = vec![output];
+            let mut current = output;
+            while let Some(previous) = worst_predecessor[current.index()] {
+                path.push(previous);
+                current = previous;
+            }
+            path.reverse();
+            path
+        })
+        .unwrap_or_default();
+    (critical_output, critical_path)
+}
+
+/// Incremental static timing analysis over one compiled program.
+///
+/// The library is resolved **once** per program at construction and reused across
+/// every delta; the persistent per-net arrays live in a [`DeltaState`] owned by the
+/// caller, so one primed state can absorb an arbitrary sequence of input-profile
+/// deltas (and, via [`DeltaState::rebind`], local rewires) at dirty-cone cost.
+///
+/// Every report is **bit-identical** to what a fresh
+/// [`TimingAnalysis::run_compiled`] with the same cumulative input profile would
+/// produce: a dirty cell always rewrites all of its outputs, propagation stops only
+/// where a recomputed arrival is bit-identical to the stored one, and downstream
+/// values are pure functions of bit-identical inputs.
+///
+/// # Example
+///
+/// ```
+/// use dpsyn_netlist::{CellKind, DeltaState, InputDelta, Netlist};
+/// use dpsyn_tech::TechLibrary;
+/// use dpsyn_timing::{IncrementalTiming, TimingAnalysis};
+/// use std::collections::BTreeMap;
+///
+/// let mut netlist = Netlist::new("chain");
+/// let a = netlist.add_input("a");
+/// let b = netlist.add_input("b");
+/// let y = netlist.add_gate(CellKind::Xor2, &[a, b]).unwrap()[0];
+/// netlist.mark_output(y);
+/// let compiled = netlist.compile().unwrap();
+/// let lib = TechLibrary::unit();
+///
+/// let engine = IncrementalTiming::new(&lib, &compiled).unwrap();
+/// let mut state = DeltaState::new(&compiled);
+/// engine.run_full(&compiled, &BTreeMap::new(), &mut state).unwrap();
+///
+/// let mut delta = InputDelta::new();
+/// delta.set_arrival(a, 2.5);
+/// let report = engine.rerun_delta(&compiled, &mut state, &delta).unwrap();
+/// // Bit-identical to a fresh full pass with the same cumulative profile.
+/// let fresh = TimingAnalysis::new(&lib)
+///     .input_arrival(a, 2.5)
+///     .run_compiled(&compiled)
+///     .unwrap();
+/// assert_eq!(report, fresh);
+/// ```
+#[derive(Debug, Clone)]
+pub struct IncrementalTiming {
+    resolved: ResolvedTech,
+}
+
+impl IncrementalTiming {
+    /// Resolves the library against `compiled` once, for reuse across every delta.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the library does not cover a cell kind of the program.
+    pub fn new(tech: &TechLibrary, compiled: &CompiledNetlist) -> Result<Self, TimingError> {
+        Ok(IncrementalTiming {
+            resolved: tech.resolve(compiled)?,
+        })
+    }
+
+    /// Primes (or re-primes) the state with a full pass under `input_arrivals`
+    /// (inputs not mentioned arrive at 0), returning the same report a fresh
+    /// [`TimingAnalysis::run_compiled`] would.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when an arrival is negative or not finite.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `state` is bound (via [`DeltaState::new`] /
+    /// [`DeltaState::rebind`]) to a different program than `compiled`.
+    pub fn run_full(
+        &self,
+        compiled: &CompiledNetlist,
+        input_arrivals: &BTreeMap<NetId, f64>,
+        state: &mut DeltaState,
+    ) -> Result<TimingReport, TimingError> {
+        for (net, arrival) in input_arrivals {
+            check_arrival(*net, *arrival)?;
+        }
+        assert_eq!(
+            state.bound_hash,
+            compiled.structural_hash(),
+            "run_full requires a DeltaState bound to this exact program \
+             (DeltaState::new / rebind)"
+        );
+        let channel = &mut state.timing;
+        channel.worklist.reset();
+        propagate_into(
+            compiled,
+            &self.resolved,
+            input_arrivals,
+            &mut channel.arrival,
+            &mut channel.worst_predecessor,
+        );
+        channel.primed = true;
+        let (critical_output, critical_path) =
+            finalize(compiled, &channel.arrival, &channel.worst_predecessor);
+        Ok(TimingReport {
+            arrival: channel.arrival.clone(),
+            critical_output,
+            critical_path,
+        })
+    }
+
+    /// Applies an input delta and re-propagates arrivals **only through the dirty
+    /// cone**: readers of inputs whose value actually changed (bit comparison) are
+    /// seeded, advanced level by level over the fanout CSR, and each branch stops as
+    /// soon as a recomputed arrival is bit-identical to the stored one. The report is
+    /// bit-identical to a fresh full pass under the cumulative profile.
+    ///
+    /// The delta is validated **before** any state is mutated, so a failed call
+    /// leaves the state exactly as it was. Assignments to nets that are **not
+    /// primary inputs** of the program (including unknown nets) are validated for
+    /// value but otherwise ignored — exactly how the full passes treat profile map
+    /// keys that are not primary inputs — so they can never corrupt the state.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when a delta arrival is negative or not finite.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the state was never primed with [`IncrementalTiming::run_full`],
+    /// or is bound to a different program than `compiled` (structural-hash check).
+    pub fn rerun_delta(
+        &self,
+        compiled: &CompiledNetlist,
+        state: &mut DeltaState,
+        delta: &InputDelta,
+    ) -> Result<TimingReport, TimingError> {
+        for (net, arrival) in delta.arrivals() {
+            check_arrival(*net, *arrival)?;
+        }
+        assert_eq!(
+            state.bound_hash,
+            compiled.structural_hash(),
+            "rerun_delta requires a DeltaState bound to this exact program \
+             (DeltaState::new / rebind)"
+        );
+        assert!(
+            state.timing.primed,
+            "rerun_delta requires a state primed by run_full on the same program"
+        );
+        // Split borrows: the drain closure mutates the value arrays while the
+        // worklist advances.
+        let DeltaState {
+            timing:
+                dpsyn_netlist::TimingChannel {
+                    arrival,
+                    worst_predecessor,
+                    worklist,
+                    ..
+                },
+            input_mask,
+            ..
+        } = state;
+        for (net, new_arrival) in delta.arrivals() {
+            if !input_mask.get(net.index()).copied().unwrap_or(false) {
+                continue;
+            }
+            if arrival[net.index()].to_bits() != new_arrival.to_bits() {
+                arrival[net.index()] = *new_arrival;
+                worklist.seed_readers(compiled, *net);
+            }
+        }
+        let resolved = &self.resolved;
+        worklist.drain(compiled, |op| {
+            step_op(op, resolved, arrival, worst_predecessor)
+        });
+        let (critical_output, critical_path) = finalize(compiled, arrival, worst_predecessor);
+        Ok(TimingReport {
+            arrival: arrival.clone(),
+            critical_output,
+            critical_path,
+        })
     }
 }
 
@@ -443,6 +681,119 @@ mod tests {
         assert_eq!(report.critical_delay(), 0.0);
         assert!(report.critical_output().is_none());
         assert!(report.critical_path().is_empty());
+    }
+
+    #[test]
+    fn incremental_matches_fresh_runs_across_deltas() {
+        let (netlist, nets) = chain_netlist();
+        let compiled = netlist.compile().unwrap();
+        let lib = TechLibrary::lcbg10pv_like();
+        let engine = IncrementalTiming::new(&lib, &compiled).unwrap();
+        let mut state = DeltaState::new(&compiled);
+        let mut oracle: BTreeMap<NetId, f64> = BTreeMap::new();
+        let primed = engine.run_full(&compiled, &oracle, &mut state).unwrap();
+        assert_eq!(
+            primed,
+            TimingAnalysis::new(&lib).run_compiled(&compiled).unwrap()
+        );
+        // A sequence of deltas, including no-op assignments (early termination).
+        for (net, value) in [
+            (nets[2], 10.0),
+            (nets[0], 1.5),
+            (nets[2], 10.0), // unchanged: must not disturb anything
+            (nets[2], 0.25),
+            (nets[1], 0.0), // explicit default
+        ] {
+            let mut delta = InputDelta::new();
+            delta.set_arrival(net, value);
+            oracle.insert(net, value);
+            let incremental = engine.rerun_delta(&compiled, &mut state, &delta).unwrap();
+            let fresh = TimingAnalysis::new(&lib)
+                .with_input_arrivals(oracle.clone())
+                .run_compiled(&compiled)
+                .unwrap();
+            assert_eq!(incremental, fresh, "delta ({net}, {value})");
+            for (a, b) in incremental.arrivals().iter().zip(fresh.arrivals()) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn delta_entries_for_non_input_nets_are_ignored_like_fresh_map_keys() {
+        let (netlist, nets) = chain_netlist();
+        let compiled = netlist.compile().unwrap();
+        let lib = TechLibrary::unit();
+        let engine = IncrementalTiming::new(&lib, &compiled).unwrap();
+        let mut state = DeltaState::new(&compiled);
+        engine
+            .run_full(&compiled, &BTreeMap::new(), &mut state)
+            .unwrap();
+        // nets[3] is the FA sum — an internal/output net, not a primary input; the
+        // unknown NetId is out of range entirely. The fresh path validates such map
+        // entries but never applies them; the delta path must behave identically
+        // (no state corruption, no panic).
+        let mut delta = InputDelta::new();
+        delta.set_arrival(nets[3], 9.0);
+        let mut other = dpsyn_netlist::Netlist::new("other");
+        let foreign = (0..16).map(|i| other.add_input(format!("x{i}"))).last();
+        delta.set_arrival(foreign.unwrap(), 4.0); // index beyond this program's nets
+        delta.set_arrival(nets[0], 2.0);
+        let incremental = engine.rerun_delta(&compiled, &mut state, &delta).unwrap();
+        let mut oracle = BTreeMap::new();
+        oracle.insert(nets[3], 9.0);
+        oracle.insert(nets[0], 2.0);
+        let fresh = TimingAnalysis::new(&lib)
+            .with_input_arrivals(oracle)
+            .run_compiled(&compiled)
+            .unwrap();
+        assert_eq!(incremental, fresh);
+    }
+
+    #[test]
+    #[should_panic(expected = "bound to this exact program")]
+    fn rerun_delta_rejects_a_state_bound_to_another_program() {
+        let (netlist, _) = chain_netlist();
+        let compiled = netlist.compile().unwrap();
+        let lib = TechLibrary::unit();
+        let engine = IncrementalTiming::new(&lib, &compiled).unwrap();
+        let mut state = DeltaState::new(&compiled);
+        engine
+            .run_full(&compiled, &BTreeMap::new(), &mut state)
+            .unwrap();
+        // A different netlist (even a same-sized one) must be rejected outright.
+        let (mut other, _) = chain_netlist();
+        let (a, b) = (other.inputs()[0], other.inputs()[1]);
+        other.add_gate(CellKind::And2, &[a, b]).unwrap();
+        let other_compiled = other.compile().unwrap();
+        let _ = engine.rerun_delta(&other_compiled, &mut state, &InputDelta::new());
+    }
+
+    #[test]
+    fn incremental_reports_the_same_errors_without_corrupting_state() {
+        let (netlist, nets) = chain_netlist();
+        let compiled = netlist.compile().unwrap();
+        let lib = TechLibrary::unit();
+        let incomplete = TechLibrary::builder("incomplete").build().unwrap();
+        assert!(matches!(
+            IncrementalTiming::new(&incomplete, &compiled),
+            Err(TimingError::Tech(_))
+        ));
+        let engine = IncrementalTiming::new(&lib, &compiled).unwrap();
+        let mut state = DeltaState::new(&compiled);
+        let baseline = engine
+            .run_full(&compiled, &BTreeMap::new(), &mut state)
+            .unwrap();
+        let mut delta = InputDelta::new();
+        delta.set_arrival(nets[0], f64::NAN);
+        let result = engine.rerun_delta(&compiled, &mut state, &delta);
+        assert!(matches!(result, Err(TimingError::InvalidArrival { .. })));
+        // The failed delta must not have touched the state: an empty rerun still
+        // reproduces the baseline bit for bit.
+        let unchanged = engine
+            .rerun_delta(&compiled, &mut state, &InputDelta::new())
+            .unwrap();
+        assert_eq!(unchanged, baseline);
     }
 
     #[test]

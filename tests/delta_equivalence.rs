@@ -1,0 +1,389 @@
+//! Property suite for the incremental (delta) re-analysis layer.
+//!
+//! The contract under test: for any sequence of input-profile perturbations and
+//! small local rewires applied to a design, every `rerun_delta` report of
+//! `IncrementalTiming` / `IncrementalPower` is **bit-identical** to a fresh
+//! `run_compiled` of the cumulative configuration — including along branches the
+//! dirty-cone worklist terminated early (values recomputed to identical bits) and
+//! after `DeltaState::rebind` migrated the state across a recompile.
+//!
+//! The oracle is deliberately dumb: cumulative `BTreeMap` profiles re-run through
+//! the full single-pass analyses on every step.
+
+use dpsyn_netlist::{CellId, CellKind, CompiledNetlist, DeltaState, InputDelta, NetId, Netlist};
+use dpsyn_power::{IncrementalPower, PowerReport, ProbabilityAnalysis};
+use dpsyn_tech::TechLibrary;
+use dpsyn_timing::{IncrementalTiming, TimingAnalysis, TimingReport};
+use std::collections::BTreeMap;
+
+/// A tiny deterministic PRNG (splitmix64) so the suite needs no dependencies.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, bound: usize) -> usize {
+        (self.next() % bound as u64) as usize
+    }
+
+    fn unit(&mut self) -> f64 {
+        (self.next() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// Builds a seeded random DAG over every cell kind, with a few marked outputs.
+fn random_dag(seed: u64) -> Netlist {
+    let mut rng = Rng(seed);
+    let mut netlist = Netlist::new(format!("dag_{seed}"));
+    let input_count = 2 + rng.below(5);
+    let mut nets: Vec<NetId> = (0..input_count)
+        .map(|index| netlist.add_input(format!("i{index}")))
+        .collect();
+    let kinds = CellKind::all();
+    let cell_count = 5 + rng.below(40);
+    for _ in 0..cell_count {
+        let kind = kinds[rng.below(kinds.len())];
+        let inputs: Vec<NetId> = (0..kind.input_count())
+            .map(|_| nets[rng.below(nets.len())])
+            .collect();
+        let outputs = netlist.add_gate(kind, &inputs).expect("valid arity");
+        nets.extend(outputs);
+    }
+    for _ in 0..(1 + rng.below(4)) {
+        let candidate = nets[rng.below(nets.len())];
+        netlist.mark_output(candidate);
+    }
+    netlist
+}
+
+fn assert_bits_eq(label: &str, left: &[f64], right: &[f64]) {
+    assert_eq!(left.len(), right.len(), "{label}: length mismatch");
+    for (index, (a, b)) in left.iter().zip(right.iter()).enumerate() {
+        assert_eq!(
+            a.to_bits(),
+            b.to_bits(),
+            "{label}[{index}]: {a} vs {b} differ in bits"
+        );
+    }
+}
+
+/// Full bit-level comparison of a delta timing report against the fresh oracle.
+fn assert_timing_identical(label: &str, incremental: &TimingReport, fresh: &TimingReport) {
+    assert_eq!(incremental, fresh, "{label}: timing report diverged");
+    assert_bits_eq(label, incremental.arrivals(), fresh.arrivals());
+    assert_eq!(incremental.critical_output(), fresh.critical_output());
+    assert_eq!(incremental.critical_path(), fresh.critical_path());
+}
+
+/// Full bit-level comparison of a delta power report against the fresh oracle.
+fn assert_power_identical(label: &str, incremental: &PowerReport, fresh: &PowerReport) {
+    assert_eq!(incremental, fresh, "{label}: power report diverged");
+    assert_bits_eq(label, incremental.probabilities(), fresh.probabilities());
+    assert_eq!(
+        incremental.total_energy().to_bits(),
+        fresh.total_energy().to_bits(),
+        "{label}: total energy bits"
+    );
+    assert_eq!(
+        incremental.total_activity().to_bits(),
+        fresh.total_activity().to_bits(),
+        "{label}: total activity bits"
+    );
+}
+
+/// One perturbation step: picks a random subset of inputs and redraws their arrival
+/// and/or probability, deliberately mixing in *no-op* assignments (values equal to
+/// the current ones) so the worklist's seed-side early termination is exercised, and
+/// coarse value grids so downstream cones frequently recompute to unchanged values
+/// (the drain-side early termination).
+fn perturb(
+    rng: &mut Rng,
+    inputs: &[NetId],
+    arrivals: &mut BTreeMap<NetId, f64>,
+    probabilities: &mut BTreeMap<NetId, f64>,
+) -> InputDelta {
+    let mut delta = InputDelta::new();
+    for &net in inputs {
+        match rng.below(4) {
+            0 => {
+                // Coarse grid: collisions with the current value are common.
+                let arrival = rng.below(4) as f64 * 1.25;
+                arrivals.insert(net, arrival);
+                delta.set_arrival(net, arrival);
+            }
+            1 => {
+                let probability = [0.0, 0.25, 0.5, 0.9][rng.below(4)];
+                probabilities.insert(net, probability);
+                delta.set_probability(net, probability);
+            }
+            2 => {
+                // Explicit no-op: re-assert the current values of both channels.
+                delta.set_arrival(net, arrivals.get(&net).copied().unwrap_or(0.0));
+                delta.set_probability(net, probabilities.get(&net).copied().unwrap_or(0.5));
+            }
+            _ => {} // untouched
+        }
+    }
+    delta
+}
+
+/// The fresh-run oracles for the cumulative profile.
+fn fresh_reports(
+    lib: &TechLibrary,
+    compiled: &CompiledNetlist,
+    arrivals: &BTreeMap<NetId, f64>,
+    probabilities: &BTreeMap<NetId, f64>,
+) -> (TimingReport, PowerReport) {
+    let timing = TimingAnalysis::new(lib)
+        .with_input_arrivals(arrivals.clone())
+        .run_compiled(compiled)
+        .expect("fresh timing");
+    let power = ProbabilityAnalysis::new(lib)
+        .with_input_probabilities(probabilities.clone())
+        .run_compiled(compiled)
+        .expect("fresh power");
+    (timing, power)
+}
+
+#[test]
+fn random_profile_perturbation_sequences_are_bit_identical() {
+    for seed in 0..48u64 {
+        let netlist = random_dag(seed);
+        let compiled = netlist.compile().expect("acyclic");
+        let lib = if seed % 2 == 0 {
+            TechLibrary::lcbg10pv_like()
+        } else {
+            TechLibrary::unit()
+        };
+        let timing_engine = IncrementalTiming::new(&lib, &compiled).expect("resolve");
+        let power_engine = IncrementalPower::new(&lib, &compiled).expect("resolve");
+        let mut state = DeltaState::new(&compiled);
+        let mut rng = Rng(seed ^ 0x5eed);
+        let mut arrivals: BTreeMap<NetId, f64> = BTreeMap::new();
+        let mut probabilities: BTreeMap<NetId, f64> = BTreeMap::new();
+        // Prime with a non-trivial profile and check the prime itself.
+        for &net in netlist.inputs() {
+            if rng.below(2) == 0 {
+                arrivals.insert(net, rng.unit() * 7.5);
+            }
+            if rng.below(2) == 0 {
+                probabilities.insert(net, rng.unit());
+            }
+        }
+        let primed_timing = timing_engine
+            .run_full(&compiled, &arrivals, &mut state)
+            .expect("prime timing");
+        let primed_power = power_engine
+            .run_full(&compiled, &probabilities, &mut state)
+            .expect("prime power");
+        let (fresh_timing, fresh_power) = fresh_reports(&lib, &compiled, &arrivals, &probabilities);
+        assert_timing_identical(&format!("seed {seed} prime"), &primed_timing, &fresh_timing);
+        assert_power_identical(&format!("seed {seed} prime"), &primed_power, &fresh_power);
+
+        for round in 0..10 {
+            let delta = perturb(
+                &mut rng,
+                netlist.inputs(),
+                &mut arrivals,
+                &mut probabilities,
+            );
+            let label = format!("seed {seed} round {round}");
+            let incremental_timing = timing_engine
+                .rerun_delta(&compiled, &mut state, &delta)
+                .expect("delta timing");
+            let incremental_power = power_engine
+                .rerun_delta(&compiled, &mut state, &delta)
+                .expect("delta power");
+            let (fresh_timing, fresh_power) =
+                fresh_reports(&lib, &compiled, &arrivals, &probabilities);
+            assert_timing_identical(&label, &incremental_timing, &fresh_timing);
+            assert_power_identical(&label, &incremental_power, &fresh_power);
+        }
+    }
+}
+
+/// Position of every cell in the compiled (topological) op order.
+fn op_positions(compiled: &CompiledNetlist) -> Vec<usize> {
+    let mut position = vec![0usize; compiled.cell_count()];
+    for (index, op) in compiled.ops().iter().enumerate() {
+        position[op.cell.index()] = index;
+    }
+    position
+}
+
+/// Applies one random local rewire to `netlist`, keeping it acyclic and its net/cell
+/// universe intact: either a same-arity kind flip or an input-pin reconnection to a
+/// net whose driver precedes the cell in the current topological order.
+fn random_rewire(rng: &mut Rng, netlist: &mut Netlist, compiled: &CompiledNetlist) {
+    let cell_count = netlist.cell_count();
+    let cell: CellId = netlist
+        .cells()
+        .nth(rng.below(cell_count))
+        .expect("cell index in range")
+        .0;
+    let kind = netlist.cell(cell).kind();
+    if rng.below(2) == 0 {
+        // Same-arity kind flip.
+        let flip = match kind {
+            CellKind::And2 => Some(CellKind::Or2),
+            CellKind::Or2 => Some(CellKind::Xor2),
+            CellKind::Xor2 => Some(CellKind::And2),
+            CellKind::Not => Some(CellKind::Buf),
+            CellKind::Buf => Some(CellKind::Not),
+            CellKind::And3 => Some(CellKind::Xor3),
+            CellKind::Xor3 => Some(CellKind::Mux2),
+            CellKind::Mux2 => Some(CellKind::And3),
+            _ => None, // Fa/Ha/constants have no same-arity sibling
+        };
+        if let Some(flip) = flip {
+            netlist.replace_cell_kind(cell, flip).expect("same arity");
+            return;
+        }
+    }
+    // Input-pin rewire. Eligible sources: primary inputs, undriven nets, or outputs
+    // of cells strictly earlier in the current topological order (never a cycle).
+    if kind.input_count() == 0 {
+        return; // constants have no input pins to rewire
+    }
+    let positions = op_positions(compiled);
+    let reader_position = positions[cell.index()];
+    let eligible: Vec<NetId> = netlist
+        .nets()
+        .filter(|(_, net)| match net.driver() {
+            None => true,
+            Some((driver, _)) => positions[driver.index()] < reader_position,
+        })
+        .map(|(id, _)| id)
+        .collect();
+    if eligible.is_empty() {
+        return;
+    }
+    let source = eligible[rng.below(eligible.len())];
+    let pin = rng.below(kind.input_count());
+    netlist.rewire_input(cell, pin, source).expect("known net");
+}
+
+#[test]
+fn random_local_rewires_rebind_and_stay_bit_identical() {
+    for seed in 0..32u64 {
+        let mut netlist = random_dag(seed.wrapping_mul(131) ^ 7);
+        let mut compiled = netlist.compile().expect("acyclic");
+        let lib = TechLibrary::lcbg10pv_like();
+        let mut rng = Rng(seed ^ 0xabcd);
+        let mut arrivals: BTreeMap<NetId, f64> = BTreeMap::new();
+        let mut probabilities: BTreeMap<NetId, f64> = BTreeMap::new();
+        for &net in netlist.inputs() {
+            arrivals.insert(net, rng.unit() * 3.0);
+            probabilities.insert(net, rng.unit());
+        }
+        let mut state = DeltaState::new(&compiled);
+        IncrementalTiming::new(&lib, &compiled)
+            .expect("resolve")
+            .run_full(&compiled, &arrivals, &mut state)
+            .expect("prime timing");
+        IncrementalPower::new(&lib, &compiled)
+            .expect("resolve")
+            .run_full(&compiled, &probabilities, &mut state)
+            .expect("prime power");
+
+        for round in 0..8 {
+            random_rewire(&mut rng, &mut netlist, &compiled);
+            let recompiled = netlist.compile().expect("rewires preserve acyclicity");
+            state.rebind(&compiled, &recompiled);
+            compiled = recompiled;
+            // The engines are rebuilt per program: resolution is once-per-program.
+            let timing_engine = IncrementalTiming::new(&lib, &compiled).expect("resolve");
+            let power_engine = IncrementalPower::new(&lib, &compiled).expect("resolve");
+            // Half the rounds also carry a profile delta on top of the rewire.
+            let delta = if rng.below(2) == 0 {
+                perturb(
+                    &mut rng,
+                    netlist.inputs(),
+                    &mut arrivals,
+                    &mut probabilities,
+                )
+            } else {
+                InputDelta::new()
+            };
+            let label = format!("seed {seed} rewire round {round}");
+            let incremental_timing = timing_engine
+                .rerun_delta(&compiled, &mut state, &delta)
+                .expect("delta timing");
+            let incremental_power = power_engine
+                .rerun_delta(&compiled, &mut state, &delta)
+                .expect("delta power");
+            let (fresh_timing, fresh_power) =
+                fresh_reports(&lib, &compiled, &arrivals, &probabilities);
+            assert_timing_identical(&label, &incremental_timing, &fresh_timing);
+            assert_power_identical(&label, &incremental_power, &fresh_power);
+        }
+    }
+}
+
+#[test]
+fn early_termination_keeps_untouched_cones_bit_identical() {
+    // a AND b feeds a long buffer chain; c XOR d feeds another. Perturbing only
+    // (a, b) must leave the (c, d) cone's values untouched *and* still produce
+    // fully identical reports — the early-termination path in its purest form.
+    let mut netlist = Netlist::new("cones");
+    let a = netlist.add_input("a");
+    let b = netlist.add_input("b");
+    let c = netlist.add_input("c");
+    let d = netlist.add_input("d");
+    let mut left = netlist.add_gate(CellKind::And2, &[a, b]).unwrap()[0];
+    let mut right = netlist.add_gate(CellKind::Xor2, &[c, d]).unwrap()[0];
+    for _ in 0..16 {
+        left = netlist.add_gate(CellKind::Buf, &[left]).unwrap()[0];
+        right = netlist.add_gate(CellKind::Buf, &[right]).unwrap()[0];
+    }
+    netlist.mark_output(left);
+    netlist.mark_output(right);
+    let compiled = netlist.compile().unwrap();
+    let lib = TechLibrary::lcbg10pv_like();
+    let timing_engine = IncrementalTiming::new(&lib, &compiled).unwrap();
+    let power_engine = IncrementalPower::new(&lib, &compiled).unwrap();
+    let mut state = DeltaState::new(&compiled);
+    let mut arrivals = BTreeMap::new();
+    let mut probabilities = BTreeMap::new();
+    timing_engine
+        .run_full(&compiled, &arrivals, &mut state)
+        .unwrap();
+    power_engine
+        .run_full(&compiled, &probabilities, &mut state)
+        .unwrap();
+    // Zero-probability AND input: changing the other input never changes the AND's
+    // output probability, so the whole left power cone terminates at level 0.
+    let mut delta = InputDelta::new();
+    delta.set_probability(a, 0.0);
+    probabilities.insert(a, 0.0);
+    power_engine
+        .rerun_delta(&compiled, &mut state, &delta)
+        .unwrap();
+    for (value, map_value) in [(0.35, 0.35), (0.8, 0.8)] {
+        let mut delta = InputDelta::new();
+        delta.set_probability(b, value);
+        probabilities.insert(b, map_value);
+        // Arrival bump on `a` that stays below `b`'s: the AND's arrival (driven by
+        // the max) is recomputed to an unchanged value, so the buffer chain is
+        // never revisited by the timing worklist either.
+        delta.set_arrival(b, 5.0);
+        arrivals.insert(b, 5.0);
+        delta.set_arrival(a, 1.0);
+        arrivals.insert(a, 1.0);
+        let incremental_timing = timing_engine
+            .rerun_delta(&compiled, &mut state, &delta)
+            .unwrap();
+        let incremental_power = power_engine
+            .rerun_delta(&compiled, &mut state, &delta)
+            .unwrap();
+        let (fresh_timing, fresh_power) = fresh_reports(&lib, &compiled, &arrivals, &probabilities);
+        assert_timing_identical("cones", &incremental_timing, &fresh_timing);
+        assert_power_identical("cones", &incremental_power, &fresh_power);
+    }
+}
