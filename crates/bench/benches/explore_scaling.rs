@@ -87,13 +87,17 @@ fn scaling_gate() {
     let (ms_4, at_4) = timed_run(4);
     assert_eq!(reference, at_2, "results diverged at 2 workers");
     assert_eq!(reference, at_4, "results diverged at 4 workers");
-    let cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+    // The host core count is part of the record: a ~1.0x curve from a single-core
+    // container and a ~4x curve from a real multi-core host are different baselines
+    // and must never be compared silently.
+    let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     println!(
-        "{{\"workload\": \"ablation_sum8x10_arrival_sweep\", \"jobs\": {}, \"cpus\": {}, \
+        "{{\"workload\": \"ablation_sum8x10_arrival_sweep\", \"jobs\": {}, \
+         \"host_cores\": {}, \"scheduler\": \"work_stealing\", \
          \"threads_1_ms\": {:.1}, \"threads_2_ms\": {:.1}, \"threads_4_ms\": {:.1}, \
          \"speedup_2\": {:.2}, \"speedup_4\": {:.2}}}",
         jobs,
-        cpus,
+        host_cores,
         ms_1,
         ms_2,
         ms_4,

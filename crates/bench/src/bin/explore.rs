@@ -7,21 +7,19 @@
 //! cargo run --release -p dpsyn-bench --bin explore -- --smoke # small CI matrix
 //! ```
 //!
-//! `--smoke` additionally re-runs its matrix single-threaded and asserts the rendered
-//! summary is byte-identical — the engine's determinism contract, checked end to end.
+//! The worker count defaults to the host's available parallelism (the spec builder's
+//! default), and the work-stealing scheduler's per-run stats — chunks, jobs and
+//! steals per worker — are reported on stderr. `--smoke` additionally re-runs its
+//! matrix single-threaded and asserts the rendered summary is byte-identical — the
+//! engine's determinism contract, checked end to end.
 
 use dpsyn_baselines::Flow;
-use dpsyn_explore::{explore, BiasProfile, ExplorationSpec, ExplorationSpecBuilder, SkewProfile};
-
-/// Worker count: every available core, capped at 8 (results are identical either way).
-fn threads() -> usize {
-    std::thread::available_parallelism()
-        .map(|n| n.get().min(8))
-        .unwrap_or(1)
-}
+use dpsyn_explore::{
+    explore, explore_with_stats, BiasProfile, ExplorationSpec, ExplorationSpecBuilder, SkewProfile,
+};
 
 /// The small deterministic matrix CI smoke-runs: 24 jobs.
-fn smoke_spec(workers: usize) -> ExplorationSpecBuilder {
+fn smoke_spec() -> ExplorationSpecBuilder {
     ExplorationSpec::builder()
         .design(dpsyn_designs::x_squared())
         .design(dpsyn_designs::mixed_poly())
@@ -30,12 +28,11 @@ fn smoke_spec(workers: usize) -> ExplorationSpecBuilder {
         .skews([SkewProfile::Keep, SkewProfile::Uniform(2.0)])
         .flows([Flow::Conventional, Flow::CsaOpt, Flow::FaAot, Flow::FaAlp])
         .seed(7)
-        .threads(workers)
 }
 
 /// The full sweep: four benchmark designs plus an 8-operand sum workload, crossed
 /// with three skew and two bias profiles over all six flows (216 jobs).
-fn full_spec(workers: usize) -> ExplorationSpecBuilder {
+fn full_spec() -> ExplorationSpecBuilder {
     ExplorationSpec::builder()
         .designs([
             dpsyn_designs::x2_x_y(),
@@ -60,29 +57,36 @@ fn full_spec(workers: usize) -> ExplorationSpecBuilder {
             Flow::FaAlp,
         ])
         .seed(7)
-        .threads(workers)
 }
 
 fn main() {
     let smoke = std::env::args().any(|arg| arg == "--smoke");
-    let workers = threads();
-    let builder = if smoke {
-        smoke_spec(workers)
-    } else {
-        full_spec(workers)
-    };
+    let builder = if smoke { smoke_spec() } else { full_spec() };
+    // No explicit `.threads(..)`: the builder defaults to the available parallelism.
     let spec = builder.build().expect("exploration spec is well-formed");
+    let workers = spec.threads();
     eprintln!(
         "exploring {} jobs on {} worker thread(s) ...",
         spec.jobs().len(),
-        spec.threads()
+        workers
     );
-    let results = explore(&spec).expect("every flow succeeds on the built-in matrix");
+    let (results, stats) = explore_with_stats(&spec).expect("every flow succeeds");
+    for (worker, worker_stats) in stats.workers.iter().enumerate() {
+        eprintln!(
+            "worker {worker}: {} chunk(s), {} job(s), {} steal(s)",
+            worker_stats.chunks, worker_stats.jobs, worker_stats.steals
+        );
+    }
+    let (busiest, laziest) = stats.job_spread();
+    eprintln!(
+        "scheduler: {} total steal(s), busiest/laziest worker ran {busiest}/{laziest} job(s)",
+        stats.total_steals()
+    );
     let summary = results.render_summary();
     print!("{summary}");
     if smoke {
         // Determinism gate: the single-threaded run must render byte-identically.
-        let reference = explore(&smoke_spec(1).build().expect("smoke spec"))
+        let reference = explore(&smoke_spec().threads(1).build().expect("smoke spec"))
             .expect("single-threaded smoke run succeeds");
         assert_eq!(
             summary,

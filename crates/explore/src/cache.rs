@@ -20,7 +20,9 @@
 //!    any worker count, cache state and eviction history.
 //!
 //! The cache is deliberately **per worker**: no locks, no cross-thread coherence, and
-//! eviction (FIFO, small bound) only ever costs speed, never correctness.
+//! eviction (FIFO over insertions with a small bound, where a collision replacement
+//! re-inserts its hash at the back of the queue) only ever costs speed, never
+//! correctness.
 
 use dpsyn_baselines::{input_profiles, BaselineError, FlowResult};
 use dpsyn_ir::InputSpec;
@@ -86,17 +88,58 @@ impl CacheEntry {
     }
 }
 
+/// Residency bookkeeping of the cache: the resident hashes in insertion-recency
+/// order, oldest first. Admission is FIFO over *insertions*, where replacing a
+/// resident hash's entry counts as a fresh insertion: the hash moves to the back of
+/// the queue. (Before this fix a collision replacement kept the replaced hash's old
+/// queue position, so a hot just-replaced program could be the *next* eviction
+/// victim while cold entries survived.)
+struct ResidencyQueue {
+    order: VecDeque<u64>,
+    capacity: usize,
+}
+
+impl ResidencyQueue {
+    fn new(capacity: usize) -> Self {
+        ResidencyQueue {
+            order: VecDeque::new(),
+            capacity,
+        }
+    }
+
+    /// Records that `hash` now owns a (new or replaced) entry and returns the hash
+    /// to evict when admitting a brand-new hash overflows the capacity.
+    fn admit(&mut self, hash: u64) -> Option<u64> {
+        if let Some(position) = self.order.iter().position(|&resident| resident == hash) {
+            // Replacement of a resident entry: refresh its recency — the entry now
+            // holds the newest full evaluation and is about to serve its chunk's
+            // delta chain, so it must be the *last* eviction candidate, not the
+            // next one.
+            self.order.remove(position);
+            self.order.push_back(hash);
+            return None;
+        }
+        let evicted = if self.order.len() >= self.capacity {
+            self.order.pop_front()
+        } else {
+            None
+        };
+        self.order.push_back(hash);
+        evicted
+    }
+}
+
 /// A per-worker cache of compiled programs keyed by structural netlist hash.
 pub(crate) struct CompiledCache {
     entries: HashMap<u64, CacheEntry>,
-    order: VecDeque<u64>,
+    residency: ResidencyQueue,
 }
 
 impl CompiledCache {
     pub(crate) fn new() -> Self {
         CompiledCache {
             entries: HashMap::new(),
-            order: VecDeque::new(),
+            residency: ResidencyQueue::new(MAX_ENTRIES),
         }
     }
 
@@ -188,15 +231,11 @@ impl CompiledCache {
         });
         // Insert — and on a verified mismatch *replace* the resident same-hash entry
         // (it just failed to serve this structure; the newest full evaluation owns
-        // the slot so the rest of its chunk gets the delta path). Replacement keeps
-        // the hash's FIFO position; only brand-new hashes count against the bound.
-        if !self.entries.contains_key(&hash) {
-            if self.order.len() >= MAX_ENTRIES {
-                if let Some(evicted) = self.order.pop_front() {
-                    self.entries.remove(&evicted);
-                }
-            }
-            self.order.push_back(hash);
+        // the slot so the rest of its chunk gets the delta path). Replacement
+        // refreshes the hash's recency like a fresh insertion; only brand-new
+        // hashes count against the bound.
+        if let Some(evicted) = self.residency.admit(hash) {
+            self.entries.remove(&evicted);
         }
         self.entries.insert(
             hash,
@@ -220,5 +259,69 @@ impl CompiledCache {
             logic_depth,
             artifact,
         })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Admits `hashes` in order into a fresh queue of [`MAX_ENTRIES`] capacity,
+    /// collecting the evictions it reports.
+    fn admit_all(queue: &mut ResidencyQueue, hashes: impl IntoIterator<Item = u64>) -> Vec<u64> {
+        hashes
+            .into_iter()
+            .filter_map(|hash| queue.admit(hash))
+            .collect()
+    }
+
+    #[test]
+    fn eviction_is_fifo_for_distinct_hashes() {
+        let mut queue = ResidencyQueue::new(MAX_ENTRIES);
+        let full = 1..=MAX_ENTRIES as u64;
+        assert_eq!(admit_all(&mut queue, full), Vec::<u64>::new());
+        // Exactly at the boundary: the next brand-new hash evicts the oldest, and
+        // each further one evicts in insertion order.
+        let overflow = (MAX_ENTRIES as u64 + 1)..=(MAX_ENTRIES as u64 + 3);
+        assert_eq!(admit_all(&mut queue, overflow), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn replacement_refreshes_recency_instead_of_keeping_the_old_position() {
+        let mut queue = ResidencyQueue::new(MAX_ENTRIES);
+        admit_all(&mut queue, 1..=MAX_ENTRIES as u64);
+        // Hash 1 is the oldest resident. A collision replacement re-admits it: it
+        // must move to the back of the queue, not stay first in line for eviction.
+        assert_eq!(queue.admit(1), None, "replacement never evicts");
+        // The next brand-new hash now evicts hash 2 (the oldest *unreplaced*
+        // resident) — before the fix it would have evicted the hot, just-replaced
+        // hash 1.
+        assert_eq!(queue.admit(100), Some(2));
+        // And hash 1 survives all the way to the end of the refreshed order.
+        let expected: Vec<u64> = (3..=MAX_ENTRIES as u64).collect();
+        assert_eq!(
+            admit_all(&mut queue, 101..=(100 + MAX_ENTRIES as u64 - 2)),
+            expected,
+            "the replaced hash must outlive every older resident"
+        );
+        assert_eq!(
+            queue.admit(200),
+            Some(1),
+            "hash 1 is evicted last of the originals"
+        );
+    }
+
+    #[test]
+    fn replacement_below_capacity_keeps_the_bound_exact() {
+        let mut queue = ResidencyQueue::new(MAX_ENTRIES);
+        admit_all(&mut queue, [10, 20, 30]);
+        // Replacing a resident below capacity neither evicts nor double-counts.
+        assert_eq!(queue.admit(10), None);
+        assert_eq!(queue.order.len(), 3, "replacement must not grow the queue");
+        // Fill to the bound: still no eviction, then the first overflow evicts 20
+        // (10 was refreshed behind it).
+        let fill = 40..(40 + MAX_ENTRIES as u64 - 3);
+        assert_eq!(admit_all(&mut queue, fill), Vec::<u64>::new());
+        assert_eq!(queue.admit(1000), Some(20));
     }
 }

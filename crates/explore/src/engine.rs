@@ -1,15 +1,15 @@
-//! The job-sharded, multi-threaded exploration engine.
+//! The work-stealing, multi-threaded exploration engine.
 
 use crate::cache::{CompiledCache, Evaluated};
 use crate::error::ExploreError;
 use crate::job::Job;
 use crate::pareto::{pareto_front, PointMetrics};
-use crate::spec::ExplorationSpec;
+use crate::spec::{ExplorationSpec, StealPolicy};
 use crate::summary::{render_summary, summarize_flows, FlowSummary};
 use dpsyn_baselines::{FlowResult, FlowSynthesis};
+use std::collections::VecDeque;
 use std::ops::Range;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::OnceLock;
+use std::sync::{Mutex, OnceLock};
 use std::thread;
 
 /// One evaluated point of the exploration: the job, its metrics and (optionally) the
@@ -66,20 +66,71 @@ impl ExplorationResults {
     }
 }
 
+/// Per-worker scheduling diagnostics of one run. Unlike [`ExplorationResults`] these
+/// **vary from run to run** (they record which worker happened to execute what), so
+/// they are returned beside the results by [`explore_with_stats`], never inside them.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WorkerStats {
+    /// Chunks this worker executed (seeded + stolen).
+    pub chunks: usize,
+    /// Jobs this worker evaluated.
+    pub jobs: usize,
+    /// Chunks this worker stole from another worker's queue.
+    pub steals: usize,
+}
+
+/// Scheduling diagnostics of one exploration, one entry per worker thread.
+#[derive(Debug, Clone, Default)]
+pub struct ExploreStats {
+    /// Per-worker counters, indexed by worker id (spawn order).
+    pub workers: Vec<WorkerStats>,
+}
+
+impl ExploreStats {
+    /// Total number of stolen chunks across all workers.
+    pub fn total_steals(&self) -> usize {
+        self.workers.iter().map(|worker| worker.steals).sum()
+    }
+
+    /// Jobs executed by the busiest and laziest workers — a quick imbalance probe.
+    pub fn job_spread(&self) -> (usize, usize) {
+        let max = self.workers.iter().map(|w| w.jobs).max().unwrap_or(0);
+        let min = self.workers.iter().map(|w| w.jobs).min().unwrap_or(0);
+        (max, min)
+    }
+}
+
 /// The execution schedule of one run: job indices re-ordered so that jobs sharing
 /// `(source, width, flow)` — i.e. differing only in their skew/bias profiles — are
-/// adjacent, plus the claimable work units. Workers claim whole chunks, so a chunk's
+/// adjacent, plus the claimable work units. Workers own whole chunks, so a chunk's
 /// delta chain (first point full, later points through the dirty cone) runs on one
 /// thread against one cache entry, in an order that is a pure function of the
 /// specification (the chunking affects only scheduling, never results — the delta
 /// path is bit-identical to the full path by construction).
 ///
-/// Groups larger than `ceil(group_len / threads)` are split into that many-sized
-/// chunks so one dominant group can never serialize the run onto a single worker:
-/// with more threads than points the schedule degenerates to the old per-job
-/// scheduling (maximal parallelism, no delta chains), and with one thread each group
-/// is a single maximal delta chain. Chunks of one structure still share the worker's
-/// cache when the same worker claims several of them.
+/// # Chunk-size invariant
+///
+/// Each group of `len` jobs is cut into `ceil(len / chunk_size)` chunks with
+/// `chunk_size = ceil(len / target)` and `target = min(len, threads × overpartition)`,
+/// so for every group:
+///
+/// * `1 ≤ chunk_size ≤ len` — every chunk is non-empty and no `.max(1)` patch-up is
+///   needed (`div_ceil` of a non-empty group by a non-zero target is already ≥ 1);
+/// * the group yields at most `min(len, threads × overpartition)` chunks — never more
+///   degenerate one-job chunks than the workers can actually use, even when
+///   `threads > len`;
+/// * with `threads × overpartition ≥ len` the schedule degenerates to per-job chunks
+///   (maximal parallelism), and with one thread at `overpartition = 1` each group is
+///   a single maximal delta chain.
+///
+/// The `overpartition` factor (see
+/// [`ExplorationSpecBuilder::overpartition`](crate::ExplorationSpecBuilder::overpartition))
+/// cuts groups finer than one chunk per worker so stealing can re-balance the tail of
+/// a dominant group. Finer chunks cost nothing when they stay on their seeded worker:
+/// the worker's [`CompiledCache`] entry survives across consecutive same-group
+/// chunks, so only the first chunk of a group **per worker** pays the full
+/// compile-and-prime path — every later leader is a verified hash hit that re-runs
+/// the delta path, exactly like a mid-chunk point.
 struct Schedule {
     /// Job indices, group-major; within a group the canonical (skew, bias) order.
     order: Vec<usize>,
@@ -105,7 +156,7 @@ fn schedule(spec: &ExplorationSpec, jobs: &[Job]) -> Schedule {
     order.sort_by_key(|&index| key(index));
     let mut groups: Vec<Range<usize>> = Vec::new();
     for position in 0..order.len() {
-        if position == 0 || key(order[position]) != key(order[position - 1]) {
+        if position == 0 || !jobs[order[position]].is_delta_peer(&jobs[order[position - 1]]) {
             groups.push(position..position + 1);
         } else if let Some(last) = groups.last_mut() {
             last.end += 1;
@@ -114,7 +165,11 @@ fn schedule(spec: &ExplorationSpec, jobs: &[Job]) -> Schedule {
     let mut chunks = Vec::with_capacity(groups.len());
     for group in groups {
         let len = group.len();
-        let chunk_size = len.div_ceil(spec.threads()).max(1);
+        // See the type-level chunk-size invariant: capping the chunk target at the
+        // group length keeps `threads > len` from requesting more one-job chunks
+        // than the group has jobs, and `div_ceil` by the non-zero target is ≥ 1.
+        let target = spec.threads().saturating_mul(spec.overpartition()).min(len);
+        let chunk_size = len.div_ceil(target);
         let mut begin = group.start;
         while begin < group.end {
             let end = (begin + chunk_size).min(group.end);
@@ -125,19 +180,156 @@ fn schedule(spec: &ExplorationSpec, jobs: &[Job]) -> Schedule {
     Schedule { order, chunks }
 }
 
+/// Seeds the per-worker chunk queues: contiguous blocks of the group-major chunk
+/// list, so consecutive chunks of one group land on one worker and its compiled
+/// cache serves the whole group unless a steal re-balances it.
+fn seed_queues(chunk_count: usize, workers: usize) -> Vec<VecDeque<usize>> {
+    let mut queues = vec![VecDeque::new(); workers];
+    for (worker, queue) in queues.iter_mut().enumerate() {
+        let begin = chunk_count * worker / workers;
+        let end = chunk_count * (worker + 1) / workers;
+        queue.extend(begin..end);
+    }
+    queues
+}
+
+/// The shared work-stealing state: one deque of chunk indices per worker.
+///
+/// Terminology follows the classic work-stealing deque: the **bottom** is the end the
+/// owner works at (here the *front* — the next chunk of its seeded, group-major
+/// block, preserving cache affinity), the **top** is the end thieves take from (the
+/// *back* — the chunk farthest from what the owner is currently warming its cache
+/// for). Each deque sits behind its own mutex; chunks are coarse units (a full
+/// synthesis + analysis chain each), so the locks are uncontended in practice.
+struct StealQueues {
+    queues: Vec<Mutex<VecDeque<usize>>>,
+    policy: StealPolicy,
+}
+
+impl StealQueues {
+    fn new(seeded: Vec<VecDeque<usize>>, policy: StealPolicy) -> Self {
+        StealQueues {
+            queues: seeded.into_iter().map(Mutex::new).collect(),
+            policy,
+        }
+    }
+
+    /// Pops the owner's next chunk from the bottom of its own deque.
+    fn pop_own(&self, owner: usize) -> Option<usize> {
+        self.queues[owner]
+            .lock()
+            .expect("worker queues are never poisoned")
+            .pop_front()
+    }
+
+    /// Steals one chunk from the top of a victim's deque, per the steal policy.
+    ///
+    /// Returns `None` only when every other queue is empty at scan time — and since
+    /// chunks are only ever *removed* after seeding, an all-empty scan proves every
+    /// chunk has been claimed, so the thief can retire without losing work.
+    fn steal(&self, thief: usize) -> Option<usize> {
+        loop {
+            let victim = match self.policy {
+                StealPolicy::BusiestVictim => self
+                    .queues
+                    .iter()
+                    .enumerate()
+                    .filter(|(index, _)| *index != thief)
+                    .map(|(index, queue)| {
+                        let len = queue
+                            .lock()
+                            .expect("worker queues are never poisoned")
+                            .len();
+                        (len, index)
+                    })
+                    .filter(|(len, _)| *len > 0)
+                    .max_by_key(|(len, _)| *len)
+                    .map(|(_, index)| index),
+                StealPolicy::RoundRobin => (1..self.queues.len())
+                    .map(|offset| (thief + offset) % self.queues.len())
+                    .find(|&victim| {
+                        !self.queues[victim]
+                            .lock()
+                            .expect("worker queues are never poisoned")
+                            .is_empty()
+                    }),
+            };
+            let victim = victim?;
+            // The victim may have drained between the scan and this lock; rescan.
+            if let Some(chunk) = self.queues[victim]
+                .lock()
+                .expect("worker queues are never poisoned")
+                .pop_back()
+            {
+                return Some(chunk);
+            }
+        }
+    }
+}
+
+/// A read-only preview of the schedule [`explore`] would execute for a
+/// specification: the chunk layout (each chunk as its job indices, in claim order)
+/// and the seeded per-worker queues (as chunk indices).
+///
+/// This is introspection for benches and regression tests — the scheduler's chunking
+/// and seeding affect only wall-clock time, never results, so the preview carries no
+/// correctness weight beyond pinning the documented invariants.
+#[derive(Debug, Clone)]
+pub struct SchedulePreview {
+    chunks: Vec<Vec<usize>>,
+    queues: Vec<Vec<usize>>,
+}
+
+impl SchedulePreview {
+    /// The chunks of the schedule, each listed as the job indices it evaluates in
+    /// order (the first job of a chunk is its delta-chain leader).
+    pub fn chunks(&self) -> &[Vec<usize>] {
+        &self.chunks
+    }
+
+    /// The seeded queue of every worker, as indices into [`Self::chunks`]; workers
+    /// pop from the front and thieves steal from the back.
+    pub fn worker_queues(&self) -> &[Vec<usize>] {
+        &self.queues
+    }
+}
+
+/// Computes the [`SchedulePreview`] of a specification without running anything.
+pub fn schedule_preview(spec: &ExplorationSpec) -> SchedulePreview {
+    let jobs = spec.jobs();
+    let plan = schedule(spec, &jobs);
+    let chunks: Vec<Vec<usize>> = plan
+        .chunks
+        .iter()
+        .map(|range| plan.order[range.clone()].to_vec())
+        .collect();
+    let queues = seed_queues(chunks.len(), spec.threads())
+        .into_iter()
+        .map(Vec::from)
+        .collect();
+    SchedulePreview { chunks, queues }
+}
+
 /// Runs an exploration: shards the job matrix across the specification's worker
 /// threads, evaluates every point, and reduces the results into canonical order plus
 /// the Pareto front.
 ///
-/// Workers pull **chunks** of jobs sharing a source, width and flow (see
-/// [`Schedule`]) from a shared counter, evaluate the first point of a chunk through
-/// the full synthesis + analysis path and the remaining skew/bias points through the
-/// per-worker compiled-program cache's delta path — falling back to the full path
+/// The scheduler is **work-stealing over group-chunks**: every worker owns a deque
+/// of chunk indices seeded contiguously from the group-major [`Schedule`], pops
+/// locally from the bottom (keeping consecutive chunks of a group — and therefore
+/// their shared compiled-program cache entry — on one thread), and when its own
+/// deque runs dry steals from the top of a victim chosen by the specification's
+/// [`StealPolicy`], so a dominant `(source, width, flow)` group can never strand the
+/// other workers while one of them grinds through it.
+///
+/// A chunk's first point runs through the full synthesis + analysis path whenever
+/// the worker's cache misses (priming the entry), and every other point of the chunk
+/// re-analyses through the cache's delta path — falling back to the full path
 /// whenever the synthesized structure does not verify against the cached program.
-/// Every result lands in a preallocated slot keyed by its canonical job index, so the
-/// returned results are **bit-identical for any worker count** (the delta path's
-/// reports are bit-identical to full re-analysis by construction, and the property
-/// suites pin that down).
+/// Every result lands in a preallocated write-once slot keyed by its canonical job
+/// index, so the returned results are **bit-identical for any worker count, steal
+/// policy and overpartition factor** (the delta path's reports are bit-identical to
+/// full re-analysis by construction, and the property suites pin that down).
 ///
 /// # Errors
 ///
@@ -145,28 +337,61 @@ fn schedule(spec: &ExplorationSpec, jobs: &[Job]) -> Schedule {
 /// jobs fail, the error of the lowest-indexed job is returned (again independent of
 /// the thread count).
 pub fn explore(spec: &ExplorationSpec) -> Result<ExplorationResults, ExploreError> {
+    explore_with_stats(spec).map(|(results, _)| results)
+}
+
+/// Like [`explore`], additionally returning the run's scheduling diagnostics
+/// ([`ExploreStats`]): per-worker chunk/job/steal counters. The results half is
+/// bit-identical to [`explore`]'s; the stats half records *this run's* scheduling
+/// and may differ between runs.
+pub fn explore_with_stats(
+    spec: &ExplorationSpec,
+) -> Result<(ExplorationResults, ExploreStats), ExploreError> {
     let jobs = spec.jobs();
     let plan = schedule(spec, &jobs);
-    let next_chunk = AtomicUsize::new(0);
+    let workers = spec.threads();
+    let queues = StealQueues::new(seed_queues(plan.chunks.len(), workers), spec.steal_policy());
     // One write-once slot per job: no result lock, no post-run sort.
     let slots: Vec<OnceLock<Result<ExplorationPoint, ExploreError>>> =
         jobs.iter().map(|_| OnceLock::new()).collect();
+    let mut stats = ExploreStats {
+        workers: Vec::with_capacity(workers),
+    };
     thread::scope(|scope| {
-        for _ in 0..spec.threads() {
-            scope.spawn(|| {
-                let mut cache = CompiledCache::new();
-                loop {
-                    let chunk = next_chunk.fetch_add(1, Ordering::Relaxed);
-                    let Some(range) = plan.chunks.get(chunk) else {
-                        break;
-                    };
-                    for &job_index in &plan.order[range.clone()] {
-                        let outcome = evaluate(spec, &jobs[job_index], &mut cache);
-                        let stored = slots[job_index].set(outcome);
-                        debug_assert!(stored.is_ok(), "every job index is claimed once");
+        let handles: Vec<_> = (0..workers)
+            .map(|me| {
+                let queues = &queues;
+                let plan = &plan;
+                let jobs = &jobs;
+                let slots = &slots;
+                scope.spawn(move || {
+                    let mut cache = CompiledCache::new();
+                    let mut worker = WorkerStats::default();
+                    loop {
+                        let (chunk_index, stolen) = match queues.pop_own(me) {
+                            Some(chunk) => (chunk, false),
+                            None => match queues.steal(me) {
+                                Some(chunk) => (chunk, true),
+                                None => break,
+                            },
+                        };
+                        worker.chunks += 1;
+                        worker.steals += usize::from(stolen);
+                        for &job_index in &plan.order[plan.chunks[chunk_index].clone()] {
+                            worker.jobs += 1;
+                            let outcome = evaluate(spec, &jobs[job_index], &mut cache);
+                            let stored = slots[job_index].set(outcome);
+                            debug_assert!(stored.is_ok(), "every job index is claimed once");
+                        }
                     }
-                }
-            });
+                    worker
+                })
+            })
+            .collect();
+        for handle in handles {
+            stats
+                .workers
+                .push(handle.join().expect("worker threads do not panic"));
         }
     });
     let mut points = Vec::with_capacity(jobs.len());
@@ -178,7 +403,7 @@ pub fn explore(spec: &ExplorationSpec) -> Result<ExplorationResults, ExploreErro
     }
     let metrics: Vec<PointMetrics> = points.iter().map(|point| point.metrics).collect();
     let front = pareto_front(&metrics);
-    Ok(ExplorationResults { points, front })
+    Ok((ExplorationResults { points, front }, stats))
 }
 
 /// Evaluates one job: materializes its design, runs its flow's synthesis, and obtains
@@ -242,4 +467,170 @@ fn evaluate(
         metrics,
         artifact: evaluated.artifact,
     })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{BiasProfile, SkewProfile};
+    use dpsyn_baselines::Flow;
+
+    /// A workload spec whose matrix has one group of `skews × biases` jobs per
+    /// `(width, flow)` combination.
+    fn spec(threads: usize, overpartition: usize) -> ExplorationSpec {
+        ExplorationSpec::builder()
+            .sum_workload(3)
+            .widths([3, 4])
+            .skews([
+                SkewProfile::Keep,
+                SkewProfile::Uniform(1.0),
+                SkewProfile::Uniform(2.0),
+            ])
+            .biases([BiasProfile::Keep, BiasProfile::Uniform(0.3)])
+            .flows([Flow::Conventional, Flow::FaAot])
+            .threads(threads)
+            .overpartition(overpartition)
+            .build()
+            .expect("schedule test spec is well-formed")
+    }
+
+    /// Every chunk is non-empty, covers each job exactly once, never mixes groups,
+    /// and respects the documented per-group chunk-count cap.
+    fn assert_schedule_invariants(spec: &ExplorationSpec) {
+        let jobs = spec.jobs();
+        let preview = schedule_preview(spec);
+        let mut seen = vec![false; jobs.len()];
+        for chunk in preview.chunks() {
+            assert!(!chunk.is_empty(), "degenerate empty chunk");
+            for &job_index in chunk {
+                assert!(!seen[job_index], "job {job_index} scheduled twice");
+                seen[job_index] = true;
+                assert!(
+                    jobs[chunk[0]].is_delta_peer(&jobs[job_index]),
+                    "chunk mixes groups"
+                );
+            }
+        }
+        assert!(seen.iter().all(|&claimed| claimed), "schedule misses jobs");
+        // Per-group chunk cap: count chunks per (source, width, flow) group.
+        let cap = spec.threads() * spec.overpartition();
+        let mut group_chunks: Vec<(usize, usize)> = Vec::new(); // (leader job, chunks)
+        for chunk in preview.chunks() {
+            match group_chunks
+                .iter_mut()
+                .find(|(leader, _)| jobs[*leader].is_delta_peer(&jobs[chunk[0]]))
+            {
+                Some((_, count)) => *count += 1,
+                None => group_chunks.push((chunk[0], 1)),
+            }
+        }
+        for (leader, count) in group_chunks {
+            let group_len = jobs
+                .iter()
+                .filter(|job| job.is_delta_peer(&jobs[leader]))
+                .count();
+            assert!(
+                count <= cap.min(group_len),
+                "group of {group_len} jobs split into {count} chunks (cap {})",
+                cap.min(group_len)
+            );
+        }
+        // Seeding: every chunk index queued exactly once, in contiguous blocks.
+        let queued: Vec<usize> = preview
+            .worker_queues()
+            .iter()
+            .flat_map(|queue| queue.iter().copied())
+            .collect();
+        assert_eq!(queued, (0..preview.chunks().len()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn chunking_respects_invariants_across_thread_counts() {
+        for threads in [1, 2, 3, 4, 7, 8, 64] {
+            for overpartition in [1, 2, 4] {
+                assert_schedule_invariants(&spec(threads, overpartition));
+            }
+        }
+    }
+
+    #[test]
+    fn more_threads_than_jobs_emits_at_most_one_chunk_per_job() {
+        // 24 jobs under 64 workers: the old `ceil(len/threads)` sizing already gave
+        // one-job chunks; the tightened target additionally caps the chunk count at
+        // the group length, so there are never more (degenerate) chunks than jobs.
+        let spec = spec(64, 4);
+        let preview = schedule_preview(&spec);
+        assert_eq!(preview.chunks().len(), spec.jobs().len());
+        assert!(preview.chunks().iter().all(|chunk| chunk.len() == 1));
+        // The seeded queues still cover every chunk despite idle tail workers.
+        let seeded: usize = preview.worker_queues().iter().map(Vec::len).sum();
+        assert_eq!(seeded, preview.chunks().len());
+    }
+
+    #[test]
+    fn single_thread_without_overpartition_is_one_chunk_per_group() {
+        let spec = spec(1, 1);
+        let preview = schedule_preview(&spec);
+        // 2 widths × 2 flows = 4 groups of skews × biases = 6 jobs each.
+        assert_eq!(preview.chunks().len(), 4);
+        assert!(preview.chunks().iter().all(|chunk| chunk.len() == 6));
+        assert_eq!(preview.worker_queues().len(), 1);
+        assert_eq!(preview.worker_queues()[0], vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn overpartition_splits_groups_finer_for_stealing() {
+        // Groups of 6 at 2 threads: overpartition 1 → chunks of 3; overpartition 4
+        // (target 8 > len 6) → per-job chunks.
+        let coarse = schedule_preview(&spec(2, 1));
+        assert!(coarse.chunks().iter().all(|chunk| chunk.len() == 3));
+        let fine = schedule_preview(&spec(2, 4));
+        assert!(fine.chunks().iter().all(|chunk| chunk.len() == 1));
+    }
+
+    #[test]
+    fn remainder_groups_keep_chunks_within_one_of_each_other() {
+        // A 5-job group at 2 threads, overpartition 1: ceil(5/2) = 3 → chunks of
+        // 3 and 2 — the remainder chunk is smaller, never empty.
+        let spec = ExplorationSpec::builder()
+            .sum_workload(3)
+            .width(3)
+            .skews([
+                SkewProfile::Keep,
+                SkewProfile::Uniform(1.0),
+                SkewProfile::Uniform(2.0),
+                SkewProfile::Uniform(3.0),
+                SkewProfile::Uniform(4.0),
+            ])
+            .flow(Flow::Conventional)
+            .threads(2)
+            .overpartition(1)
+            .build()
+            .expect("spec is well-formed");
+        let preview = schedule_preview(&spec);
+        let sizes: Vec<usize> = preview.chunks().iter().map(Vec::len).collect();
+        assert_eq!(sizes, vec![3, 2]);
+    }
+
+    #[test]
+    fn steal_queues_drain_exactly_once_under_both_policies() {
+        for policy in [StealPolicy::BusiestVictim, StealPolicy::RoundRobin] {
+            let queues = StealQueues::new(seed_queues(10, 3), policy);
+            // Worker 2 drains its own queue then steals everything else dry.
+            let mut claimed = Vec::new();
+            while let Some(chunk) = queues.pop_own(2) {
+                claimed.push(chunk);
+            }
+            while let Some(chunk) = queues.steal(2) {
+                claimed.push(chunk);
+            }
+            claimed.sort_unstable();
+            assert_eq!(claimed, (0..10).collect::<Vec<_>>());
+            assert_eq!(
+                queues.steal(0),
+                None,
+                "drained queues have nothing to steal"
+            );
+        }
+    }
 }

@@ -14,8 +14,13 @@ use std::fmt;
 pub enum ExploreError {
     /// The specification enumerates no jobs at all (no sources or no flows).
     EmptyMatrix,
-    /// The worker count is zero; at least one thread must run the jobs.
+    /// The `threads` field is explicitly zero; at least one thread must run the
+    /// jobs. (Leaving `threads` unset defaults to the host's available parallelism
+    /// instead.)
     ZeroWorkers,
+    /// The `overpartition` factor is zero; each group needs at least one chunk
+    /// target per worker.
+    ZeroOverpartition,
     /// The width axis contains a zero; operands need at least one bit.
     ZeroWidth,
     /// A workload source was declared but the width axis is empty, so the source would
@@ -49,7 +54,18 @@ impl fmt::Display for ExploreError {
                 write!(f, "the exploration matrix is empty: no jobs to run")
             }
             ExploreError::ZeroWorkers => {
-                write!(f, "worker count is zero; at least one thread is required")
+                write!(
+                    f,
+                    "`threads` is zero; at least one worker thread is required \
+                     (leave it unset to default to the available parallelism)"
+                )
+            }
+            ExploreError::ZeroOverpartition => {
+                write!(
+                    f,
+                    "`overpartition` is zero; each group needs at least one chunk \
+                     target per worker"
+                )
             }
             ExploreError::ZeroWidth => {
                 write!(

@@ -7,11 +7,13 @@
 //! 1. An [`ExplorationSpec`] crosses expression sources (fixed benchmark designs from
 //!    `dpsyn-designs` and its workload generators) with width ranges, [`SkewProfile`]s,
 //!    [`BiasProfile`]s and the [`Flow`]s of `dpsyn-baselines`.
-//! 2. [`explore`] shards the resulting jobs across `std::thread::scope` workers.
-//!    Workers pull from a shared counter, but every job is a pure function of the
-//!    specification and every result is re-assembled by job index, so the outcome is
-//!    **bit-identical for any worker count** — the property the determinism suite
-//!    pins down.
+//! 2. [`explore`] shards the resulting jobs across `std::thread::scope` workers
+//!    under a **work-stealing scheduler**: each worker owns a deque of group-chunks
+//!    seeded from the schedule and steals from a victim (per [`StealPolicy`]) when
+//!    its own deque runs dry. Every job is a pure function of the specification and
+//!    every result lands in a write-once slot keyed by job index, so the outcome is
+//!    **bit-identical for any worker count, steal policy and overpartition factor**
+//!    — the property the determinism suite pins down.
 //! 3. Each synthesized point is reduced to [`PointMetrics`] (delay from static timing
 //!    analysis, switching power from probability propagation, cell area and structure
 //!    from the netlist), and the whole run is dominance-filtered into a Pareto front
@@ -49,11 +51,16 @@ mod spec;
 mod summary;
 
 pub use dpsyn_baselines::Flow;
-pub use engine::{explore, ExplorationPoint, ExplorationResults};
+pub use engine::{
+    explore, explore_with_stats, schedule_preview, ExplorationPoint, ExplorationResults,
+    ExploreStats, SchedulePreview, WorkerStats,
+};
 pub use error::ExploreError;
 pub use job::Job;
 pub use pareto::{pareto_front, PointMetrics};
-pub use spec::{BiasProfile, ExplorationSpec, ExplorationSpecBuilder, ExprSource, SkewProfile};
+pub use spec::{
+    BiasProfile, ExplorationSpec, ExplorationSpecBuilder, ExprSource, SkewProfile, StealPolicy,
+};
 pub use summary::FlowSummary;
 
 #[cfg(test)]

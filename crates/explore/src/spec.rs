@@ -145,6 +145,29 @@ impl fmt::Display for BiasProfile {
     fmt_profile_display!();
 }
 
+/// How an idle worker of the work-stealing engine picks the victim it steals a
+/// chunk from. Both policies steal from the **top** (back) of the victim's deque —
+/// the chunk farthest from what the victim's compiled cache is currently warm for —
+/// and neither affects results, only wall-clock time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum StealPolicy {
+    /// Steal from the worker with the most queued chunks (the default): the victim
+    /// that would otherwise hold the longest tail of unstarted work.
+    #[default]
+    BusiestVictim,
+    /// Scan the other workers round-robin starting after the thief's own index and
+    /// steal from the first non-empty queue: cheaper victim selection (no full
+    /// scan), at the cost of occasionally picking a nearly-drained victim.
+    RoundRobin,
+}
+
+/// Default over-partitioning factor: each `(source, width, flow)` group is cut into
+/// up to `threads × 4` chunks (capped at the group length). Finer chunks let the
+/// work-stealing scheduler re-balance a dominant group's tail, and cost nothing when
+/// unstolen — a worker's compiled cache survives across its consecutive same-group
+/// chunks, so only the first chunk per worker pays the full prime.
+pub(crate) const DEFAULT_OVERPARTITION: usize = 4;
+
 /// The full description of one design-space exploration.
 ///
 /// Build one with [`ExplorationSpec::builder`]; the builder validates the axes and
@@ -184,6 +207,8 @@ pub struct ExplorationSpec {
     pub(crate) tech: TechLibrary,
     pub(crate) seed: u64,
     pub(crate) threads: usize,
+    pub(crate) steal_policy: StealPolicy,
+    pub(crate) overpartition: usize,
     /// Whether every evaluated point keeps its full [`dpsyn_baselines::FlowResult`].
     ///
     /// This is the **single** storage of the flag: the builder wraps a spec and
@@ -204,6 +229,17 @@ impl ExplorationSpec {
     /// The worker count the engine will use.
     pub fn threads(&self) -> usize {
         self.threads
+    }
+
+    /// The steal policy of the work-stealing scheduler.
+    pub fn steal_policy(&self) -> StealPolicy {
+        self.steal_policy
+    }
+
+    /// The over-partitioning factor: each `(source, width, flow)` group is cut into
+    /// at most `threads × overpartition` chunks (capped at the group length).
+    pub fn overpartition(&self) -> usize {
+        self.overpartition
     }
 
     /// The technology library every flow synthesizes against.
@@ -308,6 +344,9 @@ impl ExplorationSpec {
 #[derive(Debug, Clone)]
 pub struct ExplorationSpecBuilder {
     spec: ExplorationSpec,
+    /// The explicitly requested worker count; `None` defaults to the host's
+    /// available parallelism at [`build`](ExplorationSpecBuilder::build) time.
+    threads: Option<usize>,
 }
 
 impl Default for ExplorationSpecBuilder {
@@ -322,8 +361,11 @@ impl Default for ExplorationSpecBuilder {
                 tech: TechLibrary::lcbg10pv_like(),
                 seed: 1,
                 threads: 1,
+                steal_policy: StealPolicy::default(),
+                overpartition: DEFAULT_OVERPARTITION,
                 retain_artifacts: false,
             },
+            threads: None,
         }
     }
 }
@@ -415,10 +457,32 @@ impl ExplorationSpecBuilder {
         self
     }
 
-    /// Sets the worker-thread count (default: 1). Results are bit-identical for every
-    /// worker count; more workers only change the wall-clock time.
+    /// Sets the worker-thread count. When never called, [`build`]
+    /// (`ExplorationSpecBuilder::build`) defaults to the host's
+    /// [`std::thread::available_parallelism`] (falling back to 1 when the host
+    /// cannot report it). Results are bit-identical for every worker count; more
+    /// workers only change the wall-clock time.
     pub fn threads(mut self, threads: usize) -> Self {
-        self.spec.threads = threads;
+        self.threads = Some(threads);
+        self
+    }
+
+    /// Sets the work-stealing victim-selection policy (default:
+    /// [`StealPolicy::BusiestVictim`]). Steal policies affect only scheduling —
+    /// results stay bit-identical under every policy.
+    pub fn steal_policy(mut self, policy: StealPolicy) -> Self {
+        self.spec.steal_policy = policy;
+        self
+    }
+
+    /// Sets the over-partitioning factor (default: 4): each `(source, width, flow)`
+    /// group is cut into at most `threads × overpartition` chunks, capped at the
+    /// group length, so stealing can re-balance a dominant group's tail. `1`
+    /// reproduces one-chunk-per-worker splitting; larger factors trade finer
+    /// balancing against more (cheap) chunk claims. Like the steal policy, the
+    /// factor never changes results.
+    pub fn overpartition(mut self, overpartition: usize) -> Self {
+        self.spec.overpartition = overpartition;
         self
     }
 
@@ -438,12 +502,20 @@ impl ExplorationSpecBuilder {
     ///
     /// # Errors
     ///
-    /// Returns a typed [`ExploreError`] when the worker count is zero, a width is
-    /// zero, a workload source lacks widths or operands, a skew/bias profile is
-    /// invalid or conflicts with another, or the matrix enumerates no jobs.
+    /// Returns a typed [`ExploreError`] when the `threads` field is explicitly zero,
+    /// the `overpartition` factor is zero, a width is zero, a workload source lacks
+    /// widths or operands, a skew/bias profile is invalid or conflicts with another,
+    /// or the matrix enumerates no jobs.
     pub fn build(mut self) -> Result<ExplorationSpec, ExploreError> {
-        if self.spec.threads == 0 {
-            return Err(ExploreError::ZeroWorkers);
+        self.spec.threads = match self.threads {
+            Some(0) => return Err(ExploreError::ZeroWorkers),
+            Some(threads) => threads,
+            // Unset: one worker per available core — the work-stealing scheduler
+            // keeps them all fed and results are worker-count independent anyway.
+            None => std::thread::available_parallelism().map_or(1, |cores| cores.get()),
+        };
+        if self.spec.overpartition == 0 {
+            return Err(ExploreError::ZeroOverpartition);
         }
         if self.spec.widths.contains(&0) {
             return Err(ExploreError::ZeroWidth);

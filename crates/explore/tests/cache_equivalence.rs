@@ -6,7 +6,10 @@
 //! The matrix deliberately crosses profile axes with the two module-binding flows
 //! (`Conventional` synthesizes profile-invariant structures — guaranteed cache hits;
 //! `CsaOpt`'s structure shifts with the arrival profile — exercising the structural
-//! verification fallback) plus an FA-tree flow (always pre-analysed).
+//! verification fallback) plus an FA-tree flow (always pre-analysed). Two workload
+//! widths push the number of distinct `CsaOpt` structures a single worker sees well
+//! past the cache bound, so the run also churns through evictions and
+//! recency-refreshing replacements — none of which may perturb a single bit.
 
 use dpsyn_explore::{explore, BiasProfile, ExplorationSpec, Flow, SkewProfile};
 
@@ -15,7 +18,7 @@ fn spec(threads: usize) -> ExplorationSpec {
         .design(dpsyn_designs::iir())
         .design(dpsyn_designs::mixed_poly())
         .sum_workload(4)
-        .width(5)
+        .widths([4, 5])
         .skews([
             SkewProfile::Keep,
             SkewProfile::Uniform(2.0),

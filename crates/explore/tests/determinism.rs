@@ -2,7 +2,9 @@
 //! Pareto front and the rendered summary bytes — are identical for 1, 2, 4 and 8
 //! workers, in the spirit of the repository-level `tests/determinism.rs`.
 
-use dpsyn_explore::{explore, BiasProfile, ExplorationResults, ExplorationSpec, Flow, SkewProfile};
+use dpsyn_explore::{
+    explore, BiasProfile, ExplorationResults, ExplorationSpec, Flow, SkewProfile, StealPolicy,
+};
 
 /// Builds the reference spec of the suite with the given worker count: two fixed
 /// designs plus a workload source, crossed with two widths, a skew and a bias profile,
@@ -80,6 +82,66 @@ fn repeated_runs_are_bit_identical() {
     let first = explore(&spec(4)).expect("exploration succeeds");
     let second = explore(&spec(4)).expect("exploration succeeds");
     assert_eq!(fingerprint(&first), fingerprint(&second));
+}
+
+/// The adversarial-skew matrix for the work-stealing scheduler: one **dominant**
+/// group (an 8-operand 10-bit sum workload whose synthesis and analysis dwarf the
+/// rest) crossed with a dense 5-skew × 3-bias profile grid, plus many **tiny**
+/// groups (cheap two-input fixed designs). Under the static PR-5 chunker the
+/// dominant group's tail chunks would pin whichever worker claimed them last; under
+/// work-stealing idle workers drain it — and either way the sweep output must stay
+/// byte-identical.
+fn adversarial_spec(threads: usize, policy: StealPolicy, overpartition: usize) -> ExplorationSpec {
+    ExplorationSpec::builder()
+        .design(dpsyn_designs::x_squared())
+        .design(dpsyn_designs::x2_x_y())
+        .sum_workload(8)
+        .widths([10])
+        .skews([
+            SkewProfile::Keep,
+            SkewProfile::Uniform(1.0),
+            SkewProfile::Uniform(2.0),
+            SkewProfile::Uniform(3.0),
+            SkewProfile::Uniform(4.0),
+        ])
+        .biases([
+            BiasProfile::Keep,
+            BiasProfile::Uniform(0.2),
+            BiasProfile::Uniform(0.4),
+        ])
+        .flows([Flow::Conventional, Flow::FaAot])
+        .seed(23)
+        .threads(threads)
+        .steal_policy(policy)
+        .overpartition(overpartition)
+        .build()
+        .expect("adversarial spec is well-formed")
+}
+
+#[test]
+fn adversarial_skew_is_bit_identical_for_any_worker_count_and_steal_policy() {
+    // The single-worker, single-chunk-per-group run is the reference: maximal delta
+    // chains, no stealing possible.
+    let reference = fingerprint(
+        &explore(&adversarial_spec(1, StealPolicy::BusiestVictim, 1))
+            .expect("single-threaded adversarial exploration succeeds"),
+    );
+    for policy in [StealPolicy::BusiestVictim, StealPolicy::RoundRobin] {
+        for threads in [2, 4, 8] {
+            // Overpartition 1 reproduces the coarse one-chunk-per-worker split;
+            // 4 is the default; 16 degenerates to per-job chunks on this matrix.
+            for overpartition in [1, 4, 16] {
+                let stolen = explore(&adversarial_spec(threads, policy, overpartition))
+                    .expect("work-stealing adversarial exploration succeeds");
+                assert_eq!(
+                    reference,
+                    fingerprint(&stolen),
+                    "adversarial sweep diverged at {threads} threads, {policy:?}, \
+                     overpartition {overpartition}"
+                );
+            }
+        }
+    }
 }
 
 #[test]

@@ -32,7 +32,40 @@ fn zero_workers() {
         .build()
         .expect_err("zero workers must not build");
     assert!(matches!(error, ExploreError::ZeroWorkers));
-    assert!(error.to_string().contains("worker count is zero"));
+    // The message names the offending builder field, not just "worker count".
+    assert!(error.to_string().contains("`threads`"));
+    assert!(error.to_string().contains("is zero"));
+}
+
+#[test]
+fn unset_threads_default_to_the_available_parallelism() {
+    let spec = ExplorationSpec::builder()
+        .design(dpsyn_designs::x_squared())
+        .flow(Flow::FaAot)
+        .build()
+        .expect("a spec without an explicit thread count builds");
+    let expected = std::thread::available_parallelism().map_or(1, |cores| cores.get());
+    assert_eq!(spec.threads(), expected);
+    // An explicit non-zero count still wins over the default.
+    let explicit = ExplorationSpec::builder()
+        .design(dpsyn_designs::x_squared())
+        .flow(Flow::FaAot)
+        .threads(3)
+        .build()
+        .expect("an explicit thread count builds");
+    assert_eq!(explicit.threads(), 3);
+}
+
+#[test]
+fn zero_overpartition() {
+    let error = ExplorationSpec::builder()
+        .design(dpsyn_designs::x_squared())
+        .flow(Flow::FaAot)
+        .overpartition(0)
+        .build()
+        .expect_err("a zero overpartition factor must not build");
+    assert!(matches!(error, ExploreError::ZeroOverpartition));
+    assert!(error.to_string().contains("`overpartition`"));
 }
 
 #[test]
@@ -196,6 +229,7 @@ fn error_display_is_covered_for_every_variant() {
     let variants: Vec<ExploreError> = vec![
         ExploreError::EmptyMatrix,
         ExploreError::ZeroWorkers,
+        ExploreError::ZeroOverpartition,
         ExploreError::ZeroWidth,
         ExploreError::MissingWidths,
         ExploreError::EmptySource,
