@@ -3,20 +3,34 @@
 //! flow, and prints the per-flow summary plus the delay × power × area Pareto front.
 //!
 //! ```bash
-//! cargo run --release -p dpsyn-bench --bin explore            # full sweep
-//! cargo run --release -p dpsyn-bench --bin explore -- --smoke # small CI matrix
+//! cargo run --release -p dpsyn-bench --bin explore                     # full sweep
+//! cargo run --release -p dpsyn-bench --bin explore -- --smoke          # small CI matrix
+//! cargo run --release -p dpsyn-bench --bin explore -- --store memo.txt # persistent store
+//! cargo run --release -p dpsyn-bench --bin explore -- --serve /tmp/dpsyn.sock --store memo.txt
+//! cargo run --release -p dpsyn-bench --bin explore -- --serve-smoke    # CI server check
 //! ```
 //!
 //! The worker count defaults to the host's available parallelism (the spec builder's
-//! default), and the work-stealing scheduler's per-run stats — chunks, jobs and
-//! steals per worker — are reported on stderr. `--smoke` additionally re-runs its
-//! matrix single-threaded and asserts the rendered summary is byte-identical — the
-//! engine's determinism contract, checked end to end.
+//! default), and the work-stealing scheduler's per-run stats — chunks, jobs, steals
+//! and store hits per worker — are reported on stderr. `--smoke` additionally re-runs
+//! its matrix single-threaded and asserts the rendered summary is byte-identical —
+//! the engine's determinism contract, checked end to end.
+//!
+//! `--store <path>` attaches the persistent cross-run result store: a re-run of the
+//! same sweep against a warm memo file collapses to lookups (watch the store-hit
+//! counters) while printing the byte-identical summary. `--serve <socket>` starts the
+//! long-lived service mode on a Unix socket (newline-delimited JSON requests, one
+//! exploration each, all sharing the store; see `dpsyn_explore::serve`), and
+//! `--serve-smoke` self-tests that mode end to end: it spawns the server in-process,
+//! sends the smoke matrix twice over two overlapping client connections, asserts both
+//! responses carry the byte-identical batch summary with warm hits on the second, and
+//! shuts the server down gracefully.
 
 use dpsyn_baselines::Flow;
 use dpsyn_explore::{
     explore, explore_with_stats, BiasProfile, ExplorationSpec, ExplorationSpecBuilder, SkewProfile,
 };
+use std::path::PathBuf;
 
 /// The small deterministic matrix CI smoke-runs: 24 jobs.
 fn smoke_spec() -> ExplorationSpecBuilder {
@@ -59,9 +73,31 @@ fn full_spec() -> ExplorationSpecBuilder {
         .seed(7)
 }
 
+/// Value of `--flag <value>` in `args`, when present.
+fn flag_value(args: &[String], flag: &str) -> Option<PathBuf> {
+    args.iter()
+        .position(|arg| arg == flag)
+        .and_then(|position| args.get(position + 1))
+        .map(PathBuf::from)
+}
+
 fn main() {
-    let smoke = std::env::args().any(|arg| arg == "--smoke");
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let store = flag_value(&args, "--store");
+    if let Some(socket) = flag_value(&args, "--serve") {
+        serve_mode(socket, store);
+        return;
+    }
+    if args.iter().any(|arg| arg == "--serve-smoke") {
+        serve_smoke();
+        return;
+    }
+    let smoke = args.iter().any(|arg| arg == "--smoke");
     let builder = if smoke { smoke_spec() } else { full_spec() };
+    let builder = match &store {
+        Some(path) => builder.store(path.clone()),
+        None => builder,
+    };
     // No explicit `.threads(..)`: the builder defaults to the available parallelism.
     let spec = builder.build().expect("exploration spec is well-formed");
     let workers = spec.threads();
@@ -73,14 +109,16 @@ fn main() {
     let (results, stats) = explore_with_stats(&spec).expect("every flow succeeds");
     for (worker, worker_stats) in stats.workers.iter().enumerate() {
         eprintln!(
-            "worker {worker}: {} chunk(s), {} job(s), {} steal(s)",
-            worker_stats.chunks, worker_stats.jobs, worker_stats.steals
+            "worker {worker}: {} chunk(s), {} job(s), {} steal(s), {} store hit(s)",
+            worker_stats.chunks, worker_stats.jobs, worker_stats.steals, worker_stats.store_hits
         );
     }
     let (busiest, laziest) = stats.job_spread();
     eprintln!(
-        "scheduler: {} total steal(s), busiest/laziest worker ran {busiest}/{laziest} job(s)",
-        stats.total_steals()
+        "scheduler: {} total steal(s), {} store hit(s), busiest/laziest worker ran \
+         {busiest}/{laziest} job(s)",
+        stats.total_steals(),
+        stats.total_store_hits()
     );
     let summary = results.render_summary();
     print!("{summary}");
@@ -95,4 +133,139 @@ fn main() {
         );
         eprintln!("smoke OK: {workers}-thread and 1-thread summaries are byte-identical");
     }
+}
+
+#[cfg(unix)]
+fn serve_mode(socket: PathBuf, store_path: Option<PathBuf>) {
+    use dpsyn_explore::{serve, ServeConfig};
+    eprintln!(
+        "serving explorations on `{}` (store: {}) — send {{\"shutdown\":true}} to stop",
+        socket.display(),
+        store_path
+            .as_ref()
+            .map_or("in-memory".to_string(), |path| path.display().to_string())
+    );
+    serve(&ServeConfig { socket, store_path }).expect("server runs until shutdown");
+}
+
+#[cfg(not(unix))]
+fn serve_mode(_socket: PathBuf, _store: Option<PathBuf>) {
+    eprintln!("--serve requires Unix domain sockets and is unavailable on this platform");
+    std::process::exit(1);
+}
+
+/// End-to-end self-test of the server mode; see the module docs. Panics (failing
+/// CI) on any divergence.
+#[cfg(unix)]
+fn serve_smoke() {
+    use dpsyn_explore::{serve, ServeConfig, ServeResponse};
+    use std::io::{BufRead, BufReader, Write};
+    use std::os::unix::net::UnixStream;
+    use std::time::{Duration, Instant};
+
+    let scratch = std::env::temp_dir().join(format!("dpsyn-serve-smoke-{}", std::process::id()));
+    std::fs::create_dir_all(&scratch).expect("scratch dir creates");
+    let socket = scratch.join("explore.sock");
+    let store = scratch.join("store.txt");
+    let _ = std::fs::remove_file(&store);
+    let config = ServeConfig {
+        socket: socket.clone(),
+        store_path: Some(store.clone()),
+    };
+    let server = std::thread::spawn(move || serve(&config));
+
+    // The smoke matrix as a protocol request (single-threaded for a fixed job
+    // order; determinism across thread counts is `--smoke`'s job).
+    let request = concat!(
+        r#"{"sources":[{"design":"x_squared"},{"design":"mixed_poly"},{"sum":3}],"#,
+        r#""widths":[4],"skews":["keep",2.0],"#,
+        r#""flows":["conventional","csa_opt","fa_aot","fa_alp"],"seed":7,"threads":1}"#,
+        "\n"
+    );
+    let reference = explore(&smoke_spec().threads(1).build().expect("smoke spec"))
+        .expect("batch smoke run succeeds")
+        .render_summary();
+
+    let connect = || -> UnixStream {
+        // The server binds asynchronously; retry briefly.
+        let deadline = Instant::now() + Duration::from_secs(10);
+        loop {
+            match UnixStream::connect(&socket) {
+                Ok(stream) => return stream,
+                Err(error) if Instant::now() < deadline => {
+                    let _ = error;
+                    std::thread::sleep(Duration::from_millis(25));
+                }
+                Err(error) => panic!("cannot connect to serve socket: {error}"),
+            }
+        }
+    };
+    let read_response = |stream: &mut UnixStream| -> ServeResponse {
+        let mut line = String::new();
+        BufReader::new(stream)
+            .read_line(&mut line)
+            .expect("response line arrives");
+        ServeResponse::parse(&line).expect("response parses")
+    };
+
+    // Request 1: cold — populates the shared store.
+    let mut first = connect();
+    first.write_all(request.as_bytes()).expect("request sends");
+    let cold = read_response(&mut first);
+    assert!(cold.ok, "cold request failed: {}", cold.error);
+    assert_eq!(
+        cold.summary, reference,
+        "cold summary must match batch mode"
+    );
+    drop(first);
+
+    // Requests 2 and 3: two *overlapping* connections — both written before
+    // either response is read, so the server handles them concurrently against
+    // the warmed store.
+    let mut second = connect();
+    let mut third = connect();
+    second.write_all(request.as_bytes()).expect("request sends");
+    third.write_all(request.as_bytes()).expect("request sends");
+    for (label, stream) in [("second", &mut second), ("third", &mut third)] {
+        let warm = read_response(stream);
+        assert!(warm.ok, "{label} request failed: {}", warm.error);
+        assert_eq!(
+            warm.summary, reference,
+            "{label} (warm) summary must be byte-identical to batch mode"
+        );
+        assert!(
+            warm.store_hits > 0,
+            "{label} request saw no warm store hits (jobs={}, hits={})",
+            warm.jobs,
+            warm.store_hits
+        );
+        eprintln!(
+            "serve smoke: {label} request {} jobs, {} warm hit(s)",
+            warm.jobs, warm.store_hits
+        );
+    }
+    drop(second);
+    drop(third);
+
+    // Graceful shutdown: acknowledged, server thread exits, socket file removed.
+    let mut closer = connect();
+    closer
+        .write_all(b"{\"shutdown\":true}\n")
+        .expect("shutdown sends");
+    let ack = read_response(&mut closer);
+    assert!(ack.ok && ack.shutdown, "shutdown must be acknowledged");
+    drop(closer);
+    server
+        .join()
+        .expect("server thread joins")
+        .expect("server exits cleanly");
+    assert!(!socket.exists(), "socket file must be removed on shutdown");
+    assert!(store.exists(), "store must persist across server shutdown");
+    let _ = std::fs::remove_dir_all(&scratch);
+    eprintln!("serve smoke OK: overlapping warm requests byte-identical to batch mode");
+}
+
+#[cfg(not(unix))]
+fn serve_smoke() {
+    eprintln!("--serve-smoke requires Unix domain sockets; skipping");
 }

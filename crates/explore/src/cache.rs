@@ -24,19 +24,28 @@
 //! re-inserts its hash at the back of the queue) only ever costs speed, never
 //! correctness.
 
-use dpsyn_baselines::{input_profiles, BaselineError, FlowResult};
-use dpsyn_ir::InputSpec;
-use dpsyn_netlist::{CompiledNetlist, CompiledOp, DeltaState, InputDelta, Netlist, WordMap};
+use dpsyn_baselines::{BaselineError, FlowResult};
+use dpsyn_netlist::{CompiledNetlist, CompiledOp, DeltaState, InputDelta, NetId, Netlist, WordMap};
 use dpsyn_power::IncrementalPower;
 use dpsyn_tech::TechLibrary;
 use dpsyn_timing::IncrementalTiming;
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 
 /// Upper bound on live entries per worker; beyond it the oldest entry is evicted.
 /// Entries hold a compiled program plus primed per-net state (O(cells)), so the bound
 /// keeps a long exploration's memory flat while still covering the handful of netlist
 /// structures a worker's current groups cycle through.
 const MAX_ENTRIES: usize = 8;
+
+/// The input profiles of one evaluation point — the maps
+/// [`dpsyn_baselines::input_profiles`] produces, borrowed from the engine (which
+/// already computed them for the persistent store's evaluation key).
+pub(crate) struct PointProfiles<'a> {
+    /// Per-net arrival times keyed by input net.
+    pub arrivals: &'a BTreeMap<NetId, f64>,
+    /// Per-net one-probabilities keyed by input net.
+    pub probabilities: &'a BTreeMap<NetId, f64>,
+}
 
 /// The analysed figures of one evaluated point, plus the retained artifact when the
 /// specification asks for one. Produced by both the cached-delta and the full path —
@@ -110,13 +119,12 @@ impl ResidencyQueue {
     /// Records that `hash` now owns a (new or replaced) entry and returns the hash
     /// to evict when admitting a brand-new hash overflows the capacity.
     fn admit(&mut self, hash: u64) -> Option<u64> {
-        if let Some(position) = self.order.iter().position(|&resident| resident == hash) {
+        if self.order.contains(&hash) {
             // Replacement of a resident entry: refresh its recency — the entry now
             // holds the newest full evaluation and is about to serve its chunk's
             // delta chain, so it must be the *last* eviction candidate, not the
             // next one.
-            self.order.remove(position);
-            self.order.push_back(hash);
+            self.touch(hash);
             return None;
         }
         let evicted = if self.order.len() >= self.capacity {
@@ -126,6 +134,22 @@ impl ResidencyQueue {
         };
         self.order.push_back(hash);
         evicted
+    }
+
+    /// Records a verified cache **hit** on `hash`: the entry just served a delta
+    /// rerun, so it moves to the back of the recency order. Non-resident hashes
+    /// are a no-op.
+    ///
+    /// (Before this fix the queue was admit-only: probes never refreshed recency,
+    /// so an entry serving hit after hit kept its original insertion position and
+    /// could be the *next* eviction victim while entries that never matched again
+    /// survived behind it. With hits refreshing, the order is true LRU over
+    /// useful entries.)
+    fn touch(&mut self, hash: u64) {
+        if let Some(position) = self.order.iter().position(|&resident| resident == hash) {
+            self.order.remove(position);
+            self.order.push_back(hash);
+        }
     }
 }
 
@@ -149,19 +173,29 @@ impl CompiledCache {
     /// Both paths produce bit-identical figures and (when `retain` is set) an
     /// artifact carrying the point's **own** netlist and word map plus the shared
     /// compiled program — retained points lose nothing to caching.
+    ///
+    /// The caller supplies the point's input profiles ([`PointProfiles`]) — the
+    /// engine already computes them for the persistent store's evaluation key, so
+    /// the cache consumes them instead of recomputing.
     pub(crate) fn analyze(
         &mut self,
         flow: &str,
         netlist: Netlist,
         word_map: WordMap,
-        spec: &InputSpec,
+        profiles: PointProfiles<'_>,
         tech: &TechLibrary,
         retain: bool,
     ) -> Result<Evaluated, BaselineError> {
-        let (arrivals, probabilities) = input_profiles(&word_map, spec);
+        let PointProfiles {
+            arrivals,
+            probabilities,
+        } = profiles;
         let hash = netlist.structural_hash();
         if let Some(entry) = self.entries.get_mut(&hash) {
             if entry.matches(&netlist, &word_map) {
+                // A verified hit refreshes the entry's residency: it just proved
+                // itself the most recently useful program.
+                self.residency.touch(hash);
                 let CacheEntry {
                     compiled,
                     timing,
@@ -210,9 +244,9 @@ impl CompiledCache {
         let compiled = netlist.compile()?;
         let timing = IncrementalTiming::new(tech, &compiled)?;
         let mut state = DeltaState::new(&compiled);
-        let timing_report = timing.run_full(&compiled, &arrivals, &mut state)?;
+        let timing_report = timing.run_full(&compiled, arrivals, &mut state)?;
         let power = IncrementalPower::new(tech, &compiled)?;
-        let power_report = power.run_full(&compiled, &probabilities, &mut state)?;
+        let power_report = power.run_full(&compiled, probabilities, &mut state)?;
         let area = tech.compiled_area(&compiled);
         let delay = timing_report.critical_delay();
         let switching_energy = power_report.total_energy();
@@ -309,6 +343,38 @@ mod tests {
             Some(1),
             "hash 1 is evicted last of the originals"
         );
+    }
+
+    #[test]
+    fn hits_refresh_recency_at_the_capacity_boundary() {
+        let mut queue = ResidencyQueue::new(MAX_ENTRIES);
+        admit_all(&mut queue, 1..=MAX_ENTRIES as u64);
+        // Queue exactly full; hash 1 is first in line for eviction. A verified hit
+        // on it must move it to the back...
+        queue.touch(1);
+        // ...so the next brand-new hash evicts hash 2, not the hot hash 1. (This
+        // was the admit-on-probe asymmetry: only `admit` refreshed recency, so a
+        // hit left the entry parked at the front of the queue.)
+        assert_eq!(queue.admit(100), Some(2));
+        assert_eq!(queue.order.len(), MAX_ENTRIES, "bound stays exact");
+        // Repeated hits keep pinning hash 1 across MAX_ENTRIES − 1 further
+        // admissions: every other original resident is evicted before it.
+        let mut evicted = Vec::new();
+        for fresh in 0..MAX_ENTRIES as u64 - 1 {
+            queue.touch(1);
+            evicted.extend(queue.admit(200 + fresh));
+        }
+        let expected: Vec<u64> = (3..=MAX_ENTRIES as u64).chain([100]).collect();
+        assert_eq!(evicted, expected, "the hot entry outlives every cold one");
+        assert!(queue.order.contains(&1), "hash 1 is still resident");
+    }
+
+    #[test]
+    fn touching_a_non_resident_hash_is_a_noop() {
+        let mut queue = ResidencyQueue::new(MAX_ENTRIES);
+        admit_all(&mut queue, [10, 20]);
+        queue.touch(999);
+        assert_eq!(queue.order, [10, 20]);
     }
 
     #[test]

@@ -1,13 +1,15 @@
 //! The work-stealing, multi-threaded exploration engine.
 
-use crate::cache::{CompiledCache, Evaluated};
+use crate::cache::{CompiledCache, Evaluated, PointProfiles};
 use crate::error::ExploreError;
 use crate::job::Job;
 use crate::pareto::{pareto_front, PointMetrics};
 use crate::spec::{ExplorationSpec, StealPolicy};
+use crate::store::{profile_digest, EvalKey, ResultStore, StoredEval};
 use crate::summary::{render_summary, summarize_flows, FlowSummary};
-use dpsyn_baselines::{FlowResult, FlowSynthesis};
-use std::collections::VecDeque;
+use dpsyn_baselines::{input_profiles, FlowResult, FlowSynthesis};
+use dpsyn_designs::Design;
+use std::collections::{BTreeMap, VecDeque};
 use std::ops::Range;
 use std::sync::{Mutex, OnceLock};
 use std::thread;
@@ -77,6 +79,10 @@ pub struct WorkerStats {
     pub jobs: usize,
     /// Chunks this worker stole from another worker's queue.
     pub steals: usize,
+    /// Jobs this worker served from the persistent result store instead of
+    /// evaluating (always 0 when no store is attached or lookups are disabled by
+    /// artifact retention).
+    pub store_hits: usize,
 }
 
 /// Scheduling diagnostics of one exploration, one entry per worker thread.
@@ -90,6 +96,11 @@ impl ExploreStats {
     /// Total number of stolen chunks across all workers.
     pub fn total_steals(&self) -> usize {
         self.workers.iter().map(|worker| worker.steals).sum()
+    }
+
+    /// Total number of jobs served from the persistent result store.
+    pub fn total_store_hits(&self) -> usize {
+        self.workers.iter().map(|worker| worker.store_hits).sum()
     }
 
     /// Jobs executed by the busiest and laziest workers — a quick imbalance probe.
@@ -341,22 +352,84 @@ pub fn explore(spec: &ExplorationSpec) -> Result<ExplorationResults, ExploreErro
 }
 
 /// Like [`explore`], additionally returning the run's scheduling diagnostics
-/// ([`ExploreStats`]): per-worker chunk/job/steal counters. The results half is
-/// bit-identical to [`explore`]'s; the stats half records *this run's* scheduling
-/// and may differ between runs.
+/// ([`ExploreStats`]): per-worker chunk/job/steal/store-hit counters. The results
+/// half is bit-identical to [`explore`]'s; the stats half records *this run's*
+/// scheduling and may differ between runs.
+///
+/// When the specification attaches a persistent store
+/// ([`ExplorationSpecBuilder::store`](crate::ExplorationSpecBuilder::store)), this
+/// is also where the persistence round-trip happens: the memo file is loaded
+/// before the run, warm hits are served from it during the run, and the union of
+/// old and fresh records is flushed back atomically afterwards.
 pub fn explore_with_stats(
     spec: &ExplorationSpec,
 ) -> Result<(ExplorationResults, ExploreStats), ExploreError> {
+    match spec.store_path() {
+        None => explore_with_store(spec, None).map(|(results, stats, _)| (results, stats)),
+        Some(path) => {
+            let mut store = ResultStore::load(path)?;
+            let (results, stats, fresh) = explore_with_store(spec, Some(&store))?;
+            store.merge(fresh);
+            store.flush()?;
+            Ok((results, stats))
+        }
+    }
+}
+
+/// The fresh `(key, value)` records one [`explore_with_store`] run evaluated,
+/// sorted by key — ready for [`ResultStore::merge`].
+pub type FreshRecords = Vec<(EvalKey, StoredEval)>;
+
+/// The lowest-level entry point: runs an exploration against an optional
+/// **caller-managed** [`ResultStore`] snapshot and returns the fresh records the
+/// run evaluated (sorted by key) alongside the results and stats, leaving the
+/// merge/flush policy to the caller. [`explore_with_stats`] builds the simple
+/// load–run–flush cycle on top; the server mode shares one store across requests
+/// by snapshotting it per request and merging the fresh records back under its own
+/// lock.
+///
+/// Store semantics:
+///
+/// * Lookups are served at both stages — point-level hits skip the job entirely,
+///   analysis-level hits skip the analysis bundle — and always return figures
+///   **byte-identical** to fresh evaluation (the store holds exact f64 bit
+///   patterns keyed by the exact evaluation identity).
+/// * When the specification retains artifacts, lookups are disabled (a memoized
+///   record has no netlist to retain, and the retention contract is exact);
+///   fresh records are still produced so the run warms the store either way.
+/// * `store: None` is precisely the pre-store engine: no keys are computed, no
+///   records returned.
+///
+/// # Errors
+///
+/// Returns [`ExploreError::Flow`] when a synthesis flow fails on a job (lowest
+/// job index wins, independent of thread count), or
+/// [`ExploreError::WorkerPanic`] naming the job whose evaluation panicked — the
+/// engine converts worker panics into a typed error instead of aborting, so
+/// long-lived callers survive them.
+pub fn explore_with_store(
+    spec: &ExplorationSpec,
+    store: Option<&ResultStore>,
+) -> Result<(ExplorationResults, ExploreStats, FreshRecords), ExploreError> {
     let jobs = spec.jobs();
     let plan = schedule(spec, &jobs);
     let workers = spec.threads();
     let queues = StealQueues::new(seed_queues(plan.chunks.len(), workers), spec.steal_policy());
+    let memo = store.map(|store| StoreContext {
+        store,
+        tech_digest: spec.tech().identity_digest(),
+    });
     // One write-once slot per job: no result lock, no post-run sort.
     let slots: Vec<OnceLock<Result<ExplorationPoint, ExploreError>>> =
         jobs.iter().map(|_| OnceLock::new()).collect();
     let mut stats = ExploreStats {
         workers: Vec::with_capacity(workers),
     };
+    // Fresh records, keyed: the BTreeMap both deduplicates (identical keys carry
+    // identical values by evaluation purity) and fixes the return order, so the
+    // fresh set is independent of which worker evaluated what.
+    let mut fresh = BTreeMap::new();
+    let mut panicked = false;
     thread::scope(|scope| {
         let handles: Vec<_> = (0..workers)
             .map(|me| {
@@ -364,9 +437,11 @@ pub fn explore_with_stats(
                 let plan = &plan;
                 let jobs = &jobs;
                 let slots = &slots;
+                let memo = memo.as_ref();
                 scope.spawn(move || {
                     let mut cache = CompiledCache::new();
                     let mut worker = WorkerStats::default();
+                    let mut recorded = Vec::new();
                     loop {
                         let (chunk_index, stolen) = match queues.pop_own(me) {
                             Some(chunk) => (chunk, false),
@@ -379,21 +454,46 @@ pub fn explore_with_stats(
                         worker.steals += usize::from(stolen);
                         for &job_index in &plan.order[plan.chunks[chunk_index].clone()] {
                             worker.jobs += 1;
-                            let outcome = evaluate(spec, &jobs[job_index], &mut cache);
+                            let outcome = evaluate(
+                                spec,
+                                &jobs[job_index],
+                                &mut cache,
+                                memo,
+                                &mut recorded,
+                                &mut worker.store_hits,
+                            );
                             let stored = slots[job_index].set(outcome);
                             debug_assert!(stored.is_ok(), "every job index is claimed once");
                         }
                     }
-                    worker
+                    (worker, recorded)
                 })
             })
             .collect();
         for handle in handles {
-            stats
-                .workers
-                .push(handle.join().expect("worker threads do not panic"));
+            match handle.join() {
+                Ok((worker, recorded)) => {
+                    stats.workers.push(worker);
+                    for (key, value) in recorded {
+                        fresh.entry(key).or_insert(value);
+                    }
+                }
+                // A worker panicked mid-evaluation. Its panic payload is opaque;
+                // the unfilled result slot identifies the job (a slot is claimed
+                // by exactly one worker, and the panic site is inside `evaluate`,
+                // before the claiming `set`). Keep joining so the remaining
+                // workers drain cleanly before the error returns.
+                Err(_) => panicked = true,
+            }
         }
     });
+    if panicked {
+        let job = slots
+            .iter()
+            .position(|slot| slot.get().is_none())
+            .unwrap_or(0);
+        return Err(ExploreError::WorkerPanic { job });
+    }
     let mut points = Vec::with_capacity(jobs.len());
     for slot in slots {
         let outcome = slot
@@ -403,7 +503,49 @@ pub fn explore_with_stats(
     }
     let metrics: Vec<PointMetrics> = points.iter().map(|point| point.metrics).collect();
     let front = pareto_front(&metrics);
-    Ok((ExplorationResults { points, front }, stats))
+    Ok((
+        ExplorationResults { points, front },
+        stats,
+        fresh.into_iter().collect(),
+    ))
+}
+
+/// The store view one run evaluates against: an immutable snapshot plus the tech
+/// digest computed once for every key of the run.
+struct StoreContext<'a> {
+    store: &'a ResultStore,
+    tech_digest: u64,
+}
+
+/// Reconstructs an exploration point from a memoized record — byte-identical to
+/// fresh evaluation because the record stores exact bit patterns. Only reached
+/// when artifacts are not retained, so `artifact: None` matches fresh behavior.
+fn point_from_stored(job: &Job, design: &Design, stored: StoredEval) -> ExplorationPoint {
+    ExplorationPoint {
+        job: job.clone(),
+        design: design.name().to_string(),
+        metrics: PointMetrics {
+            delay: stored.delay,
+            power: stored.power_mw,
+            area: stored.area,
+            switching_energy: stored.switching_energy,
+            cell_count: stored.cell_count,
+            logic_depth: stored.logic_depth,
+        },
+        artifact: None,
+    }
+}
+
+/// The storable figures of a freshly evaluated point.
+fn stored_from(evaluated: &Evaluated) -> StoredEval {
+    StoredEval {
+        delay: evaluated.delay,
+        area: evaluated.area,
+        switching_energy: evaluated.switching_energy,
+        power_mw: evaluated.power_mw,
+        cell_count: evaluated.cell_count,
+        logic_depth: evaluated.logic_depth,
+    }
 }
 
 /// Evaluates one job: materializes its design, runs its flow's synthesis, and obtains
@@ -411,12 +553,33 @@ pub fn explore_with_stats(
 /// and structure straight off the compiled program). Flows that synthesize without
 /// analysing go through the worker's [`CompiledCache`] — a structurally verified hit
 /// re-analyses only the dirty cone; everything else takes the full compiled bundle.
+///
+/// With a [`StoreContext`] attached the job additionally consults the persistent
+/// store — a point-level hit skips even synthesis, an analysis-level hit skips the
+/// analysis bundle — and appends its own records to `recorded`. Lookups are
+/// skipped (but records still produced) when artifacts are retained; see
+/// [`explore_with_store`].
 fn evaluate(
     spec: &ExplorationSpec,
     job: &Job,
     cache: &mut CompiledCache,
+    memo: Option<&StoreContext<'_>>,
+    recorded: &mut Vec<(EvalKey, StoredEval)>,
+    store_hits: &mut usize,
 ) -> Result<ExplorationPoint, ExploreError> {
     let design = spec.materialize(job);
+    #[cfg(test)]
+    if design.name() == "__panic__" {
+        panic!("injected evaluation panic (worker-panic tests only)");
+    }
+    let lookups = memo.filter(|_| !spec.retain_artifacts);
+    let point_key = memo.map(|context| EvalKey::point(&design, job.flow(), context.tech_digest));
+    if let (Some(context), Some(key)) = (lookups, point_key.as_ref()) {
+        if let Some(stored) = context.store.lookup(key) {
+            *store_hits += 1;
+            return Ok(point_from_stored(job, &design, stored));
+        }
+    }
     let synthesis = job
         .flow()
         .synthesize(
@@ -439,20 +602,52 @@ fn evaluate(
             logic_depth: result.compiled.level_count(),
             artifact: spec.retain_artifacts.then_some(*result),
         },
-        FlowSynthesis::Unanalyzed(parts) => cache
-            .analyze(
-                parts.flow,
-                parts.netlist,
-                parts.word_map,
-                design.spec(),
-                spec.tech(),
-                spec.retain_artifacts,
-            )
-            .map_err(|source| ExploreError::Flow {
-                job: job.label(),
-                source,
-            })?,
+        FlowSynthesis::Unanalyzed(parts) => {
+            let (arrivals, probabilities) = input_profiles(&parts.word_map, design.spec());
+            let analysis_key = memo.map(|context| {
+                EvalKey::analysis(
+                    &parts.netlist,
+                    context.tech_digest,
+                    parts.flow,
+                    profile_digest(&arrivals, &probabilities),
+                )
+            });
+            if let (Some(context), Some(key)) = (lookups, analysis_key.as_ref()) {
+                if let Some(stored) = context.store.lookup(key) {
+                    *store_hits += 1;
+                    // Promote the hit to a point-level record so the next run
+                    // skips this job's synthesis too.
+                    if let Some(point_key) = point_key {
+                        recorded.push((point_key, stored));
+                    }
+                    return Ok(point_from_stored(job, &design, stored));
+                }
+            }
+            let evaluated = cache
+                .analyze(
+                    parts.flow,
+                    parts.netlist,
+                    parts.word_map,
+                    PointProfiles {
+                        arrivals: &arrivals,
+                        probabilities: &probabilities,
+                    },
+                    spec.tech(),
+                    spec.retain_artifacts,
+                )
+                .map_err(|source| ExploreError::Flow {
+                    job: job.label(),
+                    source,
+                })?;
+            if let Some(key) = analysis_key {
+                recorded.push((key, stored_from(&evaluated)));
+            }
+            evaluated
+        }
     };
+    if let Some(key) = point_key {
+        recorded.push((key, stored_from(&evaluated)));
+    }
     let metrics = PointMetrics {
         delay: evaluated.delay,
         power: evaluated.power_mw,
@@ -610,6 +805,49 @@ mod tests {
         let preview = schedule_preview(&spec);
         let sizes: Vec<usize> = preview.chunks().iter().map(Vec::len).collect();
         assert_eq!(sizes, vec![3, 2]);
+    }
+
+    /// A fixed design whose evaluation panics (the `__panic__` injection hook in
+    /// [`evaluate`] is compiled under `cfg(test)` only).
+    fn panicking_design() -> dpsyn_designs::Design {
+        let healthy = dpsyn_designs::x_squared();
+        dpsyn_designs::Design::new(
+            "__panic__",
+            "injected panic for worker-panic tests",
+            &healthy.expr().to_string(),
+            healthy.spec().clone(),
+            healthy.output_width(),
+        )
+    }
+
+    #[test]
+    fn worker_panics_surface_as_typed_errors_naming_the_job() {
+        // The panicking design sits *after* a healthy one, so its job indices are
+        // 2 and 3 (two flows per design) and healthy jobs complete around it.
+        for threads in [1, 2, 4] {
+            let spec = ExplorationSpec::builder()
+                .design(dpsyn_designs::x_squared())
+                .design(panicking_design())
+                .flows([Flow::FaAot, Flow::Conventional])
+                .threads(threads)
+                .seed(7)
+                .build()
+                .expect("panic-injection spec is well-formed");
+            let error = explore(&spec).expect_err("the injected panic must surface");
+            match error {
+                ExploreError::WorkerPanic { job } => {
+                    assert!(
+                        [2, 3].contains(&job),
+                        "the reported job must be one of the panicking design's \
+                         (got {job}); with one worker it is the first one reached"
+                    );
+                    if threads == 1 {
+                        assert_eq!(job, 2, "single-threaded order is canonical");
+                    }
+                }
+                other => panic!("expected WorkerPanic, got {other}"),
+            }
+        }
     }
 
     #[test]

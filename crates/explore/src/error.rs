@@ -45,6 +45,28 @@ pub enum ExploreError {
         /// The underlying flow error.
         source: BaselineError,
     },
+    /// A worker thread panicked while evaluating a job. The engine converts the
+    /// panic into this typed error instead of aborting the process, so callers
+    /// (notably the long-lived server mode) survive a poisoned evaluation.
+    WorkerPanic {
+        /// Index of the job whose evaluation panicked (its result slot was left
+        /// unfilled).
+        job: usize,
+    },
+    /// The persistent result store failed on a true I/O operation (corrupt or
+    /// stale *content* never errors — it is rebuilt or skipped instead).
+    Store {
+        /// The memo file involved.
+        path: std::path::PathBuf,
+        /// What went wrong.
+        message: String,
+    },
+    /// The exploration server failed to bind, accept or speak its socket
+    /// protocol.
+    Serve {
+        /// What went wrong.
+        message: String,
+    },
 }
 
 impl fmt::Display for ExploreError {
@@ -102,6 +124,15 @@ impl fmt::Display for ExploreError {
             ),
             ExploreError::Flow { job, source } => {
                 write!(f, "flow failed on job `{job}`: {source}")
+            }
+            ExploreError::WorkerPanic { job } => {
+                write!(f, "a worker thread panicked while evaluating job {job}")
+            }
+            ExploreError::Store { path, message } => {
+                write!(f, "result store `{}` failed: {message}", path.display())
+            }
+            ExploreError::Serve { message } => {
+                write!(f, "exploration server failed: {message}")
             }
         }
     }

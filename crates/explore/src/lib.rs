@@ -47,20 +47,26 @@ mod engine;
 mod error;
 mod job;
 mod pareto;
+#[cfg(unix)]
+mod serve;
 mod spec;
+mod store;
 mod summary;
 
 pub use dpsyn_baselines::Flow;
 pub use engine::{
-    explore, explore_with_stats, schedule_preview, ExplorationPoint, ExplorationResults,
-    ExploreStats, SchedulePreview, WorkerStats,
+    explore, explore_with_stats, explore_with_store, schedule_preview, ExplorationPoint,
+    ExplorationResults, ExploreStats, FreshRecords, SchedulePreview, WorkerStats,
 };
 pub use error::ExploreError;
 pub use job::Job;
 pub use pareto::{pareto_front, PointMetrics};
+#[cfg(unix)]
+pub use serve::{serve, ServeConfig, ServeResponse};
 pub use spec::{
     BiasProfile, ExplorationSpec, ExplorationSpecBuilder, ExprSource, SkewProfile, StealPolicy,
 };
+pub use store::{profile_digest, EvalKey, EvalStage, ResultStore, StoredEval, STORE_FORMAT};
 pub use summary::FlowSummary;
 
 #[cfg(test)]

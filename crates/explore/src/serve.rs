@@ -1,0 +1,838 @@
+//! Long-lived exploration service over a Unix domain socket.
+//!
+//! `explore --serve <socket>` (see the `dpsyn-bench` binary) turns the exploration
+//! engine into a server: clients connect to the socket and speak a newline-delimited
+//! JSON protocol — one request line per [`ExplorationSpec`], one response line back —
+//! while every request shares the **same** persistent [`ResultStore`], so repeated
+//! or overlapping sweeps from any number of clients collapse to warm lookups.
+//!
+//! # Protocol
+//!
+//! A request is one JSON object on one line:
+//!
+//! ```json
+//! {"sources":[{"design":"x_squared"},{"sum":3}],"widths":[4],
+//!  "skews":["keep",2.0],"biases":["keep"],
+//!  "flows":["conventional","csa_opt",{"fa_random":11}],
+//!  "seed":7,"threads":2,"overpartition":4,"steal":"busiest","tech":"lcbg10pv_like"}
+//! ```
+//!
+//! Every field maps straight onto the [`ExplorationSpec`] builder; unknown fields
+//! are rejected (a typo must not silently change the sweep). `{"shutdown":true}`
+//! asks the server to stop: it finishes every in-flight request, takes no new
+//! connections, flushes the store one final time and removes the socket file.
+//!
+//! The response is one JSON object on one line:
+//!
+//! ```json
+//! {"ok":true,"jobs":24,"points":24,"store_hits":18,"summary":"..."}
+//! ```
+//!
+//! with `summary` the full [`render_summary`](crate::ExplorationResults::render_summary)
+//! text (byte-identical to a batch run of the same spec), or
+//! `{"ok":false,"error":"..."}` when the request is malformed or the run fails.
+//! Responses are produced by [`ServeResponse`]'s writer and parsed back by
+//! [`ServeResponse::parse`], so clients need no JSON library either.
+//!
+//! # Concurrency and the shared store
+//!
+//! Each connection runs on its own thread. A request snapshots the store under a
+//! brief lock, explores against the immutable snapshot (no lock held during the
+//! sweep — concurrent requests run truly in parallel), then merges its fresh
+//! records back and flushes under the lock. Two overlapping requests therefore
+//! cannot corrupt the store, and whichever finishes second gets the first one's
+//! records on its next request.
+
+use crate::engine::explore_with_store;
+use crate::error::ExploreError;
+use crate::spec::{BiasProfile, ExplorationSpec, SkewProfile, StealPolicy};
+use crate::store::ResultStore;
+use dpsyn_baselines::Flow;
+use dpsyn_designs::Design;
+use dpsyn_tech::TechLibrary;
+use std::io::{ErrorKind, Read, Write};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::Duration;
+
+/// How long the accept loop and connection reads sleep/block between shutdown
+/// checks. Short enough for prompt drain, long enough to stay off the CPU.
+const POLL_INTERVAL: Duration = Duration::from_millis(25);
+const READ_TIMEOUT: Duration = Duration::from_millis(250);
+
+/// Configuration of one [`serve`] call.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Path of the Unix domain socket to listen on (an existing socket file at
+    /// this path is replaced).
+    pub socket: PathBuf,
+    /// Memo file of the shared persistent store; `None` serves from a process-
+    /// lifetime in-memory store instead.
+    pub store_path: Option<PathBuf>,
+}
+
+/// One parsed response line of the protocol; see the [module docs](self).
+#[derive(Debug, Clone, Default)]
+pub struct ServeResponse {
+    /// Whether the request succeeded.
+    pub ok: bool,
+    /// Jobs the request's matrix enumerated.
+    pub jobs: usize,
+    /// Points the exploration returned.
+    pub points: usize,
+    /// Jobs served straight from the shared store.
+    pub store_hits: usize,
+    /// The rendered summary (byte-identical to a batch run of the same spec).
+    pub summary: String,
+    /// The error message when `ok` is false.
+    pub error: String,
+    /// Whether this response acknowledges a shutdown request.
+    pub shutdown: bool,
+}
+
+impl ServeResponse {
+    /// Parses one response line.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExploreError::Serve`] when the line is not a response object.
+    pub fn parse(line: &str) -> Result<ServeResponse, ExploreError> {
+        let value = parse_json(line).map_err(|message| ExploreError::Serve {
+            message: format!("malformed response line: {message}"),
+        })?;
+        let Json::Object(fields) = value else {
+            return Err(ExploreError::Serve {
+                message: "response line is not a JSON object".to_string(),
+            });
+        };
+        let mut response = ServeResponse::default();
+        for (key, value) in &fields {
+            match key.as_str() {
+                "ok" => response.ok = value.as_bool().unwrap_or(false),
+                "jobs" => response.jobs = value.as_usize().unwrap_or(0),
+                "points" => response.points = value.as_usize().unwrap_or(0),
+                "store_hits" => response.store_hits = value.as_usize().unwrap_or(0),
+                "summary" => response.summary = value.as_str().unwrap_or("").to_string(),
+                "error" => response.error = value.as_str().unwrap_or("").to_string(),
+                "shutdown" => response.shutdown = value.as_bool().unwrap_or(false),
+                _ => {}
+            }
+        }
+        Ok(response)
+    }
+
+    fn render(&self) -> String {
+        if self.shutdown {
+            return "{\"ok\":true,\"shutdown\":true}".to_string();
+        }
+        if self.ok {
+            format!(
+                "{{\"ok\":true,\"jobs\":{},\"points\":{},\"store_hits\":{},\"summary\":\"{}\"}}",
+                self.jobs,
+                self.points,
+                self.store_hits,
+                escape_json(&self.summary)
+            )
+        } else {
+            format!(
+                "{{\"ok\":false,\"error\":\"{}\"}}",
+                escape_json(&self.error)
+            )
+        }
+    }
+}
+
+fn serve_error(message: impl std::fmt::Display) -> ExploreError {
+    ExploreError::Serve {
+        message: message.to_string(),
+    }
+}
+
+/// A poisoned store lock only means another request thread panicked *between*
+/// merge steps; the store itself is always in a consistent state (merge is
+/// per-record), so serving continues with the data as-is.
+fn lock_store(store: &Mutex<ResultStore>) -> MutexGuard<'_, ResultStore> {
+    store
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// Runs the exploration server until a client sends `{"shutdown":true}`: binds the
+/// socket, serves each connection on its own thread against the shared store, then
+/// drains every in-flight request, flushes the store and removes the socket file.
+///
+/// # Errors
+///
+/// Returns [`ExploreError::Serve`] when the socket cannot be bound, or
+/// [`ExploreError::Store`] when the store cannot be loaded or finally flushed.
+/// Per-request failures are reported to the requesting client, never here.
+pub fn serve(config: &ServeConfig) -> Result<(), ExploreError> {
+    let store = match &config.store_path {
+        Some(path) => ResultStore::load(path)?,
+        None => ResultStore::in_memory(),
+    };
+    let store = Arc::new(Mutex::new(store));
+    // Replace a stale socket file from a previous, unclean shutdown.
+    let _ = std::fs::remove_file(&config.socket);
+    let listener = UnixListener::bind(&config.socket).map_err(|error| {
+        serve_error(format!(
+            "cannot bind socket `{}`: {error}",
+            config.socket.display()
+        ))
+    })?;
+    listener.set_nonblocking(true).map_err(serve_error)?;
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let mut handlers: Vec<std::thread::JoinHandle<()>> = Vec::new();
+    while !shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let store = Arc::clone(&store);
+                let shutdown = Arc::clone(&shutdown);
+                handlers.push(std::thread::spawn(move || {
+                    handle_connection(stream, &store, &shutdown);
+                }));
+            }
+            Err(error) if error.kind() == ErrorKind::WouldBlock => {
+                std::thread::sleep(POLL_INTERVAL);
+            }
+            // Transient accept failures (e.g. a client vanishing mid-handshake)
+            // must not kill a long-lived server.
+            Err(_) => std::thread::sleep(POLL_INTERVAL),
+        }
+        // Reap finished connection threads as we go.
+        let (finished, running): (Vec<_>, Vec<_>) = handlers
+            .into_iter()
+            .partition(std::thread::JoinHandle::is_finished);
+        for handle in finished {
+            let _ = handle.join();
+        }
+        handlers = running;
+    }
+    // Graceful shutdown: drain every in-flight request before the final flush.
+    for handle in handlers {
+        let _ = handle.join();
+    }
+    lock_store(&store).flush()?;
+    let _ = std::fs::remove_file(&config.socket);
+    Ok(())
+}
+
+/// Serves one connection: accumulates bytes into a line buffer (a read timeout
+/// must not lose a partial line, so this does its own splitting instead of
+/// `BufRead::read_line`), answers each complete request line, and leaves when the
+/// peer closes or the server shuts down.
+fn handle_connection(mut stream: UnixStream, store: &Mutex<ResultStore>, shutdown: &AtomicBool) {
+    let _ = stream.set_read_timeout(Some(READ_TIMEOUT));
+    let mut buffer: Vec<u8> = Vec::new();
+    let mut chunk = [0u8; 4096];
+    loop {
+        match stream.read(&mut chunk) {
+            Ok(0) => return, // peer closed
+            Ok(read) => {
+                buffer.extend_from_slice(&chunk[..read]);
+                while let Some(newline) = buffer.iter().position(|&byte| byte == b'\n') {
+                    let line: Vec<u8> = buffer.drain(..=newline).collect();
+                    let line = String::from_utf8_lossy(&line[..newline]).into_owned();
+                    if line.trim().is_empty() {
+                        continue;
+                    }
+                    let response = handle_request(&line, store, shutdown).render();
+                    if stream.write_all(response.as_bytes()).is_err()
+                        || stream.write_all(b"\n").is_err()
+                    {
+                        return;
+                    }
+                    let _ = stream.flush();
+                }
+            }
+            Err(error)
+                if error.kind() == ErrorKind::WouldBlock || error.kind() == ErrorKind::TimedOut =>
+            {
+                // Idle connection; leave once the server is draining.
+                if shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+/// Answers one request line.
+fn handle_request(line: &str, store: &Mutex<ResultStore>, shutdown: &AtomicBool) -> ServeResponse {
+    let fail = |error: String| ServeResponse {
+        error,
+        ..ServeResponse::default()
+    };
+    let fields = match parse_json(line) {
+        Ok(Json::Object(fields)) => fields,
+        Ok(_) => return fail("request line is not a JSON object".to_string()),
+        Err(message) => return fail(format!("malformed request: {message}")),
+    };
+    if let Some(value) = lookup(&fields, "shutdown") {
+        if value.as_bool() == Some(true) {
+            shutdown.store(true, Ordering::SeqCst);
+            return ServeResponse {
+                ok: true,
+                shutdown: true,
+                ..ServeResponse::default()
+            };
+        }
+        return fail("`shutdown` must be `true` when present".to_string());
+    }
+    let spec = match build_spec(&fields) {
+        Ok(spec) => spec,
+        Err(message) => return fail(message),
+    };
+    // Snapshot under a brief lock; the sweep itself runs lock-free so overlapping
+    // requests explore in parallel.
+    let snapshot = lock_store(store).clone();
+    match explore_with_store(&spec, Some(&snapshot)) {
+        Ok((results, stats, fresh)) => {
+            let mut guard = lock_store(store);
+            guard.merge(fresh);
+            if let Err(error) = guard.flush() {
+                return fail(error.to_string());
+            }
+            drop(guard);
+            ServeResponse {
+                ok: true,
+                jobs: spec.jobs().len(),
+                points: results.points().len(),
+                store_hits: stats.total_store_hits(),
+                summary: results.render_summary(),
+                error: String::new(),
+                shutdown: false,
+            }
+        }
+        Err(error) => fail(error.to_string()),
+    }
+}
+
+/// The catalog a request's `{"design": name}` sources resolve from.
+fn catalog_design(name: &str) -> Option<Design> {
+    Some(match name {
+        "x_squared" => dpsyn_designs::x_squared(),
+        "x_cubed" => dpsyn_designs::x_cubed(),
+        "x2_x_y" => dpsyn_designs::x2_x_y(),
+        "binomial_square" => dpsyn_designs::binomial_square(),
+        "mixed_poly" => dpsyn_designs::mixed_poly(),
+        "iir" => dpsyn_designs::iir(),
+        "kalman" => dpsyn_designs::kalman(),
+        "idct" => dpsyn_designs::idct(),
+        "complex_mult" => dpsyn_designs::complex_mult(),
+        "serial_adapter" => dpsyn_designs::serial_adapter(),
+        _ => return None,
+    })
+}
+
+fn parse_flow(value: &Json) -> Result<Flow, String> {
+    if let Some(name) = value.as_str() {
+        return match name {
+            "conventional" => Ok(Flow::Conventional),
+            "csa_opt" => Ok(Flow::CsaOpt),
+            "wallace_fixed" => Ok(Flow::WallaceFixed),
+            "fa_aot" => Ok(Flow::FaAot),
+            "fa_alp" => Ok(Flow::FaAlp),
+            other => Err(format!("unknown flow `{other}`")),
+        };
+    }
+    if let Json::Object(fields) = value {
+        if let [(key, seed)] = fields.as_slice() {
+            if key == "fa_random" {
+                let seed = seed
+                    .as_u64()
+                    .ok_or_else(|| "`fa_random` takes an integer seed".to_string())?;
+                return Ok(Flow::FaRandom(seed));
+            }
+        }
+    }
+    Err("a flow is a name string or {\"fa_random\": seed}".to_string())
+}
+
+/// A skew/bias axis entry: the string `"keep"` or a uniform-range number.
+fn parse_profile(value: &Json) -> Result<Option<f64>, String> {
+    if value.as_str() == Some("keep") {
+        return Ok(None);
+    }
+    value
+        .as_number()
+        .map(Some)
+        .ok_or_else(|| "a profile is \"keep\" or a number".to_string())
+}
+
+/// Builds the [`ExplorationSpec`] a request describes; every field maps onto one
+/// builder call and unknown fields are rejected.
+fn build_spec(fields: &[(String, Json)]) -> Result<ExplorationSpec, String> {
+    let mut builder = ExplorationSpec::builder();
+    for (key, value) in fields {
+        match key.as_str() {
+            "sources" => {
+                for source in value.as_array().ok_or("`sources` must be an array")? {
+                    let Json::Object(entry) = source else {
+                        return Err("a source is an object with one key".to_string());
+                    };
+                    let [(kind, argument)] = entry.as_slice() else {
+                        return Err("a source is an object with one key".to_string());
+                    };
+                    builder = match kind.as_str() {
+                        "design" => {
+                            let name = argument.as_str().ok_or("`design` takes a name string")?;
+                            let design = catalog_design(name)
+                                .ok_or_else(|| format!("unknown design `{name}`"))?;
+                            builder.design(design)
+                        }
+                        "sum" => builder.sum_workload(
+                            argument.as_usize().ok_or("`sum` takes an operand count")?,
+                        ),
+                        "sop" => builder.sum_of_products_workload(
+                            argument.as_usize().ok_or("`sop` takes a term count")?,
+                        ),
+                        other => return Err(format!("unknown source kind `{other}`")),
+                    };
+                }
+            }
+            "widths" => {
+                for width in value.as_array().ok_or("`widths` must be an array")? {
+                    let width = width.as_u64().ok_or("a width must be an integer")?;
+                    builder = builder.width(u32::try_from(width).map_err(|_| "width too large")?);
+                }
+            }
+            "skews" => {
+                for skew in value.as_array().ok_or("`skews` must be an array")? {
+                    builder = builder.skew(match parse_profile(skew)? {
+                        None => SkewProfile::Keep,
+                        Some(max_arrival) => SkewProfile::Uniform(max_arrival),
+                    });
+                }
+            }
+            "biases" => {
+                for bias in value.as_array().ok_or("`biases` must be an array")? {
+                    builder = builder.bias(match parse_profile(bias)? {
+                        None => BiasProfile::Keep,
+                        Some(bias) => BiasProfile::Uniform(bias),
+                    });
+                }
+            }
+            "flows" => {
+                for flow in value.as_array().ok_or("`flows` must be an array")? {
+                    builder = builder.flow(parse_flow(flow)?);
+                }
+            }
+            "seed" => builder = builder.seed(value.as_u64().ok_or("`seed` must be an integer")?),
+            "threads" => {
+                builder = builder.threads(value.as_usize().ok_or("`threads` must be an integer")?);
+            }
+            "overpartition" => {
+                builder = builder.overpartition(
+                    value
+                        .as_usize()
+                        .ok_or("`overpartition` must be an integer")?,
+                );
+            }
+            "steal" => {
+                builder = builder.steal_policy(match value.as_str() {
+                    Some("busiest") => StealPolicy::BusiestVictim,
+                    Some("round_robin") => StealPolicy::RoundRobin,
+                    _ => return Err("`steal` is \"busiest\" or \"round_robin\"".to_string()),
+                });
+            }
+            "tech" => {
+                builder = builder.tech(match value.as_str() {
+                    Some("unit") => TechLibrary::unit(),
+                    Some("lcbg10pv_like") => TechLibrary::lcbg10pv_like(),
+                    _ => return Err("`tech` is \"unit\" or \"lcbg10pv_like\"".to_string()),
+                });
+            }
+            other => return Err(format!("unknown request field `{other}`")),
+        }
+    }
+    builder.build().map_err(|error| error.to_string())
+}
+
+// ---------------------------------------------------------------------------
+// Minimal JSON: just enough for the line protocol, no external dependency.
+// ---------------------------------------------------------------------------
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+enum Json {
+    Null,
+    Bool(bool),
+    Number(f64),
+    String(String),
+    Array(Vec<Json>),
+    Object(Vec<(String, Json)>),
+}
+
+impl Json {
+    fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(value) => Some(*value),
+            _ => None,
+        }
+    }
+
+    fn as_number(&self) -> Option<f64> {
+        match self {
+            Json::Number(value) => Some(*value),
+            _ => None,
+        }
+    }
+
+    fn as_u64(&self) -> Option<u64> {
+        let value = self.as_number()?;
+        (value.fract() == 0.0 && (0.0..=u64::MAX as f64).contains(&value)).then_some(value as u64)
+    }
+
+    fn as_usize(&self) -> Option<usize> {
+        usize::try_from(self.as_u64()?).ok()
+    }
+
+    fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::String(value) => Some(value),
+            _ => None,
+        }
+    }
+
+    fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Array(values) => Some(values),
+            _ => None,
+        }
+    }
+}
+
+fn lookup<'a>(fields: &'a [(String, Json)], key: &str) -> Option<&'a Json> {
+    fields
+        .iter()
+        .find_map(|(name, value)| (name == key).then_some(value))
+}
+
+fn escape_json(text: &str) -> String {
+    let mut out = String::with_capacity(text.len() + 8);
+    for character in text.chars() {
+        match character {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            control if (control as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", control as u32));
+            }
+            character => out.push(character),
+        }
+    }
+    out
+}
+
+struct JsonParser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+fn parse_json(text: &str) -> Result<Json, String> {
+    let mut parser = JsonParser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    parser.skip_whitespace();
+    let value = parser.value()?;
+    parser.skip_whitespace();
+    if parser.pos != parser.bytes.len() {
+        return Err(format!("trailing characters at byte {}", parser.pos));
+    }
+    Ok(value)
+}
+
+impl JsonParser<'_> {
+    fn skip_whitespace(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), String> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!(
+                "expected `{}` at byte {}",
+                char::from(byte),
+                self.pos
+            ))
+        }
+    }
+
+    fn literal(&mut self, text: &str, value: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(text.as_bytes()) {
+            self.pos += text.len();
+            Ok(value)
+        } else {
+            Err(format!("invalid literal at byte {}", self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::String(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            _ => Err(format!("unexpected input at byte {}", self.pos)),
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_whitespace();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Object(fields));
+        }
+        loop {
+            self.skip_whitespace();
+            let key = self.string()?;
+            self.skip_whitespace();
+            self.expect(b':')?;
+            self.skip_whitespace();
+            let value = self.value()?;
+            fields.push((key, value));
+            self.skip_whitespace();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Object(fields));
+                }
+                _ => return Err(format!("expected `,` or `}}` at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut values = Vec::new();
+        self.skip_whitespace();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Array(values));
+        }
+        loop {
+            self.skip_whitespace();
+            values.push(self.value()?);
+            self.skip_whitespace();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Array(values));
+                }
+                _ => return Err(format!("expected `,` or `]` at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(
+            self.peek(),
+            Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+        ) {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()
+            .and_then(|text| text.parse::<f64>().ok())
+            .map(Json::Number)
+            .ok_or_else(|| format!("invalid number at byte {start}"))
+    }
+
+    fn hex4(&mut self) -> Result<u16, String> {
+        let end = self.pos + 4;
+        let digits = self
+            .bytes
+            .get(self.pos..end)
+            .and_then(|slice| std::str::from_utf8(slice).ok())
+            .and_then(|text| u16::from_str_radix(text, 16).ok())
+            .ok_or_else(|| format!("invalid \\u escape at byte {}", self.pos))?;
+        self.pos = end;
+        Ok(digits)
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let escape = self
+                        .peek()
+                        .ok_or_else(|| "unterminated escape".to_string())?;
+                    self.pos += 1;
+                    match escape {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let unit = self.hex4()?;
+                            let code = if (0xd800..0xdc00).contains(&unit) {
+                                // A high surrogate must be followed by `\uXXXX`
+                                // carrying the low half.
+                                self.expect(b'\\')?;
+                                self.expect(b'u')?;
+                                let low = self.hex4()?;
+                                if !(0xdc00..0xe000).contains(&low) {
+                                    return Err("unpaired surrogate".to_string());
+                                }
+                                0x10000 + (u32::from(unit - 0xd800) << 10) + u32::from(low - 0xdc00)
+                            } else {
+                                u32::from(unit)
+                            };
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| "invalid codepoint".to_string())?,
+                            );
+                        }
+                        other => return Err(format!("unknown escape `\\{}`", char::from(other))),
+                    }
+                }
+                Some(_) => {
+                    // Consume one UTF-8 character (the input is a &str, so byte
+                    // boundaries are valid).
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| "invalid UTF-8".to_string())?;
+                    let character = rest.chars().next().expect("peeked non-empty");
+                    out.push(character);
+                    self.pos += character.len_utf8();
+                }
+                None => return Err("unterminated string".to_string()),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_roundtrips_the_protocol_shapes() {
+        let line = r#"{"sources":[{"design":"x_squared"},{"sum":3}],"widths":[4,8],
+                       "skews":["keep",2.0],"flows":["csa_opt",{"fa_random":11}],
+                       "seed":7,"threads":2}"#;
+        let Json::Object(fields) = parse_json(line).expect("request parses") else {
+            panic!("not an object");
+        };
+        assert_eq!(
+            lookup(&fields, "seed").and_then(Json::as_u64),
+            Some(7),
+            "numbers parse exactly"
+        );
+        let spec = build_spec(&fields).expect("spec builds");
+        // x_squared: 2 skews × 2 flows; sum3: 2 widths × 2 skews × 2 flows.
+        assert_eq!(spec.jobs().len(), 4 + 8);
+        assert_eq!(spec.threads(), 2);
+        assert_eq!(spec.seed(), 7);
+    }
+
+    #[test]
+    fn escaped_strings_roundtrip() {
+        let original = "line1\nline2\t\"quoted\" \\ slash — π 🦀";
+        let encoded = format!("{{\"text\":\"{}\"}}", escape_json(original));
+        let Json::Object(fields) = parse_json(&encoded).expect("escaped text parses") else {
+            panic!("not an object");
+        };
+        assert_eq!(
+            lookup(&fields, "text").and_then(Json::as_str),
+            Some(original)
+        );
+        // And explicit \uXXXX escapes, including a surrogate pair.
+        let Json::Object(fields) =
+            parse_json(r#"{"text":"\u0041\u00e9\ud83e\udd80"}"#).expect("unicode escapes parse")
+        else {
+            panic!("not an object");
+        };
+        assert_eq!(
+            lookup(&fields, "text").and_then(Json::as_str),
+            Some("Aé🦀"),
+            "escapes decode"
+        );
+    }
+
+    #[test]
+    fn malformed_requests_are_rejected_with_reasons() {
+        assert!(parse_json("{\"a\":1,}").is_err(), "trailing comma");
+        assert!(parse_json("[1 2]").is_err(), "missing comma");
+        assert!(parse_json("{\"a\":1} extra").is_err(), "trailing garbage");
+        let Json::Object(fields) = parse_json(r#"{"flous":["csa_opt"]}"#).unwrap() else {
+            panic!("not an object");
+        };
+        let error = build_spec(&fields).expect_err("typos must not be ignored");
+        assert!(error.contains("unknown request field"), "{error}");
+        let Json::Object(fields) = parse_json(r#"{"flows":["warp_speed"]}"#).unwrap() else {
+            panic!("not an object");
+        };
+        assert!(build_spec(&fields)
+            .expect_err("unknown flow")
+            .contains("unknown flow"));
+    }
+
+    #[test]
+    fn responses_roundtrip_through_render_and_parse() {
+        let response = ServeResponse {
+            ok: true,
+            jobs: 24,
+            points: 24,
+            store_hits: 18,
+            summary: "multi\nline \"summary\"".to_string(),
+            error: String::new(),
+            shutdown: false,
+        };
+        let parsed = ServeResponse::parse(&response.render()).expect("response parses");
+        assert!(parsed.ok);
+        assert_eq!(parsed.jobs, 24);
+        assert_eq!(parsed.points, 24);
+        assert_eq!(parsed.store_hits, 18);
+        assert_eq!(parsed.summary, response.summary);
+        let failure = ServeResponse {
+            error: "boom".to_string(),
+            ..ServeResponse::default()
+        };
+        let parsed = ServeResponse::parse(&failure.render()).expect("failure parses");
+        assert!(!parsed.ok);
+        assert_eq!(parsed.error, "boom");
+        let ack = ServeResponse {
+            ok: true,
+            shutdown: true,
+            ..ServeResponse::default()
+        };
+        assert!(ServeResponse::parse(&ack.render()).unwrap().shutdown);
+    }
+}

@@ -218,6 +218,10 @@ pub struct ExplorationSpec {
     /// own synthesized netlist and word map plus the shared compiled program),
     /// bit-identical to what the non-cached path would have produced.
     pub(crate) retain_artifacts: bool,
+    /// Memo file of the persistent cross-run result store, when one is attached.
+    /// `None` (the default) runs the exploration without any persistence, exactly
+    /// as before the store existed.
+    pub(crate) store_path: Option<std::path::PathBuf>,
 }
 
 impl ExplorationSpec {
@@ -250,6 +254,11 @@ impl ExplorationSpec {
     /// The seed behind every pseudo-random draw of the exploration.
     pub fn seed(&self) -> u64 {
         self.seed
+    }
+
+    /// The memo file of the persistent result store, when one is attached.
+    pub fn store_path(&self) -> Option<&std::path::Path> {
+        self.store_path.as_deref()
     }
 
     /// Enumerates the job matrix in its canonical order: sources, then widths (for
@@ -364,6 +373,7 @@ impl Default for ExplorationSpecBuilder {
                 steal_policy: StealPolicy::default(),
                 overpartition: DEFAULT_OVERPARTITION,
                 retain_artifacts: false,
+                store_path: None,
             },
             threads: None,
         }
@@ -495,6 +505,19 @@ impl ExplorationSpecBuilder {
     /// points that ran the full analysis bundle.
     pub fn retain_artifacts(mut self, retain: bool) -> Self {
         self.spec.retain_artifacts = retain;
+        self
+    }
+
+    /// Attaches the persistent cross-run result store at `path` (default: none).
+    /// [`explore`](crate::explore) then loads the memo file before running, serves
+    /// warm hits from it, and flushes the union of old and fresh records back
+    /// atomically afterwards. Combined with [`retain_artifacts`]
+    /// (`ExplorationSpecBuilder::retain_artifacts`), store **lookups** are
+    /// disabled (results are still recorded): a memoized record carries figures,
+    /// not the synthesized netlist, so only fresh evaluation can honour the
+    /// retention contract exactly.
+    pub fn store(mut self, path: impl Into<std::path::PathBuf>) -> Self {
+        self.spec.store_path = Some(path.into());
         self
     }
 

@@ -1,0 +1,736 @@
+//! The persistent cross-run evaluation store.
+//!
+//! PR 5/6 made repeated sweep points cheap *within* one [`explore`](crate::explore)
+//! call (per-worker compiled-program cache + delta reruns), but every process still
+//! re-evaluated the whole matrix from scratch. This module promotes that reuse
+//! across runs, processes and clients: a [`ResultStore`] memoizes the analysed
+//! figures of every evaluated point under an exact [`EvalKey`] and persists them in
+//! a versioned on-disk memo file, so a warm-store sweep collapses to near-lookup
+//! cost while its output stays **byte-identical** to a cold run (the stored figures
+//! are f64 bit patterns, and the summary is a pure function of the points).
+//!
+//! # The evaluation key
+//!
+//! A stored result is only ever served when *everything* an analysis can observe is
+//! provably identical. Two key stages share one shape ([`EvalKey`]):
+//!
+//! * [`EvalStage::Analysis`] — keyed on the synthesized netlist, exactly as the
+//!   issue of record specifies: the structural hash, a 128-bit fingerprint of the
+//!   **exact** structural serialization ([`Netlist::structural_words`] — the
+//!   lossless, versioned counterpart of the folded `cell_ops` identity the
+//!   per-worker cache verifies), the technology-library identity digest
+//!   ([`TechLibrary::identity_digest`](dpsyn_tech::TechLibrary::identity_digest)),
+//!   the flow name, and a digest of the per-net input profiles. This serves the
+//!   synthesize-then-analyse flows (`conventional`, `csa_opt`): a warm hit skips the
+//!   whole compile + timing + power + area bundle.
+//! * [`EvalStage::Point`] — keyed one level earlier, on the materialized design
+//!   itself (name, expression text, output width, every input bit's arrival and
+//!   probability), the flow and the tech digest. Flows that analyse *during*
+//!   synthesis (the FA-tree family) never expose an unanalysed netlist, so only a
+//!   design-level key can collapse them to lookup cost; for the module-binding
+//!   flows it additionally skips synthesis. Point hits are what makes a fully warm
+//!   sweep near-free.
+//!
+//! Both fingerprints are independently-seeded splitmix64 chains
+//! ([`StructuralHasher::with_seed`]) over canonical word streams, so a stored
+//! result can never be served across a renamed design, an edited tech library, a
+//! different flow seed or a reprofiled input — each of those perturbs its digest.
+//!
+//! # The memo file
+//!
+//! The on-disk format is deliberately line-oriented and self-checking:
+//!
+//! ```text
+//! dpsyn-eval-store v1
+//! A <structural> <fp0> <fp1> <tech> <profiles> <flow> <delay> <area> <energy> <power> <cells> <depth> <checksum>
+//! P ...
+//! ```
+//!
+//! every numeric field a fixed-width lowercase-hex u64 (f64s by bit pattern) and
+//! every line carrying its own chained checksum. Loading **never fails on content**:
+//! a missing file is an empty store, a wrong header (old version, foreign file) is
+//! detected and the store rebuilt from empty ([`ResultStore::rebuilt`]), and any
+//! line that fails to parse or checksum is skipped and counted
+//! ([`ResultStore::skipped_lines`]) — a truncated concurrent write costs at most the
+//! truncated line.
+//!
+//! [`ResultStore::flush`] is atomic and merge-convergent: it re-reads the file,
+//! unions the on-disk records into its own (ties broken by the deterministic
+//! smaller-value rule, so the union is commutative), writes a temp file **sorted by
+//! key** and renames it over the store, then re-reads to verify its own records
+//! survived — retrying when a concurrent flush won the rename race. Because the
+//! merged record set and the line format are both canonical, the final file bytes
+//! are independent of which process flushed last.
+
+use crate::error::ExploreError;
+use dpsyn_baselines::Flow;
+use dpsyn_designs::Design;
+use dpsyn_netlist::{NetId, Netlist, StructuralHasher};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::fs;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// Header line of the memo file; the version suffix guards the record layout.
+pub const STORE_FORMAT: &str = "dpsyn-eval-store v1";
+
+/// Bounded retries for the flush merge-verify loop under concurrent writers.
+const FLUSH_ATTEMPTS: usize = 16;
+
+/// Independent seeds for the two fingerprint chains, the two profile/primary
+/// digests and the per-line checksum. Any two digests of the same words differ
+/// because their chains start differently.
+const FINGERPRINT_SEEDS: [u64; 2] = [0x9d5c_41e7_3b28_f601, 0x5e8a_02c9_d714_6fb3];
+const POINT_PRIMARY_SEED: u64 = 0x31f6_88ad_0c52_e947;
+const PROFILE_SEED: u64 = 0xc703_5a1e_92d8_4b65;
+const LINE_SEED: u64 = 0x84b2_d90f_671c_3ae5;
+
+/// Which level of the evaluation pipeline a stored record memoizes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum EvalStage {
+    /// Keyed on the synthesized netlist: a hit skips the analysis bundle.
+    Analysis,
+    /// Keyed on the materialized design point: a hit skips synthesis too.
+    Point,
+}
+
+impl EvalStage {
+    fn tag(self) -> &'static str {
+        match self {
+            EvalStage::Analysis => "A",
+            EvalStage::Point => "P",
+        }
+    }
+
+    fn from_tag(tag: &str) -> Option<Self> {
+        match tag {
+            "A" => Some(EvalStage::Analysis),
+            "P" => Some(EvalStage::Point),
+            _ => None,
+        }
+    }
+}
+
+/// The exact identity a stored evaluation is keyed by; see the
+/// [module documentation](self) for what each component covers.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct EvalKey {
+    /// Which pipeline level the record memoizes.
+    pub stage: EvalStage,
+    /// The primary probe word: [`Netlist::structural_hash`] for analysis records,
+    /// a seeded digest of the design identity for point records.
+    pub structural: u64,
+    /// 128-bit fingerprint of the exact canonical serialization (two
+    /// independently-seeded chains over the same word stream).
+    pub fingerprint: [u64; 2],
+    /// The technology library's identity digest.
+    pub tech: u64,
+    /// The flow identity (includes the seed for `fa_random`).
+    pub flow: String,
+    /// Digest of the input profiles the figures were computed under.
+    pub profiles: u64,
+}
+
+/// Folds `words` through one independently-seeded splitmix64 chain.
+fn chain(seed: u64, words: &[u64]) -> u64 {
+    let mut hasher = StructuralHasher::with_seed(seed);
+    for word in words {
+        hasher.write(*word);
+    }
+    hasher.finish()
+}
+
+/// Appends a length-prefixed string to a canonical word stream.
+fn push_str(words: &mut Vec<u64>, text: &str) {
+    words.push(text.len() as u64);
+    words.extend(text.bytes().map(u64::from));
+}
+
+impl EvalKey {
+    /// Keys one synthesized-but-unanalysed netlist: the issue-specified
+    /// `(structural_hash, exact serialization fingerprint, tech identity, flow,
+    /// input-profile digest)` tuple. Compute `profiles` with [`profile_digest`]
+    /// from the same per-net maps the analyses will consume.
+    pub fn analysis(netlist: &Netlist, tech: u64, flow: &str, profiles: u64) -> EvalKey {
+        debug_assert!(
+            !flow.chars().any(char::is_whitespace),
+            "flow identifiers must be single tokens"
+        );
+        let words = netlist.structural_words();
+        EvalKey {
+            stage: EvalStage::Analysis,
+            structural: netlist.structural_hash(),
+            fingerprint: [
+                chain(FINGERPRINT_SEEDS[0], &words),
+                chain(FINGERPRINT_SEEDS[1], &words),
+            ],
+            tech,
+            flow: flow.to_string(),
+            profiles,
+        }
+    }
+
+    /// Keys one materialized design point before synthesis: name, expression
+    /// text, output width and every input bit's exact arrival/probability, times
+    /// the flow (seed included) and the tech digest. The name is part of the key
+    /// because rendered summaries carry it — a renamed twin falls through to the
+    /// name-blind analysis stage instead.
+    pub fn point(design: &Design, flow: Flow, tech: u64) -> EvalKey {
+        let expr = design.expr().to_string();
+        let mut words = Vec::new();
+        push_str(&mut words, design.name());
+        push_str(&mut words, &expr);
+        words.push(u64::from(design.output_width()));
+        words.push(design.spec().len() as u64);
+        let mut profile_words = Vec::new();
+        for var in design.spec().vars() {
+            push_str(&mut words, var.name());
+            words.push(u64::from(var.width()));
+            for bit in var.bits() {
+                words.push(bit.arrival.to_bits());
+                words.push(bit.probability.to_bits());
+                profile_words.push(bit.arrival.to_bits());
+                profile_words.push(bit.probability.to_bits());
+            }
+        }
+        EvalKey {
+            stage: EvalStage::Point,
+            structural: chain(POINT_PRIMARY_SEED, &words),
+            fingerprint: [
+                chain(FINGERPRINT_SEEDS[0], &words),
+                chain(FINGERPRINT_SEEDS[1], &words),
+            ],
+            tech,
+            flow: flow.to_string(),
+            profiles: chain(PROFILE_SEED, &profile_words),
+        }
+    }
+}
+
+impl fmt::Display for EvalKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} {:016x} {:016x} {:016x} {:016x} {:016x} {}",
+            self.stage.tag(),
+            self.structural,
+            self.fingerprint[0],
+            self.fingerprint[1],
+            self.tech,
+            self.profiles,
+            self.flow
+        )
+    }
+}
+
+/// Digest of the per-net input profiles an analysis consumes — the maps
+/// [`dpsyn_baselines::input_profiles`] produces, folded net-by-net with exact f64
+/// bit patterns.
+pub fn profile_digest(
+    arrivals: &BTreeMap<NetId, f64>,
+    probabilities: &BTreeMap<NetId, f64>,
+) -> u64 {
+    let mut hasher = StructuralHasher::with_seed(PROFILE_SEED);
+    hasher.write(arrivals.len() as u64);
+    for (net, arrival) in arrivals {
+        hasher.write(net.index() as u64);
+        hasher.write(arrival.to_bits());
+    }
+    hasher.write(probabilities.len() as u64);
+    for (net, probability) in probabilities {
+        hasher.write(net.index() as u64);
+        hasher.write(probability.to_bits());
+    }
+    hasher.finish()
+}
+
+/// The memoized figures of one evaluated point — exactly the fields an
+/// [`ExplorationPoint`](crate::ExplorationPoint)'s metrics carry, stored as bit
+/// patterns so a warm hit reproduces a cold run byte for byte.
+#[derive(Debug, Clone, Copy)]
+pub struct StoredEval {
+    /// Critical delay (library time units).
+    pub delay: f64,
+    /// Total cell area (library area units).
+    pub area: f64,
+    /// Weighted switching energy.
+    pub switching_energy: f64,
+    /// Power on the milliwatt-like scale.
+    pub power_mw: f64,
+    /// Cell count of the synthesized netlist.
+    pub cell_count: usize,
+    /// Logic depth (levels) of the synthesized netlist.
+    pub logic_depth: usize,
+}
+
+impl StoredEval {
+    /// The record as an exact word tuple — equality, ordering and the merge
+    /// tie-break all operate on bit patterns, never on float comparison.
+    fn bits(&self) -> [u64; 6] {
+        [
+            self.delay.to_bits(),
+            self.area.to_bits(),
+            self.switching_energy.to_bits(),
+            self.power_mw.to_bits(),
+            self.cell_count as u64,
+            self.logic_depth as u64,
+        ]
+    }
+}
+
+impl PartialEq for StoredEval {
+    fn eq(&self, other: &Self) -> bool {
+        self.bits() == other.bits()
+    }
+}
+
+impl Eq for StoredEval {}
+
+impl PartialOrd for StoredEval {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for StoredEval {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.bits().cmp(&other.bits())
+    }
+}
+
+/// The deterministic merge winner for one key: the bit-wise smaller record.
+/// Conflicting values for one exact key cannot arise from correct evaluation
+/// (evaluation is a pure function of the key's preimage), but the merge must
+/// still be a total, commutative rule so concurrent flushes converge to
+/// identical bytes no matter the order.
+fn merged(first: StoredEval, second: StoredEval) -> StoredEval {
+    if second < first {
+        second
+    } else {
+        first
+    }
+}
+
+/// Chained checksum of one record line (key words, flow bytes, value words).
+fn line_checksum(key: &EvalKey, value: &StoredEval) -> u64 {
+    let mut hasher = StructuralHasher::with_seed(LINE_SEED);
+    hasher.write(match key.stage {
+        EvalStage::Analysis => 0,
+        EvalStage::Point => 1,
+    });
+    hasher.write(key.structural);
+    hasher.write(key.fingerprint[0]);
+    hasher.write(key.fingerprint[1]);
+    hasher.write(key.tech);
+    hasher.write(key.profiles);
+    hasher.write_str(&key.flow);
+    for word in value.bits() {
+        hasher.write(word);
+    }
+    hasher.finish()
+}
+
+fn format_line(key: &EvalKey, value: &StoredEval) -> String {
+    let bits = value.bits();
+    format!(
+        "{key} {:016x} {:016x} {:016x} {:016x} {:016x} {:016x} {:016x}",
+        bits[0],
+        bits[1],
+        bits[2],
+        bits[3],
+        bits[4],
+        bits[5],
+        line_checksum(key, value)
+    )
+}
+
+/// Parses one record line; `None` for anything malformed or checksum-failing.
+fn parse_line(line: &str) -> Option<(EvalKey, StoredEval)> {
+    let tokens: Vec<&str> = line.split_whitespace().collect();
+    if tokens.len() != 14 {
+        return None;
+    }
+    let word = |token: &str| u64::from_str_radix(token, 16).ok();
+    let key = EvalKey {
+        stage: EvalStage::from_tag(tokens[0])?,
+        structural: word(tokens[1])?,
+        fingerprint: [word(tokens[2])?, word(tokens[3])?],
+        tech: word(tokens[4])?,
+        profiles: word(tokens[5])?,
+        flow: tokens[6].to_string(),
+    };
+    let value = StoredEval {
+        delay: f64::from_bits(word(tokens[7])?),
+        area: f64::from_bits(word(tokens[8])?),
+        switching_energy: f64::from_bits(word(tokens[9])?),
+        power_mw: f64::from_bits(word(tokens[10])?),
+        cell_count: word(tokens[11])? as usize,
+        logic_depth: word(tokens[12])? as usize,
+    };
+    let checksum = word(tokens[13])?;
+    (line_checksum(&key, &value) == checksum).then_some((key, value))
+}
+
+fn store_error(path: &Path, message: impl fmt::Display) -> ExploreError {
+    ExploreError::Store {
+        path: path.to_path_buf(),
+        message: message.to_string(),
+    }
+}
+
+/// What one read of a memo file found.
+struct LoadedFile {
+    records: BTreeMap<EvalKey, StoredEval>,
+    /// The file existed but carried a foreign or stale header.
+    rebuilt: bool,
+    /// Record lines that failed to parse or checksum.
+    skipped_lines: usize,
+}
+
+/// Reads a memo file; missing files and corrupt content never fail — only a true
+/// I/O error (permissions, hardware) does.
+fn read_file(path: &Path) -> Result<LoadedFile, ExploreError> {
+    let text = match fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(error) if error.kind() == std::io::ErrorKind::NotFound => {
+            return Ok(LoadedFile {
+                records: BTreeMap::new(),
+                rebuilt: false,
+                skipped_lines: 0,
+            })
+        }
+        Err(error) => return Err(store_error(path, error)),
+    };
+    let mut lines = text.lines();
+    if lines.next() != Some(STORE_FORMAT) {
+        // Stale version or foreign file: rebuild from empty rather than guessing.
+        return Ok(LoadedFile {
+            records: BTreeMap::new(),
+            rebuilt: true,
+            skipped_lines: 0,
+        });
+    }
+    let mut records = BTreeMap::new();
+    let mut skipped_lines = 0;
+    for line in lines {
+        if line.trim().is_empty() {
+            continue;
+        }
+        match parse_line(line) {
+            Some((key, value)) => {
+                records
+                    .entry(key)
+                    .and_modify(|resident| *resident = merged(*resident, value))
+                    .or_insert(value);
+            }
+            None => skipped_lines += 1,
+        }
+    }
+    Ok(LoadedFile {
+        records,
+        rebuilt: false,
+        skipped_lines,
+    })
+}
+
+/// The persistent result store: an in-memory record map plus (optionally) the memo
+/// file it loads from and flushes to. See the [module documentation](self) for the
+/// key semantics and the on-disk format.
+#[derive(Debug, Clone)]
+pub struct ResultStore {
+    path: Option<PathBuf>,
+    records: BTreeMap<EvalKey, StoredEval>,
+    rebuilt: bool,
+    skipped_lines: usize,
+}
+
+impl ResultStore {
+    /// An empty store with no backing file — [`flush`](Self::flush) is a no-op.
+    /// The server mode uses this when run without a store path.
+    pub fn in_memory() -> Self {
+        ResultStore {
+            path: None,
+            records: BTreeMap::new(),
+            rebuilt: false,
+            skipped_lines: 0,
+        }
+    }
+
+    /// Loads (or initializes) the store at `path`. A missing file yields an empty
+    /// store; a stale or foreign file is detected and rebuilt from empty
+    /// ([`rebuilt`](Self::rebuilt) reports it); corrupt lines are skipped and
+    /// counted.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExploreError::Store`] only for true I/O failures (permissions,
+    /// hardware) — never for content.
+    pub fn load(path: impl Into<PathBuf>) -> Result<Self, ExploreError> {
+        let path = path.into();
+        let loaded = read_file(&path)?;
+        Ok(ResultStore {
+            path: Some(path),
+            records: loaded.records,
+            rebuilt: loaded.rebuilt,
+            skipped_lines: loaded.skipped_lines,
+        })
+    }
+
+    /// The backing memo file, when the store has one.
+    pub fn path(&self) -> Option<&Path> {
+        self.path.as_deref()
+    }
+
+    /// Whether the last load found a stale/foreign file and rebuilt from empty.
+    pub fn rebuilt(&self) -> bool {
+        self.rebuilt
+    }
+
+    /// Record lines the last load skipped (parse or checksum failures).
+    pub fn skipped_lines(&self) -> usize {
+        self.skipped_lines
+    }
+
+    /// Number of memoized records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the store holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Looks one key up. Shared references suffice, so worker threads probe the
+    /// store concurrently without any lock.
+    pub fn lookup(&self, key: &EvalKey) -> Option<StoredEval> {
+        self.records.get(key).copied()
+    }
+
+    /// Records one evaluation; a conflicting resident value is resolved by the
+    /// deterministic merge rule.
+    pub fn record(&mut self, key: EvalKey, value: StoredEval) {
+        self.records
+            .entry(key)
+            .and_modify(|resident| *resident = merged(*resident, value))
+            .or_insert(value);
+    }
+
+    /// Merges a batch of records (e.g. the fresh results of one exploration).
+    pub fn merge(&mut self, records: impl IntoIterator<Item = (EvalKey, StoredEval)>) {
+        for (key, value) in records {
+            self.record(key, value);
+        }
+    }
+
+    /// Writes the store to its memo file atomically (temp file + rename) after
+    /// union-merging whatever is on disk, then verifies its own records survived —
+    /// retrying when a concurrent flush won the rename race. Afterwards the file
+    /// holds the deterministic union: records sorted by key, one canonical line
+    /// each, so the final bytes are independent of flush order. A store without a
+    /// path returns immediately.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExploreError::Store`] on true I/O failure, or when the
+    /// merge-verify loop cannot converge within its bounded retries.
+    pub fn flush(&mut self) -> Result<(), ExploreError> {
+        let Some(path) = self.path.clone() else {
+            return Ok(());
+        };
+        for _ in 0..FLUSH_ATTEMPTS {
+            let on_disk = read_file(&path)?;
+            self.merge(on_disk.records);
+            self.write_atomic(&path)?;
+            let reread = read_file(&path)?;
+            let converged = self.records.iter().all(|(key, value)| {
+                reread
+                    .records
+                    .get(key)
+                    .is_some_and(|disk| merged(*disk, *value) == *disk)
+            });
+            if converged {
+                return Ok(());
+            }
+        }
+        Err(store_error(
+            &path,
+            "concurrent flushes kept overwriting each other; giving up after bounded retries",
+        ))
+    }
+
+    fn write_atomic(&self, path: &Path) -> Result<(), ExploreError> {
+        let file_name = path
+            .file_name()
+            .and_then(|name| name.to_str())
+            .unwrap_or("store");
+        let temp = path.with_file_name(format!("{file_name}.tmp.{}", std::process::id()));
+        let mut out = String::with_capacity(64 * (self.records.len() + 1));
+        out.push_str(STORE_FORMAT);
+        out.push('\n');
+        for (key, value) in &self.records {
+            out.push_str(&format_line(key, value));
+            out.push('\n');
+        }
+        let write = || -> std::io::Result<()> {
+            let mut file = fs::File::create(&temp)?;
+            file.write_all(out.as_bytes())?;
+            file.sync_all()?;
+            fs::rename(&temp, path)
+        };
+        write().map_err(|error| {
+            let _ = fs::remove_file(&temp);
+            store_error(path, error)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(stage: EvalStage, salt: u64) -> EvalKey {
+        EvalKey {
+            stage,
+            structural: salt,
+            fingerprint: [salt ^ 1, salt ^ 2],
+            tech: 7,
+            flow: "conventional".to_string(),
+            profiles: salt ^ 3,
+        }
+    }
+
+    fn value(delay: f64) -> StoredEval {
+        StoredEval {
+            delay,
+            area: 12.5,
+            switching_energy: 3.25,
+            power_mw: 0.75,
+            cell_count: 42,
+            logic_depth: 9,
+        }
+    }
+
+    #[test]
+    fn line_roundtrip_is_exact() {
+        for stage in [EvalStage::Analysis, EvalStage::Point] {
+            let key = key(stage, 0xdead_beef);
+            let value = value(1.625);
+            let line = format_line(&key, &value);
+            let (parsed_key, parsed_value) = parse_line(&line).expect("line parses");
+            assert_eq!(parsed_key, key);
+            assert_eq!(parsed_value, value);
+        }
+    }
+
+    #[test]
+    fn corrupt_lines_fail_the_checksum() {
+        let line = format_line(&key(EvalStage::Analysis, 5), &value(2.0));
+        // Flip one hex digit of the delay field.
+        let tampered = {
+            let mut tokens: Vec<String> = line.split_whitespace().map(String::from).collect();
+            let delay = tokens[7].clone();
+            tokens[7] = match delay.strip_prefix('0') {
+                Some(rest) => format!("1{rest}"),
+                None => format!("0{}", &delay[1..]),
+            };
+            tokens.join(" ")
+        };
+        assert!(parse_line(&tampered).is_none(), "bit flip must be rejected");
+        assert!(parse_line("A nonsense").is_none());
+        assert!(parse_line("").is_none());
+    }
+
+    #[test]
+    fn merge_rule_is_commutative_and_idempotent() {
+        let small = value(1.0);
+        let large = value(2.0);
+        assert_eq!(merged(small, large), merged(large, small));
+        assert_eq!(merged(small, small), small);
+        assert_eq!(merged(small, large), small);
+    }
+
+    #[test]
+    fn point_keys_track_every_identity_component() {
+        let tech = dpsyn_tech::TechLibrary::lcbg10pv_like().identity_digest();
+        let design = dpsyn_designs::x_squared();
+        let base = EvalKey::point(&design, Flow::FaAot, tech);
+        assert_eq!(base, EvalKey::point(&design, Flow::FaAot, tech));
+        assert_ne!(base, EvalKey::point(&design, Flow::FaAlp, tech));
+        assert_ne!(
+            base,
+            EvalKey::point(&design, Flow::FaRandom(1), tech),
+            "the fa_random seed is part of the flow identity"
+        );
+        assert_ne!(base, EvalKey::point(&design, Flow::FaAot, tech ^ 1));
+        let reprofiled = design.with_uniform_arrival_skew(9, 2.0);
+        assert_ne!(base, EvalKey::point(&reprofiled, Flow::FaAot, tech));
+        assert_ne!(
+            base,
+            EvalKey::point(&dpsyn_designs::x_cubed(), Flow::FaAot, tech)
+        );
+    }
+
+    #[test]
+    fn analysis_keys_are_name_blind_but_structure_exact() {
+        use dpsyn_netlist::CellKind;
+        let build = |flip: bool| {
+            let mut netlist = Netlist::new("demo");
+            let a = netlist.add_input("a");
+            let b = netlist.add_input("b");
+            let kind = if flip { CellKind::Or2 } else { CellKind::And2 };
+            let out = netlist.add_gate(kind, &[a, b]).unwrap()[0];
+            netlist.mark_output(out);
+            netlist
+        };
+        let base = EvalKey::analysis(&build(false), 7, "conventional", 11);
+        let mut renamed = build(false);
+        renamed.set_net_name(renamed.inputs()[0], "zz");
+        assert_eq!(EvalKey::analysis(&renamed, 7, "conventional", 11), base);
+        assert_ne!(EvalKey::analysis(&build(true), 7, "conventional", 11), base);
+        assert_ne!(
+            EvalKey::analysis(&build(false), 8, "conventional", 11),
+            base
+        );
+        assert_ne!(EvalKey::analysis(&build(false), 7, "csa_opt", 11), base);
+        assert_ne!(
+            EvalKey::analysis(&build(false), 7, "conventional", 12),
+            base
+        );
+    }
+
+    #[test]
+    fn profile_digest_is_exact_in_values_and_nets() {
+        let mut arrivals = BTreeMap::new();
+        let mut probabilities = BTreeMap::new();
+        let netlist = {
+            let mut netlist = Netlist::new("demo");
+            netlist.add_input("a");
+            netlist.add_input("b");
+            netlist
+        };
+        let (a, b) = (netlist.inputs()[0], netlist.inputs()[1]);
+        arrivals.insert(a, 1.0);
+        probabilities.insert(a, 0.5);
+        let base = profile_digest(&arrivals, &probabilities);
+        assert_eq!(base, profile_digest(&arrivals, &probabilities));
+        let mut shifted = arrivals.clone();
+        shifted.insert(a, 1.0 + f64::EPSILON);
+        assert_ne!(profile_digest(&shifted, &probabilities), base);
+        let mut moved = arrivals.clone();
+        moved.remove(&a);
+        moved.insert(b, 1.0);
+        assert_ne!(profile_digest(&moved, &probabilities), base);
+    }
+
+    #[test]
+    fn in_memory_store_flush_is_a_noop() {
+        let mut store = ResultStore::in_memory();
+        store.record(key(EvalStage::Point, 1), value(1.0));
+        assert_eq!(store.len(), 1);
+        assert!(store.lookup(&key(EvalStage::Point, 1)).is_some());
+        assert!(store.lookup(&key(EvalStage::Analysis, 1)).is_none());
+        store.flush().expect("no backing file, nothing to do");
+    }
+}

@@ -48,31 +48,62 @@ use crate::graph::{NetId, Netlist};
 /// in net or instance names hash identically, and compile to identical programs.
 /// One full mix per 64-bit word (not per byte) keeps the hash cheap enough to be
 /// computed eagerly inside every [`Netlist::compile`].
-pub(crate) struct StructuralHasher(u64);
+///
+/// The hasher is public because downstream evaluation keys (the technology-library
+/// identity digest, the explorer's persistent result store) chain the **same** mixing
+/// function over their own word streams — [`StructuralHasher::with_seed`] starts an
+/// independently-seeded chain so two digests of the same words never collide by
+/// construction of the seed alone.
+pub struct StructuralHasher(u64);
 
 impl StructuralHasher {
     const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
 
-    pub(crate) fn new() -> Self {
+    /// Starts the canonical chain used by the structural hashes.
+    pub fn new() -> Self {
         StructuralHasher(Self::OFFSET)
     }
 
-    pub(crate) fn write(&mut self, value: u64) {
+    /// Starts an independently-seeded chain (for fingerprints that must not collide
+    /// with the canonical structural hash or with each other).
+    pub fn with_seed(seed: u64) -> Self {
+        StructuralHasher(Self::OFFSET ^ seed)
+    }
+
+    /// Mixes one 64-bit word into the chain.
+    pub fn write(&mut self, value: u64) {
         let mut z = self.0 ^ value.wrapping_add(0x9e37_79b9_7f4a_7c15);
         z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
         z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
         self.0 = z ^ (z >> 31);
     }
 
-    pub(crate) fn write_nets(&mut self, nets: &[NetId]) {
+    /// Mixes every byte of a string (length-prefixed, so adjacent fields never
+    /// alias) — used by digests that cover names or flow identifiers.
+    pub fn write_str(&mut self, text: &str) {
+        self.write(text.len() as u64);
+        for byte in text.bytes() {
+            self.write(u64::from(byte));
+        }
+    }
+
+    /// Mixes a net list (length-prefixed).
+    pub fn write_nets(&mut self, nets: &[NetId]) {
         self.write(nets.len() as u64);
         for net in nets {
             self.write(net.index() as u64);
         }
     }
 
-    pub(crate) fn finish(&self) -> u64 {
+    /// The chained digest so far.
+    pub fn finish(&self) -> u64 {
         self.0
+    }
+}
+
+impl Default for StructuralHasher {
+    fn default() -> Self {
+        StructuralHasher::new()
     }
 }
 

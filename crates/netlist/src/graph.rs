@@ -474,6 +474,52 @@ impl Netlist {
         )
     }
 
+    /// The netlist's structural identity as a canonical, **versioned** word stream:
+    /// a stable serialization of exactly what [`Netlist::structural_hash`] folds —
+    /// net count, primary input/output lists, and every cell's kind and pin
+    /// connectivity in cell-index order. Net and instance **names are excluded**, so
+    /// renaming never changes the stream.
+    ///
+    /// Unlike the folded 64-bit hash, the stream is **lossless** up to names: every
+    /// list is length-prefixed (the encoding is prefix-free), so two netlists
+    /// produce the same words **iff** they are structurally identical. Persistent
+    /// evaluation keys (the explorer's cross-run result store) fingerprint this
+    /// stream instead of trusting the one-word hash; the leading version word guards
+    /// the layout itself, so a future change to the serialization invalidates every
+    /// stored fingerprint instead of silently colliding with old ones.
+    ///
+    /// # Example
+    /// ```
+    /// use dpsyn_netlist::{CellKind, Netlist};
+    /// let mut netlist = Netlist::new("demo");
+    /// let a = netlist.add_input("a");
+    /// let b = netlist.add_input("b");
+    /// netlist.add_gate(CellKind::And2, &[a, b]).unwrap();
+    /// let words = netlist.structural_words();
+    /// netlist.set_net_name(a, "renamed");
+    /// assert_eq!(words, netlist.structural_words()); // names are structural no-ops
+    /// ```
+    pub fn structural_words(&self) -> Vec<u64> {
+        /// Bump when the stream layout changes; stored fingerprints become stale.
+        const STRUCTURAL_WORDS_VERSION: u64 = 1;
+        let mut words = Vec::with_capacity(8 + self.cells.len() * 8);
+        words.push(STRUCTURAL_WORDS_VERSION);
+        words.push(self.nets.len() as u64);
+        let push_nets = |words: &mut Vec<u64>, nets: &[NetId]| {
+            words.push(nets.len() as u64);
+            words.extend(nets.iter().map(|net| net.index() as u64));
+        };
+        push_nets(&mut words, &self.inputs);
+        push_nets(&mut words, &self.outputs);
+        words.push(self.cells.len() as u64);
+        for cell in &self.cells {
+            words.push(cell.kind.table_index() as u64);
+            push_nets(&mut words, &cell.inputs);
+            push_nets(&mut words, &cell.outputs);
+        }
+        words
+    }
+
     /// Longest path length (in cells) from any primary input or constant to any net.
     ///
     /// This is a purely structural depth (every cell counts as one level) used in
@@ -509,6 +555,46 @@ mod tests {
         assert_eq!(netlist.inputs().len(), 3);
         assert_eq!(netlist.outputs().len(), 2);
         assert_eq!(netlist.logic_depth(), 1);
+    }
+
+    #[test]
+    fn structural_words_are_name_blind_and_structure_exact() {
+        let reference = full_adder_netlist();
+        let words = reference.structural_words();
+        // Version word leads the stream.
+        assert_eq!(words[0], 1);
+        // Renaming is invisible.
+        let mut renamed = full_adder_netlist();
+        renamed.set_net_name(NetId(0), "zz");
+        assert_eq!(renamed.structural_words(), words);
+        // A structural clone serializes identically...
+        assert_eq!(full_adder_netlist().structural_words(), words);
+        // ... while any connectivity change perturbs the stream.
+        let mut rewired = full_adder_netlist();
+        rewired.rewire_input(CellId(0), 1, NetId(0)).unwrap();
+        assert_ne!(rewired.structural_words(), words);
+        // An extra output changes only the output list, which the stream covers.
+        let mut extra_output = full_adder_netlist();
+        extra_output.mark_output(NetId(0));
+        assert_ne!(extra_output.structural_words(), words);
+    }
+
+    #[test]
+    fn seeded_hasher_chains_diverge() {
+        let words = full_adder_netlist().structural_words();
+        let digest = |seed: u64| {
+            let mut hasher = crate::compiled::StructuralHasher::with_seed(seed);
+            for word in &words {
+                hasher.write(*word);
+            }
+            hasher.finish()
+        };
+        assert_ne!(
+            digest(1),
+            digest(2),
+            "seeds must produce independent chains"
+        );
+        assert_eq!(digest(7), digest(7), "chains are deterministic");
     }
 
     #[test]

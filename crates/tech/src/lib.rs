@@ -28,7 +28,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use dpsyn_netlist::{CellKind, CompiledNetlist, Netlist};
+use dpsyn_netlist::{CellKind, CompiledNetlist, Netlist, StructuralHasher};
 use std::collections::BTreeMap;
 use std::error::Error;
 use std::fmt;
@@ -352,6 +352,35 @@ impl TechLibrary {
             .sum()
     }
 
+    /// A 64-bit digest of the library's full analysis-relevant identity: the name,
+    /// the operating voltage, and every cell's kind, per-output delays, area and
+    /// per-output switching energies, in the map's deterministic [`CellKind`] order.
+    ///
+    /// Two libraries digest equally **iff** every value an analysis can observe is
+    /// bit-identical (f64 values are folded by bit pattern, so even `-0.0` vs `0.0`
+    /// perturbs the digest). This is the "tech-library identity" component of
+    /// persistent evaluation keys: a result memoized under one library must never be
+    /// served under a library with so much as one edited delay.
+    pub fn identity_digest(&self) -> u64 {
+        let mut hasher = StructuralHasher::with_seed(0x7ec4_1db5_1f3a_9d02);
+        hasher.write_str(&self.name);
+        hasher.write(self.voltage.to_bits());
+        hasher.write(self.cells.len() as u64);
+        for (kind, characteristics) in &self.cells {
+            hasher.write(kind.table_index() as u64);
+            hasher.write(characteristics.output_delays.len() as u64);
+            for delay in &characteristics.output_delays {
+                hasher.write(delay.to_bits());
+            }
+            hasher.write(characteristics.area.to_bits());
+            hasher.write(characteristics.switch_energy.len() as u64);
+            for energy in &characteristics.switch_energy {
+                hasher.write(energy.to_bits());
+            }
+        }
+        hasher.finish()
+    }
+
     /// Delay of a balanced tree of 2-input AND gates combining `literals` inputs.
     ///
     /// Partial products of higher-order monomials (for example `x·y·z`) are generated by
@@ -589,6 +618,41 @@ mod tests {
         let text = TechLibrary::unit().to_string();
         assert!(text.contains("unit"));
         assert!(text.contains("fa"));
+    }
+
+    #[test]
+    fn identity_digest_tracks_every_observable_value() {
+        let unit = TechLibrary::unit();
+        let lcbg = TechLibrary::lcbg10pv_like();
+        assert_eq!(
+            unit.identity_digest(),
+            TechLibrary::unit().identity_digest()
+        );
+        assert_ne!(unit.identity_digest(), lcbg.identity_digest());
+        // Same cells, different name: distinct identities.
+        let renamed = {
+            let mut builder = TechLibrary::builder("unit_prime");
+            for kind in CellKind::all() {
+                builder = builder.cell(kind, unit.cell(kind).clone());
+            }
+            builder.voltage(unit.voltage()).build().unwrap()
+        };
+        assert_ne!(renamed.identity_digest(), unit.identity_digest());
+        // One edited delay flips the digest.
+        let edited = {
+            let mut builder = TechLibrary::builder("unit");
+            for kind in CellKind::all() {
+                builder = builder.cell(kind, unit.cell(kind).clone());
+            }
+            let mut fa = unit.cell(CellKind::Fa).clone();
+            fa.output_delays[0] += 0.25;
+            builder
+                .cell(CellKind::Fa, fa)
+                .voltage(unit.voltage())
+                .build()
+                .unwrap()
+        };
+        assert_ne!(edited.identity_digest(), unit.identity_digest());
     }
 
     #[test]
