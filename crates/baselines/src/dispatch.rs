@@ -9,8 +9,8 @@
 
 use crate::flow::{BaselineError, FlowResult};
 use crate::{
-    conventional, conventional_netlist, csa_opt, csa_opt_netlist, fa_alp, fa_aot, fa_random,
-    wallace_fixed,
+    conventional, conventional_netlist, csa_opt, csa_opt_netlist, fa_alp, fa_anneal, fa_aot,
+    fa_random, wallace_fixed,
 };
 use dpsyn_core::Objective;
 use dpsyn_ir::{Expr, InputSpec};
@@ -49,7 +49,8 @@ pub struct SynthesizedParts {
     pub word_map: WordMap,
 }
 
-/// One of the six synthesis flows of the DAC 2000 evaluation, as a dispatchable value.
+/// One of the seven synthesis flows of the evaluation (the six DAC 2000 flows plus
+/// the delta-powered `fa_anneal` local search), as a dispatchable value.
 ///
 /// # Example
 ///
@@ -84,6 +85,10 @@ pub enum Flow {
     FaAot,
     /// The paper's FA_ALP: largest-|q| selection, low-power.
     FaAlp,
+    /// Delta-powered greedy local search seeded from the `fa_random` allocation;
+    /// the embedded seed fixes both the start netlist and the move trajectory, so
+    /// the flow is a pure function of its inputs.
+    FaAnneal(u64),
 }
 
 impl Flow {
@@ -108,6 +113,7 @@ impl Flow {
             Flow::FaRandom(_) => "fa_random",
             Flow::FaAot => "fa_aot",
             Flow::FaAlp => "fa_alp",
+            Flow::FaAnneal(_) => "fa_anneal",
         }
     }
 
@@ -115,7 +121,7 @@ impl Flow {
     /// probability-driven selections, `Timing` for everything else.
     pub fn objective(&self) -> Objective {
         match self {
-            Flow::FaRandom(_) | Flow::FaAlp => Objective::Power,
+            Flow::FaRandom(_) | Flow::FaAlp | Flow::FaAnneal(_) => Objective::Power,
             Flow::Conventional | Flow::CsaOpt | Flow::WallaceFixed | Flow::FaAot => {
                 Objective::Timing
             }
@@ -141,6 +147,7 @@ impl Flow {
             Flow::FaRandom(seed) => fa_random(expr, spec, width, tech, *seed),
             Flow::FaAot => fa_aot(expr, spec, width, tech),
             Flow::FaAlp => fa_alp(expr, spec, width, tech),
+            Flow::FaAnneal(seed) => fa_anneal(expr, spec, width, tech, *seed),
         }
     }
 
@@ -191,6 +198,7 @@ impl fmt::Display for Flow {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Flow::FaRandom(seed) => write!(f, "fa_random(seed={seed})"),
+            Flow::FaAnneal(seed) => write!(f, "fa_anneal(seed={seed})"),
             other => write!(f, "{}", other.name()),
         }
     }
@@ -218,6 +226,7 @@ mod tests {
             fa_random(&expr, &spec, 8, &lib, 11).unwrap(),
             fa_aot(&expr, &spec, 8, &lib).unwrap(),
             fa_alp(&expr, &spec, 8, &lib).unwrap(),
+            fa_anneal(&expr, &spec, 8, &lib, 11).unwrap(),
         ];
         let flows = [
             Flow::Conventional,
@@ -226,6 +235,7 @@ mod tests {
             Flow::FaRandom(11),
             Flow::FaAot,
             Flow::FaAlp,
+            Flow::FaAnneal(11),
         ];
         for (flow, reference) in flows.iter().zip(&direct) {
             let dispatched = flow.run(&expr, &spec, 8, &lib).unwrap();
@@ -258,6 +268,7 @@ mod tests {
             Flow::FaRandom(11),
             Flow::FaAot,
             Flow::FaAlp,
+            Flow::FaAnneal(11),
         ] {
             let reference = flow.run(&expr, &spec, 8, &lib).unwrap();
             let result = match flow.synthesize(&expr, &spec, 8, &lib).unwrap() {
@@ -293,11 +304,14 @@ mod tests {
         assert_eq!(Flow::Conventional.name(), "conventional");
         assert_eq!(Flow::FaRandom(7).name(), "fa_random");
         assert_eq!(Flow::FaRandom(7).to_string(), "fa_random(seed=7)");
+        assert_eq!(Flow::FaAnneal(7).name(), "fa_anneal");
+        assert_eq!(Flow::FaAnneal(7).to_string(), "fa_anneal(seed=7)");
         assert_eq!(Flow::FaAot.to_string(), "fa_aot");
         assert_eq!(Flow::FaAot.objective(), Objective::Timing);
         assert_eq!(Flow::WallaceFixed.objective(), Objective::Timing);
         assert_eq!(Flow::FaAlp.objective(), Objective::Power);
         assert_eq!(Flow::FaRandom(7).objective(), Objective::Power);
+        assert_eq!(Flow::FaAnneal(7).objective(), Objective::Power);
         assert_eq!(Flow::NAMED.len(), 5);
         assert_eq!(Flow::TIMING_RIVALS.len(), 2);
     }

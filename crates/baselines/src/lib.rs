@@ -16,10 +16,13 @@
 //! * [`fa_aot`] / [`fa_alp`] — thin wrappers over `dpsyn-core` so every flow can be
 //!   invoked through the same [`FlowResult`]-returning interface in the benchmark
 //!   harness.
+//! * [`fa_anneal`] — delta-powered greedy local search: starts from the `fa_random`
+//!   allocation (ripple root) and improves it with function-preserving same-column
+//!   pin swaps, scoring every move through the incremental delta path.
 //!
-//! [`Flow`] names each of the six flows as a dispatchable value so harnesses (the
+//! [`Flow`] names each of the seven flows as a dispatchable value so harnesses (the
 //! tables of `dpsyn-bench`, the exploration engine of `dpsyn-explore`) can iterate
-//! over flows data-driven instead of hard-coding six call sites.
+//! over flows data-driven instead of hard-coding seven call sites.
 //!
 //! # Example
 //!
@@ -43,12 +46,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod anneal;
 mod conventional;
 mod csa_opt;
 mod dispatch;
 mod flow;
 mod wrappers;
 
+pub use anneal::{fa_anneal, fa_anneal_observed, fa_anneal_with_stats, AnnealStats, AnnealStep};
 pub use conventional::{conventional, conventional_netlist};
 pub use csa_opt::{csa_opt, csa_opt_netlist};
 pub use dispatch::{Flow, FlowSynthesis, SynthesizedParts};
@@ -78,6 +83,7 @@ mod tests {
             fa_random(&expr, &spec, 8, &lib, 1).unwrap(),
             fa_aot(&expr, &spec, 8, &lib).unwrap(),
             fa_alp(&expr, &spec, 8, &lib).unwrap(),
+            fa_anneal(&expr, &spec, 8, &lib, 1).unwrap(),
         ] {
             assert!(result.netlist.validate().is_ok(), "{}", result.flow);
             assert!(result.delay > 0.0, "{}", result.flow);

@@ -1,5 +1,6 @@
 //! Regenerates Table 2 of the paper: switching power of FA_random vs FA_ALP over the
-//! five filter/transform designs with random input signal probabilities.
+//! five filter/transform designs with random input signal probabilities, plus the
+//! delta-searched `fa_anneal` column at an equal seed budget.
 
 fn main() {
     let lib = dpsyn_tech::TechLibrary::lcbg10pv_like();

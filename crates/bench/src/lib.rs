@@ -7,7 +7,7 @@
 //! | Paper artefact | Function | Binary |
 //! |---|---|---|
 //! | Table 1 (timing: Conventional vs CSA_OPT vs FA_AOT) | [`table1`] | `cargo run -p dpsyn-bench --bin table1` |
-//! | Table 2 (power: FA_random vs FA_ALP) | [`table2`] | `cargo run -p dpsyn-bench --bin table2` |
+//! | Table 2 (power: FA_random vs FA_ALP vs fa_anneal) | [`table2`] | `cargo run -p dpsyn-bench --bin table2` |
 //! | Figure 2 (selection effect on delay) | [`figure2`] | `cargo run -p dpsyn-bench --bin figure2` |
 //! | Figure 4 (selection effect on power) | [`figure4`] | `cargo run -p dpsyn-bench --bin figure4` |
 //! | Ablation sweeps (ours) | [`arrival_skew_sweep`], [`probability_skew_sweep`] | `cargo run -p dpsyn-bench --bin ablation` |
@@ -194,7 +194,8 @@ pub fn format_table1(rows: &[Table1Row]) -> String {
     text
 }
 
-/// One row of Table 2: the power comparison of FA_random and FA_ALP on one design.
+/// One row of Table 2: the power comparison of FA_random, FA_ALP and the
+/// delta-searched `fa_anneal` on one design.
 #[derive(Debug, Clone)]
 pub struct Table2Row {
     /// Design name.
@@ -203,12 +204,20 @@ pub struct Table2Row {
     pub fa_random_power: f64,
     /// Switching power of the FA_ALP tree.
     pub fa_alp_power: f64,
+    /// Switching power of the `fa_anneal` local search (seed 1, the first
+    /// FA_random seed — an equal-budget comparison).
+    pub fa_anneal_power: f64,
 }
 
 impl Table2Row {
     /// Power improvement of FA_ALP over FA_random (fraction).
     pub fn improvement(&self) -> f64 {
         improvement(self.fa_random_power, self.fa_alp_power)
+    }
+
+    /// Power improvement of `fa_anneal` over FA_random (fraction).
+    pub fn anneal_improvement(&self) -> f64 {
+        improvement(self.fa_random_power, self.fa_anneal_power)
     }
 }
 
@@ -217,8 +226,8 @@ impl Table2Row {
 /// Input signal probabilities are drawn pseudo-randomly per design from
 /// `probability_seed` (the paper also uses random input probabilities) and the
 /// FA_random column averages `random_runs` random selections. Every (design, flow)
-/// pair — one FA_ALP run plus `random_runs` seeded FA_random runs per design — is one
-/// job of a `dpsyn-explore` sweep.
+/// pair — one FA_ALP run, `random_runs` seeded FA_random runs and one `fa_anneal`
+/// local search per design — is one job of a `dpsyn-explore` sweep.
 ///
 /// # Panics
 ///
@@ -235,6 +244,8 @@ pub fn table2(
     let runs = random_runs.max(1);
     let mut flows = vec![Flow::FaAlp];
     flows.extend((0..runs).map(|seed| Flow::FaRandom(seed + 1)));
+    // Equal seed budget: the local search starts from the first FA_random seed.
+    flows.push(Flow::FaAnneal(1));
     let results = explore_designs(
         designs
             .iter()
@@ -248,11 +259,15 @@ pub fn table2(
         .map(|(design, row)| {
             // Sum in ascending seed order, exactly as the pre-engine loop did, so the
             // float accumulation stays bit-identical.
-            let random_total: f64 = row[1..].iter().map(|point| point.metrics.power).sum();
+            let random_total: f64 = row[1..=runs as usize]
+                .iter()
+                .map(|point| point.metrics.power)
+                .sum();
             Table2Row {
                 design: design.name().to_string(),
                 fa_random_power: random_total / runs as f64,
                 fa_alp_power: row[0].metrics.power,
+                fa_anneal_power: row[runs as usize + 1].metrics.power,
             }
         })
         .collect()
@@ -267,28 +282,34 @@ pub fn format_table2(rows: &[Table2Row]) -> String {
     );
     let _ = writeln!(
         text,
-        "{:<16} | {:>14} | {:>14} | {:>7}",
-        "design", "FA_random (mW)", "FA_ALP (mW)", "impr."
+        "{:<16} | {:>14} | {:>14} | {:>7} | {:>15} | {:>7}",
+        "design", "FA_random (mW)", "FA_ALP (mW)", "impr.", "fa_anneal (mW)", "impr."
     );
-    let _ = writeln!(text, "{}", "-".repeat(62));
+    let _ = writeln!(text, "{}", "-".repeat(90));
     let mut total = 0.0;
+    let mut anneal_total = 0.0;
     for row in rows {
         let _ = writeln!(
             text,
-            "{:<16} | {:>14.2} | {:>14.2} | {:>6.1}%",
+            "{:<16} | {:>14.2} | {:>14.2} | {:>6.1}% | {:>15.2} | {:>6.1}%",
             row.design,
             row.fa_random_power,
             row.fa_alp_power,
-            100.0 * row.improvement()
+            100.0 * row.improvement(),
+            row.fa_anneal_power,
+            100.0 * row.anneal_improvement()
         );
         total += row.improvement();
+        anneal_total += row.anneal_improvement();
     }
     if !rows.is_empty() {
-        let _ = writeln!(text, "{}", "-".repeat(62));
+        let _ = writeln!(text, "{}", "-".repeat(90));
         let _ = writeln!(
             text,
-            "average improvement: {:.1}%  (paper reports 11.8% with Design Power)",
-            100.0 * total / rows.len() as f64
+            "average improvement: FA_ALP {:.1}%, fa_anneal {:.1}%  (paper reports 11.8% for \
+             FA_ALP with Design Power)",
+            100.0 * total / rows.len() as f64,
+            100.0 * anneal_total / rows.len() as f64
         );
     }
     text
@@ -582,7 +603,12 @@ mod tests {
         let rows = table2(&designs, &lib, 2026, 3);
         assert_eq!(rows.len(), 1);
         assert!(rows[0].improvement() >= -0.01, "{}", rows[0].improvement());
+        assert!(
+            rows[0].fa_anneal_power > 0.0,
+            "fa_anneal produced no power figure"
+        );
         let text = format_table2(&rows);
         assert!(text.contains("iir"));
+        assert!(text.contains("fa_anneal"));
     }
 }

@@ -341,15 +341,18 @@ fn parse_flow(value: &Json) -> Result<Flow, String> {
     }
     if let Json::Object(fields) = value {
         if let [(key, seed)] = fields.as_slice() {
-            if key == "fa_random" {
+            if key == "fa_random" || key == "fa_anneal" {
                 let seed = seed
                     .as_u64()
-                    .ok_or_else(|| "`fa_random` takes an integer seed".to_string())?;
-                return Ok(Flow::FaRandom(seed));
+                    .ok_or_else(|| format!("`{key}` takes an integer seed"))?;
+                return Ok(match key.as_str() {
+                    "fa_random" => Flow::FaRandom(seed),
+                    _ => Flow::FaAnneal(seed),
+                });
             }
         }
     }
-    Err("a flow is a name string or {\"fa_random\": seed}".to_string())
+    Err("a flow is a name string, {\"fa_random\": seed} or {\"fa_anneal\": seed}".to_string())
 }
 
 /// A skew/bias axis entry: the string `"keep"` or a uniform-range number.
@@ -745,7 +748,8 @@ mod tests {
     #[test]
     fn json_roundtrips_the_protocol_shapes() {
         let line = r#"{"sources":[{"design":"x_squared"},{"sum":3}],"widths":[4,8],
-                       "skews":["keep",2.0],"flows":["csa_opt",{"fa_random":11}],
+                       "skews":["keep",2.0],
+                       "flows":["csa_opt",{"fa_random":11},{"fa_anneal":5}],
                        "seed":7,"threads":2}"#;
         let Json::Object(fields) = parse_json(line).expect("request parses") else {
             panic!("not an object");
@@ -756,8 +760,14 @@ mod tests {
             "numbers parse exactly"
         );
         let spec = build_spec(&fields).expect("spec builds");
-        // x_squared: 2 skews × 2 flows; sum3: 2 widths × 2 skews × 2 flows.
-        assert_eq!(spec.jobs().len(), 4 + 8);
+        // x_squared: 2 skews × 3 flows; sum3: 2 widths × 2 skews × 3 flows.
+        assert_eq!(spec.jobs().len(), 6 + 12);
+        assert!(
+            spec.jobs()
+                .iter()
+                .any(|job| job.flow() == Flow::FaAnneal(5)),
+            "the seeded fa_anneal flow survives the protocol roundtrip"
+        );
         assert_eq!(spec.threads(), 2);
         assert_eq!(spec.seed(), 7);
     }

@@ -126,7 +126,7 @@ pub struct EvalKey {
     pub fingerprint: [u64; 2],
     /// The technology library's identity digest.
     pub tech: u64,
-    /// The flow identity (includes the seed for `fa_random`).
+    /// The flow identity (includes the seed for `fa_random` / `fa_anneal`).
     pub flow: String,
     /// Digest of the input profiles the figures were computed under.
     pub profiles: u64,
@@ -662,6 +662,16 @@ mod tests {
             base,
             EvalKey::point(&design, Flow::FaRandom(1), tech),
             "the fa_random seed is part of the flow identity"
+        );
+        assert_ne!(
+            EvalKey::point(&design, Flow::FaAnneal(1), tech),
+            EvalKey::point(&design, Flow::FaAnneal(2), tech),
+            "the fa_anneal seed is part of the flow identity"
+        );
+        assert_ne!(
+            EvalKey::point(&design, Flow::FaRandom(1), tech),
+            EvalKey::point(&design, Flow::FaAnneal(1), tech),
+            "equal seeds of different seeded flows never alias"
         );
         assert_ne!(base, EvalKey::point(&design, Flow::FaAot, tech ^ 1));
         let reprofiled = design.with_uniform_arrival_skew(9, 2.0);

@@ -8,7 +8,8 @@ use dpsyn_explore::{
 
 /// Builds the reference spec of the suite with the given worker count: two fixed
 /// designs plus a workload source, crossed with two widths, a skew and a bias profile,
-/// over four flows (64 jobs).
+/// over five flows (80 jobs) — including the seeded `fa_anneal` local search, whose
+/// move trajectory must also be worker-count invariant.
 fn spec(threads: usize) -> ExplorationSpec {
     ExplorationSpec::builder()
         .design(dpsyn_designs::x_squared())
@@ -17,7 +18,13 @@ fn spec(threads: usize) -> ExplorationSpec {
         .widths([3, 5])
         .skews([SkewProfile::Keep, SkewProfile::Uniform(2.0)])
         .biases([BiasProfile::Keep, BiasProfile::Uniform(0.3)])
-        .flows([Flow::CsaOpt, Flow::FaAot, Flow::FaAlp, Flow::FaRandom(5)])
+        .flows([
+            Flow::CsaOpt,
+            Flow::FaAot,
+            Flow::FaAlp,
+            Flow::FaRandom(5),
+            Flow::FaAnneal(5),
+        ])
         .seed(11)
         .threads(threads)
         .build()

@@ -220,6 +220,41 @@ fn corrupt_and_stale_memo_files_rebuild_instead_of_failing() {
     let _ = std::fs::remove_file(&path);
 }
 
+#[test]
+fn anneal_seeds_never_alias_one_memo_entry() {
+    let path = scratch("anneal-seeds");
+    let anneal_spec = |flows: Vec<Flow>| {
+        ExplorationSpec::builder()
+            .design(dpsyn_designs::x_squared())
+            .flows(flows)
+            .seed(7)
+            .store(path.clone())
+            .threads(2)
+            .build()
+            .expect("anneal spec is well-formed")
+    };
+    // Warm the store with seed 1 only.
+    explore_with_stats(&anneal_spec(vec![Flow::FaAnneal(1)])).expect("seed-1 warm-up succeeds");
+    // Sweep both seeds: only the warmed seed may be served; if the memo key
+    // dropped the seed, seed 2 would (wrongly) hit seed 1's entry.
+    let (both, stats) =
+        explore_with_stats(&anneal_spec(vec![Flow::FaAnneal(1), Flow::FaAnneal(2)]))
+            .expect("two-seed sweep succeeds");
+    assert_eq!(both.points().len(), 2);
+    assert_eq!(
+        stats.total_store_hits(),
+        1,
+        "seed 2 must not alias seed 1's memo entry"
+    );
+    // A rerun of the full two-seed sweep now hits both distinct entries.
+    let (rerun, stats) =
+        explore_with_stats(&anneal_spec(vec![Flow::FaAnneal(1), Flow::FaAnneal(2)]))
+            .expect("warm two-seed sweep succeeds");
+    assert_eq!(stats.total_store_hits(), 2);
+    assert_eq!(rerun.render_summary(), both.render_summary());
+    let _ = std::fs::remove_file(&path);
+}
+
 fn sample_key(salt: u64) -> EvalKey {
     EvalKey {
         stage: EvalStage::Analysis,

@@ -48,6 +48,17 @@ pub enum NetlistError {
     },
     /// A primary output was marked on a net that does not exist.
     UnknownOutput(NetId),
+    /// A cell identifier does not belong to this netlist.
+    UnknownCell(CellId),
+    /// An input-pin index is out of range for a cell's kind.
+    PinOutOfRange {
+        /// The cell whose pin was addressed.
+        cell: CellId,
+        /// The out-of-range pin index.
+        pin: usize,
+        /// Number of input pins the cell actually has.
+        arity: usize,
+    },
 }
 
 impl fmt::Display for NetlistError {
@@ -87,6 +98,15 @@ impl fmt::Display for NetlistError {
             }
             NetlistError::UnknownOutput(net) => {
                 write!(f, "primary output marks unknown net {net}")
+            }
+            NetlistError::UnknownCell(cell) => {
+                write!(f, "cell {cell} does not belong to this netlist")
+            }
+            NetlistError::PinOutOfRange { cell, pin, arity } => {
+                write!(
+                    f,
+                    "cell {cell} has {arity} input pins; pin {pin} is out of range"
+                )
             }
         }
     }

@@ -385,18 +385,16 @@ impl Netlist {
     /// [`crate::DeltaState`] bound to the old compiled program can be migrated to the
     /// recompile with [`crate::DeltaState::rebind`]. The caller is responsible for
     /// keeping the graph acyclic (rewiring to a net whose driver precedes the cell in
-    /// the current topological order always is); [`Netlist::compile`] reports a
+    /// the current topological order always is — [`Netlist::rewire_would_cycle`]
+    /// checks an arbitrary candidate); [`Netlist::compile`] reports a
     /// [`NetlistError::CombinationalCycle`] otherwise.
     ///
     /// # Errors
     ///
     /// Returns [`NetlistError::UnknownNet`] when `net` does not belong to this
-    /// netlist.
-    ///
-    /// # Panics
-    ///
-    /// Panics when `cell` does not belong to this netlist or `pin` is not one of its
-    /// input pins.
+    /// netlist, [`NetlistError::UnknownCell`] when `cell` does not, and
+    /// [`NetlistError::PinOutOfRange`] when `pin` is not one of the cell's input
+    /// pins. A failed call leaves the netlist untouched.
     pub fn rewire_input(
         &mut self,
         cell: CellId,
@@ -406,8 +404,56 @@ impl Netlist {
         if net.index() >= self.nets.len() {
             return Err(NetlistError::UnknownNet(net));
         }
+        if cell.index() >= self.cells.len() {
+            return Err(NetlistError::UnknownCell(cell));
+        }
+        let arity = self.cells[cell.index()].inputs.len();
+        if pin >= arity {
+            return Err(NetlistError::PinOutOfRange { cell, pin, arity });
+        }
         self.cells[cell.index()].inputs[pin] = net;
         Ok(())
+    }
+
+    /// Whether reconnecting an input pin of `cell` to `net` would close a
+    /// combinational cycle — i.e. whether `net`'s value (transitively, through
+    /// drivers) depends on an output of `cell`.
+    ///
+    /// This is the acyclicity guard for [`Netlist::rewire_input`] when the caller
+    /// cannot prove the candidate safe from a topological order: a rewire whose
+    /// source passes this check always recompiles cleanly, one that fails it always
+    /// ends in [`NetlistError::CombinationalCycle`]. Runs a backward DFS over the
+    /// driver edges, `O(nets + pins)` worst case, no allocation proportional to the
+    /// move count.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `cell` or `net` does not belong to this netlist.
+    pub fn rewire_would_cycle(&self, cell: CellId, net: NetId) -> bool {
+        assert!(
+            cell.index() < self.cells.len(),
+            "cell {cell} does not belong to this netlist"
+        );
+        assert!(
+            net.index() < self.nets.len(),
+            "net {net} does not belong to this netlist"
+        );
+        let mut visited = vec![false; self.cells.len()];
+        let mut stack = vec![net];
+        while let Some(current) = stack.pop() {
+            let Some((driver, _)) = self.nets[current.index()].driver() else {
+                continue;
+            };
+            if driver == cell {
+                return true;
+            }
+            if visited[driver.index()] {
+                continue;
+            }
+            visited[driver.index()] = true;
+            stack.extend(self.cells[driver.index()].inputs.iter().copied());
+        }
+        false
     }
 
     /// Replaces the kind of an existing cell with another kind of identical arity
@@ -415,13 +461,13 @@ impl Netlist {
     ///
     /// # Errors
     ///
-    /// Returns an arity-mismatch error when `kind` does not have the same pin counts
-    /// as the cell's current kind.
-    ///
-    /// # Panics
-    ///
-    /// Panics when `cell` does not belong to this netlist.
+    /// Returns [`NetlistError::UnknownCell`] when `cell` does not belong to this
+    /// netlist, and an arity-mismatch error when `kind` does not have the same pin
+    /// counts as the cell's current kind. A failed call leaves the netlist untouched.
     pub fn replace_cell_kind(&mut self, cell: CellId, kind: CellKind) -> Result<(), NetlistError> {
+        if cell.index() >= self.cells.len() {
+            return Err(NetlistError::UnknownCell(cell));
+        }
         let slot = &mut self.cells[cell.index()];
         if slot.inputs.len() != kind.input_count() {
             return Err(NetlistError::InputArityMismatch {
@@ -878,5 +924,69 @@ mod tests {
     fn display_ids() {
         assert_eq!(NetId(3).to_string(), "n3");
         assert_eq!(CellId(4).to_string(), "c4");
+    }
+
+    #[test]
+    fn rewire_input_rejects_bad_ids_without_mutating() {
+        let mut netlist = full_adder_netlist();
+        let before = netlist.structural_hash();
+        let a = netlist.inputs()[0];
+        let bad_net = NetId(netlist.net_count() as u32);
+        let bad_cell = CellId(netlist.cell_count() as u32);
+        assert_eq!(
+            netlist.rewire_input(CellId(0), 0, bad_net),
+            Err(NetlistError::UnknownNet(bad_net))
+        );
+        assert_eq!(
+            netlist.rewire_input(bad_cell, 0, a),
+            Err(NetlistError::UnknownCell(bad_cell))
+        );
+        let arity = netlist.cell(CellId(0)).inputs().len();
+        assert_eq!(
+            netlist.rewire_input(CellId(0), arity, a),
+            Err(NetlistError::PinOutOfRange {
+                cell: CellId(0),
+                pin: arity,
+                arity,
+            })
+        );
+        assert_eq!(netlist.structural_hash(), before);
+    }
+
+    #[test]
+    fn replace_cell_kind_rejects_unknown_cells() {
+        let mut netlist = full_adder_netlist();
+        let bad_cell = CellId(netlist.cell_count() as u32);
+        assert_eq!(
+            netlist.replace_cell_kind(bad_cell, CellKind::And2),
+            Err(NetlistError::UnknownCell(bad_cell))
+        );
+    }
+
+    #[test]
+    fn rewire_would_cycle_agrees_with_compile() {
+        // a -> NOT -> AND(.., b) -> BUF -> output
+        let mut netlist = Netlist::new("chain");
+        let a = netlist.add_input("a");
+        let b = netlist.add_input("b");
+        let not = netlist.add_gate(CellKind::Not, &[a]).unwrap()[0];
+        let and = netlist.add_gate(CellKind::And2, &[not, b]).unwrap()[0];
+        let buf = netlist.add_gate(CellKind::Buf, &[and]).unwrap()[0];
+        netlist.mark_output(buf);
+        let not_cell = netlist.net(not).driver().unwrap().0;
+        // Feeding the NOT from its own transitive fanout closes a cycle; the
+        // guard and the compiler must agree on every candidate source.
+        assert!(netlist.rewire_would_cycle(not_cell, not));
+        assert!(netlist.rewire_would_cycle(not_cell, and));
+        assert!(netlist.rewire_would_cycle(not_cell, buf));
+        assert!(!netlist.rewire_would_cycle(not_cell, a));
+        assert!(!netlist.rewire_would_cycle(not_cell, b));
+        netlist.rewire_input(not_cell, 0, buf).unwrap();
+        assert!(matches!(
+            netlist.compile(),
+            Err(NetlistError::CombinationalCycle { .. })
+        ));
+        netlist.rewire_input(not_cell, 0, b).unwrap();
+        assert!(netlist.compile().is_ok());
     }
 }

@@ -4,6 +4,7 @@
 //! property that makes every table, figure and failure in this repository
 //! reproducible.
 
+use dpsyn_baselines::{fa_anneal_with_stats, Flow};
 use dpsyn_core::{Objective, SelectionStrategy, Synthesizer};
 use dpsyn_designs::workloads::{random_sum, SumWorkload};
 use dpsyn_designs::Design;
@@ -105,6 +106,61 @@ fn seeded_strategies_synthesize_deterministically() {
     assert_ne!(
         verilog_a, verilog_b,
         "different Random seeds unexpectedly produced identical netlists"
+    );
+}
+
+#[test]
+fn fa_anneal_is_a_pure_function_of_its_seed() {
+    // The local search composes a seeded start synthesis with a seeded move
+    // trajectory; both must replay exactly. Byte-identical Verilog, bit-identical
+    // metrics and identical loop counters across independent runs.
+    let lib = TechLibrary::lcbg10pv_like();
+    let design = dpsyn_designs::mixed_poly();
+    let run = |seed: u64| {
+        fa_anneal_with_stats(
+            design.expr(),
+            design.spec(),
+            design.output_width(),
+            &lib,
+            seed,
+        )
+        .expect("fa_anneal succeeds")
+    };
+    let (first, first_stats) = run(9);
+    let (second, second_stats) = run(9);
+    assert_eq!(
+        first.netlist.to_verilog(),
+        second.netlist.to_verilog(),
+        "fa_anneal Verilog differs across runs at the same seed"
+    );
+    assert_eq!(first.delay.to_bits(), second.delay.to_bits());
+    assert_eq!(first.area.to_bits(), second.area.to_bits());
+    assert_eq!(
+        first.switching_energy.to_bits(),
+        second.switching_energy.to_bits()
+    );
+    assert_eq!(first.power_mw.to_bits(), second.power_mw.to_bits());
+    assert_eq!(
+        first_stats, second_stats,
+        "the move trajectory itself must replay exactly"
+    );
+    // Different seeds explore different trajectories (seed folds into both the
+    // start allocation and the move RNG); as in the Random-strategy test above,
+    // a spurious collision here just means the seeds should be changed.
+    let (other, _) = run(10);
+    assert_ne!(
+        first.netlist.to_verilog(),
+        other.netlist.to_verilog(),
+        "different fa_anneal seeds unexpectedly produced identical netlists"
+    );
+    // The Flow wrapper is the same function: equal bits through the dispatch.
+    let dispatched = Flow::FaAnneal(9)
+        .run(design.expr(), design.spec(), design.output_width(), &lib)
+        .expect("dispatched fa_anneal succeeds");
+    assert_eq!(first.netlist.to_verilog(), dispatched.netlist.to_verilog());
+    assert_eq!(
+        first.switching_energy.to_bits(),
+        dispatched.switching_energy.to_bits()
     );
 }
 

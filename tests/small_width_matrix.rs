@@ -119,6 +119,7 @@ fn every_explorer_driven_point_at_small_widths_is_equivalent() {
             Flow::FaRandom(13),
             Flow::FaAot,
             Flow::FaAlp,
+            Flow::FaAnneal(13),
         ])
         .seed(29)
         .threads(4)
@@ -126,8 +127,8 @@ fn every_explorer_driven_point_at_small_widths_is_equivalent() {
         .build()
         .expect("explorer spec is well-formed");
     let results = explore(&spec).expect("exploration succeeds");
-    // 2 fixed designs x 2 skews x 6 flows + 2 workloads x 2 widths x 2 skews x 6 flows.
-    assert_eq!(results.points().len(), 24 + 48);
+    // 2 fixed designs x 2 skews x 7 flows + 2 workloads x 2 widths x 2 skews x 7 flows.
+    assert_eq!(results.points().len(), 28 + 56);
     let jobs = spec.jobs();
     for point in results.points() {
         let job = &jobs[point.job.index()];
