@@ -1,0 +1,152 @@
+//! Criterion benchmark: SIMD block-engine throughput vs. the 64-lane engine on the
+//! 16×16 Wallace-tree multiplier — the lane engine sweeps 256 vectors as four
+//! 64-vector passes, the block engine (B = 4) as one 256-vector pass.
+//!
+//! Beyond the criterion timings, the harness measures both engines directly and
+//! **asserts the block engine is at least 1.5× faster per vector** — the acceptance
+//! criterion of the block-lane rework (one pass over the op stream amortizes
+//! dispatch across `B` words per net) — and prints a JSON line (the format of the
+//! committed `BENCH_sim.json` baseline) so the perf trajectory can be tracked:
+//!
+//! ```bash
+//! cargo bench -p dpsyn-bench --bench sim_block_throughput
+//! ```
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use dpsyn_ir::InputSpec;
+use dpsyn_modules::multiplier::wallace_multiply;
+use dpsyn_netlist::{Netlist, Word, WordMap};
+use dpsyn_sim::{BlockSim, LaneSim, Stimulus, DEFAULT_BLOCK, LANES};
+use std::time::Instant;
+
+/// The 16×16 Wallace multiplier workload with one 256-vector stimulus batch packed
+/// both ways: four 64-vector lane buffers and one 4-word block buffer.
+struct Workload {
+    netlist: Netlist,
+    lane_batches: Vec<Vec<u64>>,
+    packed_blocks: Vec<u64>,
+}
+
+fn workload() -> Workload {
+    let mut netlist = Netlist::new("mult16");
+    let a: Vec<_> = (0..16)
+        .map(|i| netlist.add_input(format!("a{i}")))
+        .collect();
+    let b: Vec<_> = (0..16)
+        .map(|i| netlist.add_input(format!("b{i}")))
+        .collect();
+    let product = wallace_multiply(&mut netlist, &a, &b).expect("multiplier generation");
+    for net in &product {
+        netlist.mark_output(*net);
+    }
+    let map = WordMap::new(
+        vec![Word::new("a", a), Word::new("b", b)],
+        Word::new("p", product),
+    );
+    let spec = InputSpec::builder()
+        .var("a", 16)
+        .var("b", 16)
+        .build()
+        .expect("valid spec");
+    let vectors_per_pass = DEFAULT_BLOCK * LANES;
+    let mut stimulus = Stimulus::with_seed(2024);
+    let assignments = stimulus.uniform_batch(&spec, vectors_per_pass);
+    let lane_batches: Vec<Vec<u64>> = assignments
+        .chunks(LANES)
+        .map(|chunk| {
+            let mut lanes = vec![0u64; netlist.net_count()];
+            LaneSim::pack_word_assignments(&map, chunk, &mut lanes);
+            lanes
+        })
+        .collect();
+    let block_sim = BlockSim::compile(&netlist, DEFAULT_BLOCK).expect("acyclic");
+    let mut packed_blocks = block_sim.block_buffer();
+    block_sim.pack_word_assignments(&map, &assignments, &mut packed_blocks);
+    Workload {
+        netlist,
+        lane_batches,
+        packed_blocks,
+    }
+}
+
+fn bench_sim_block_throughput(criterion: &mut Criterion) {
+    let workload = workload();
+    let lane_sim = LaneSim::compile(&workload.netlist).expect("acyclic");
+    let block_sim = BlockSim::compile(&workload.netlist, DEFAULT_BLOCK).expect("acyclic");
+    let vectors = (DEFAULT_BLOCK * LANES) as u64;
+    let mut group = criterion.benchmark_group("sim_block_throughput");
+    group.sample_size(20);
+    group.bench_function("lane_engine_256_vectors", |bencher| {
+        let mut lanes = lane_sim.lane_buffer();
+        bencher.iter(|| {
+            for batch in &workload.lane_batches {
+                lanes.copy_from_slice(batch);
+                lane_sim.evaluate_into(&mut lanes);
+                black_box(lanes[0]);
+            }
+        })
+    });
+    group.bench_function("block_engine_256_vectors", |bencher| {
+        let mut blocks = block_sim.block_buffer();
+        bencher.iter(|| {
+            blocks.copy_from_slice(&workload.packed_blocks);
+            block_sim.evaluate_into(&mut blocks);
+            black_box(blocks[0]);
+        })
+    });
+    group.finish();
+
+    speedup_gate(&workload, &lane_sim, &block_sim, vectors);
+}
+
+/// Times both engines directly, prints the `BENCH_sim.json` record, and enforces the
+/// ≥ 1.5× block-vs-lane acceptance criterion.
+fn speedup_gate(workload: &Workload, lane_sim: &LaneSim, block_sim: &BlockSim, vectors: u64) {
+    // Lane engine: four 64-vector passes cover the 256-vector sweep; repeat until
+    // ~0.2 s have elapsed.
+    let mut lanes = lane_sim.lane_buffer();
+    let mut lane_sweeps = 0u64;
+    let lane_start = Instant::now();
+    while lane_start.elapsed().as_millis() < 200 {
+        for batch in &workload.lane_batches {
+            lanes.copy_from_slice(batch);
+            lane_sim.evaluate_into(&mut lanes);
+            black_box(lanes[0]);
+        }
+        lane_sweeps += 1;
+    }
+    let lane_vps = (lane_sweeps * vectors) as f64 / lane_start.elapsed().as_secs_f64();
+
+    // Block engine: one pass covers all 256 vectors.
+    let mut blocks = block_sim.block_buffer();
+    let mut block_sweeps = 0u64;
+    let block_start = Instant::now();
+    while block_start.elapsed().as_millis() < 200 {
+        blocks.copy_from_slice(&workload.packed_blocks);
+        block_sim.evaluate_into(&mut blocks);
+        black_box(blocks[0]);
+        block_sweeps += 1;
+    }
+    let block_vps = (block_sweeps * vectors) as f64 / block_start.elapsed().as_secs_f64();
+
+    let speedup = block_vps / lane_vps;
+    println!(
+        "{{\"workload\": \"wallace_mult_16x16\", \"cells\": {}, \"nets\": {}, \
+         \"block\": {}, \"lane_vectors_per_sec\": {:.0}, \
+         \"block_vectors_per_sec\": {:.0}, \"block_vs_lane_speedup\": {:.2}}}",
+        workload.netlist.cell_count(),
+        workload.netlist.net_count(),
+        DEFAULT_BLOCK,
+        lane_vps,
+        block_vps,
+        speedup
+    );
+    assert!(
+        speedup >= 1.5,
+        "block engine must be at least 1.5x faster than repeated lane passes \
+         (measured {speedup:.2}x: {block_vps:.0} vs {lane_vps:.0} vectors/sec)"
+    );
+}
+
+criterion_group!(benches, bench_sim_block_throughput);
+criterion_main!(benches);

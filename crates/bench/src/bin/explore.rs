@@ -23,8 +23,10 @@
 //! exploration each, all sharing the store; see `dpsyn_explore::serve`), and
 //! `--serve-smoke` self-tests that mode end to end: it spawns the server in-process,
 //! sends the smoke matrix twice over two overlapping client connections, asserts both
-//! responses carry the byte-identical batch summary with warm hits on the second, and
-//! shuts the server down gracefully.
+//! responses carry the byte-identical batch summary with warm hits on the second,
+//! exercises a `sim_activity` request (simulated columns present, no aliasing of the
+//! analytic store entries) plus a malformed one (typed rejection), and shuts the
+//! server down gracefully.
 
 use dpsyn_baselines::Flow;
 use dpsyn_explore::{
@@ -158,7 +160,7 @@ fn serve_mode(_socket: PathBuf, _store: Option<PathBuf>) {
 /// CI) on any divergence.
 #[cfg(unix)]
 fn serve_smoke() {
-    use dpsyn_explore::{serve, ServeConfig, ServeResponse};
+    use dpsyn_explore::{serve, ServeConfig, ServeResponse, SimActivity};
     use std::io::{BufRead, BufReader, Write};
     use std::os::unix::net::UnixStream;
     use std::time::{Duration, Instant};
@@ -246,6 +248,73 @@ fn serve_smoke() {
     }
     drop(second);
     drop(third);
+
+    // Request 4: the smoke matrix with simulated switching activity. The stimulus
+    // digest keys it apart from the analytic entries (no warm hits), and the
+    // summary gains the simulated columns — byte-identical to batch mode.
+    let sim_request = concat!(
+        r#"{"sources":[{"design":"x_squared"},{"design":"mixed_poly"},{"sum":3}],"#,
+        r#""widths":[4],"skews":["keep",2.0],"#,
+        r#""flows":["conventional","csa_opt","fa_aot","fa_alp"],"seed":7,"threads":1,"#,
+        r#""sim_activity":{"seed":11,"vectors":256}}"#,
+        "\n"
+    );
+    let sim_reference = explore(
+        &smoke_spec()
+            .threads(1)
+            .sim_activity(SimActivity {
+                seed: 11,
+                vectors: 256,
+            })
+            .build()
+            .expect("sim smoke spec"),
+    )
+    .expect("batch sim smoke run succeeds")
+    .render_summary();
+    let mut simulated = connect();
+    simulated
+        .write_all(sim_request.as_bytes())
+        .expect("sim request sends");
+    let sim = read_response(&mut simulated);
+    assert!(sim.ok, "sim request failed: {}", sim.error);
+    assert_eq!(
+        sim.summary, sim_reference,
+        "sim summary must match batch mode"
+    );
+    assert!(
+        sim.summary.contains("sim mW") && sim.summary.contains("div%"),
+        "sim summary must carry the simulated columns"
+    );
+    assert_eq!(
+        sim.store_hits, 0,
+        "a simulated request must never be served from analytic store entries"
+    );
+    drop(simulated);
+    eprintln!("serve smoke: simulated-activity request carries the sim columns");
+
+    // Request 5: a malformed `sim_activity` must be rejected with its typed error,
+    // not explored analytically.
+    let malformed_request = concat!(
+        r#"{"sources":[{"design":"x_squared"}],"flows":["conventional"],"#,
+        r#""sim_activity":{"seed":11}}"#,
+        "\n"
+    );
+    let mut malformed = connect();
+    malformed
+        .write_all(malformed_request.as_bytes())
+        .expect("malformed request sends");
+    let rejected = read_response(&mut malformed);
+    assert!(!rejected.ok, "a seed-only sim_activity must be rejected");
+    assert!(
+        rejected.error.contains("requires a `vectors` count"),
+        "unexpected rejection reason: {}",
+        rejected.error
+    );
+    drop(malformed);
+    eprintln!(
+        "serve smoke: malformed sim_activity rejected ({})",
+        rejected.error
+    );
 
     // Graceful shutdown: acknowledged, server thread exits, socket file removed.
     let mut closer = connect();

@@ -4,8 +4,11 @@ use crate::cache::{CompiledCache, Evaluated, PointProfiles};
 use crate::error::ExploreError;
 use crate::job::Job;
 use crate::pareto::{pareto_front, PointMetrics};
+use crate::sim::{SimCache, SimOutcome};
 use crate::spec::{ExplorationSpec, StealPolicy};
-use crate::store::{profile_digest, EvalKey, ResultStore, StoredEval};
+use crate::store::{
+    profile_digest, stimulus_digest, stimulus_layout_digest, EvalKey, ResultStore, StoredEval,
+};
 use crate::summary::{render_summary, summarize_flows, FlowSummary};
 use dpsyn_baselines::{input_profiles, FlowResult, FlowSynthesis};
 use dpsyn_designs::Design;
@@ -83,6 +86,16 @@ pub struct WorkerStats {
     /// evaluating (always 0 when no store is attached or lookups are disabled by
     /// artifact retention).
     pub store_hits: usize,
+    /// Simulated-activity contexts this worker built (block-program compile +
+    /// stimulus draw). One per `(source, width, flow)` group the worker touches —
+    /// the group's later points reuse the context (always 0 without
+    /// [`SimActivity`](crate::SimActivity)).
+    pub sim_builds: usize,
+    /// Points this worker ran the simulated switching metric for.
+    pub sim_points: usize,
+    /// Simulated points that reused a verified cached context instead of
+    /// building one.
+    pub sim_reuses: usize,
 }
 
 /// Scheduling diagnostics of one exploration, one entry per worker thread.
@@ -101,6 +114,22 @@ impl ExploreStats {
     /// Total number of jobs served from the persistent result store.
     pub fn total_store_hits(&self) -> usize {
         self.workers.iter().map(|worker| worker.store_hits).sum()
+    }
+
+    /// Total simulated-activity contexts built across all workers; with one
+    /// thread this equals the number of `(source, width, flow)` groups touched.
+    pub fn total_sim_builds(&self) -> usize {
+        self.workers.iter().map(|worker| worker.sim_builds).sum()
+    }
+
+    /// Total points the simulated switching metric ran for.
+    pub fn total_sim_points(&self) -> usize {
+        self.workers.iter().map(|worker| worker.sim_points).sum()
+    }
+
+    /// Total simulated points that reused a verified cached context.
+    pub fn total_sim_reuses(&self) -> usize {
+        self.workers.iter().map(|worker| worker.sim_reuses).sum()
     }
 
     /// Jobs executed by the busiest and laziest workers — a quick imbalance probe.
@@ -440,6 +469,7 @@ pub fn explore_with_store(
                 let memo = memo.as_ref();
                 scope.spawn(move || {
                     let mut cache = CompiledCache::new();
+                    let mut sim_cache = SimCache::new();
                     let mut worker = WorkerStats::default();
                     let mut recorded = Vec::new();
                     loop {
@@ -458,9 +488,10 @@ pub fn explore_with_store(
                                 spec,
                                 &jobs[job_index],
                                 &mut cache,
+                                &mut sim_cache,
                                 memo,
                                 &mut recorded,
-                                &mut worker.store_hits,
+                                &mut worker,
                             );
                             let stored = slots[job_index].set(outcome);
                             debug_assert!(stored.is_ok(), "every job index is claimed once");
@@ -520,7 +551,15 @@ struct StoreContext<'a> {
 /// Reconstructs an exploration point from a memoized record — byte-identical to
 /// fresh evaluation because the record stores exact bit patterns. Only reached
 /// when artifacts are not retained, so `artifact: None` matches fresh behavior.
-fn point_from_stored(job: &Job, design: &Design, stored: StoredEval) -> ExplorationPoint {
+/// `sim_on` says whether the sweep carries a simulated metric: its key could only
+/// have matched a record of the same kind, so the stored `simulated_switch_power`
+/// is meaningful exactly then.
+fn point_from_stored(
+    job: &Job,
+    design: &Design,
+    stored: StoredEval,
+    sim_on: bool,
+) -> ExplorationPoint {
     ExplorationPoint {
         job: job.clone(),
         design: design.name().to_string(),
@@ -531,13 +570,16 @@ fn point_from_stored(job: &Job, design: &Design, stored: StoredEval) -> Explorat
             switching_energy: stored.switching_energy,
             cell_count: stored.cell_count,
             logic_depth: stored.logic_depth,
+            simulated_switch_power: sim_on.then_some(stored.simulated_switch_power),
         },
         artifact: None,
     }
 }
 
-/// The storable figures of a freshly evaluated point.
-fn stored_from(evaluated: &Evaluated) -> StoredEval {
+/// The storable figures of a freshly evaluated point; an analytic sweep stores a
+/// zero simulated figure (its key's zero stimulus digest keeps it from ever being
+/// read back as a simulated one).
+fn stored_from(evaluated: &Evaluated, simulated: Option<f64>) -> StoredEval {
     StoredEval {
         delay: evaluated.delay,
         area: evaluated.area,
@@ -545,6 +587,7 @@ fn stored_from(evaluated: &Evaluated) -> StoredEval {
         power_mw: evaluated.power_mw,
         cell_count: evaluated.cell_count,
         logic_depth: evaluated.logic_depth,
+        simulated_switch_power: simulated.unwrap_or(0.0),
     }
 }
 
@@ -559,25 +602,37 @@ fn stored_from(evaluated: &Evaluated) -> StoredEval {
 /// analysis bundle — and appends its own records to `recorded`. Lookups are
 /// skipped (but records still produced) when artifacts are retained; see
 /// [`explore_with_store`].
+///
+/// When the specification carries a [`SimActivity`](crate::SimActivity), the
+/// synthesized netlist additionally runs through the worker's [`SimCache`] — the
+/// group's compiled block program and shared stimulus batch absorb every later
+/// point — and both store keys fold the stimulus digest, so simulated and
+/// analytic records never alias.
 fn evaluate(
     spec: &ExplorationSpec,
     job: &Job,
     cache: &mut CompiledCache,
+    sim_cache: &mut SimCache,
     memo: Option<&StoreContext<'_>>,
     recorded: &mut Vec<(EvalKey, StoredEval)>,
-    store_hits: &mut usize,
+    worker: &mut WorkerStats,
 ) -> Result<ExplorationPoint, ExploreError> {
     let design = spec.materialize(job);
     #[cfg(test)]
     if design.name() == "__panic__" {
         panic!("injected evaluation panic (worker-panic tests only)");
     }
+    let activity = spec.sim_activity();
+    let sim_on = activity.is_some();
     let lookups = memo.filter(|_| !spec.retain_artifacts);
-    let point_key = memo.map(|context| EvalKey::point(&design, job.flow(), context.tech_digest));
+    let point_key = memo.map(|context| {
+        let stimulus = activity.map(stimulus_digest).unwrap_or(0);
+        EvalKey::point(&design, job.flow(), context.tech_digest, stimulus)
+    });
     if let (Some(context), Some(key)) = (lookups, point_key.as_ref()) {
         if let Some(stored) = context.store.lookup(key) {
-            *store_hits += 1;
-            return Ok(point_from_stored(job, &design, stored));
+            worker.store_hits += 1;
+            return Ok(point_from_stored(job, &design, stored, sim_on));
         }
     }
     let synthesis = job
@@ -592,37 +647,73 @@ fn evaluate(
             job: job.label(),
             source,
         })?;
-    let evaluated = match synthesis {
-        FlowSynthesis::Analyzed(result) => Evaluated {
-            delay: result.delay,
-            area: result.area,
-            switching_energy: result.switching_energy,
-            power_mw: result.power_mw,
-            cell_count: result.compiled.cell_count(),
-            logic_depth: result.compiled.level_count(),
-            artifact: spec.retain_artifacts.then_some(*result),
-        },
+    // Runs the simulated switching metric on one synthesized netlist through the
+    // worker's per-group context cache, tallying build/reuse counters.
+    let mut simulate = |netlist: &dpsyn_netlist::Netlist,
+                        word_map: &dpsyn_netlist::WordMap,
+                        worker: &mut WorkerStats|
+     -> Result<Option<f64>, ExploreError> {
+        let Some(activity) = activity else {
+            return Ok(None);
+        };
+        let (power, outcome) = sim_cache
+            .simulate(activity, netlist, word_map, design.spec(), spec.tech())
+            .map_err(|message| ExploreError::Sim {
+                job: job.label(),
+                message,
+            })?;
+        worker.sim_points += 1;
+        match outcome {
+            SimOutcome::Built => worker.sim_builds += 1,
+            SimOutcome::Reused => worker.sim_reuses += 1,
+        }
+        Ok(Some(power))
+    };
+    let (evaluated, simulated) = match synthesis {
+        FlowSynthesis::Analyzed(result) => {
+            let simulated = simulate(&result.netlist, &result.word_map, worker)?;
+            (
+                Evaluated {
+                    delay: result.delay,
+                    area: result.area,
+                    switching_energy: result.switching_energy,
+                    power_mw: result.power_mw,
+                    cell_count: result.compiled.cell_count(),
+                    logic_depth: result.compiled.level_count(),
+                    artifact: spec.retain_artifacts.then_some(*result),
+                },
+                simulated,
+            )
+        }
         FlowSynthesis::Unanalyzed(parts) => {
             let (arrivals, probabilities) = input_profiles(&parts.word_map, design.spec());
             let analysis_key = memo.map(|context| {
+                let stimulus = activity
+                    .map(|activity| {
+                        stimulus_layout_digest(stimulus_digest(activity), &parts.word_map)
+                    })
+                    .unwrap_or(0);
                 EvalKey::analysis(
                     &parts.netlist,
                     context.tech_digest,
                     parts.flow,
                     profile_digest(&arrivals, &probabilities),
+                    stimulus,
                 )
             });
             if let (Some(context), Some(key)) = (lookups, analysis_key.as_ref()) {
                 if let Some(stored) = context.store.lookup(key) {
-                    *store_hits += 1;
+                    worker.store_hits += 1;
                     // Promote the hit to a point-level record so the next run
                     // skips this job's synthesis too.
                     if let Some(point_key) = point_key {
                         recorded.push((point_key, stored));
                     }
-                    return Ok(point_from_stored(job, &design, stored));
+                    return Ok(point_from_stored(job, &design, stored, sim_on));
                 }
             }
+            // Simulate before `analyze` consumes the netlist by value.
+            let simulated = simulate(&parts.netlist, &parts.word_map, worker)?;
             let evaluated = cache
                 .analyze(
                     parts.flow,
@@ -640,13 +731,13 @@ fn evaluate(
                     source,
                 })?;
             if let Some(key) = analysis_key {
-                recorded.push((key, stored_from(&evaluated)));
+                recorded.push((key, stored_from(&evaluated, simulated)));
             }
-            evaluated
+            (evaluated, simulated)
         }
     };
     if let Some(key) = point_key {
-        recorded.push((key, stored_from(&evaluated)));
+        recorded.push((key, stored_from(&evaluated, simulated)));
     }
     let metrics = PointMetrics {
         delay: evaluated.delay,
@@ -655,6 +746,7 @@ fn evaluate(
         switching_energy: evaluated.switching_energy,
         cell_count: evaluated.cell_count,
         logic_depth: evaluated.logic_depth,
+        simulated_switch_power: simulated,
     };
     Ok(ExplorationPoint {
         job: job.clone(),
@@ -848,6 +940,81 @@ mod tests {
                 other => panic!("expected WorkerPanic, got {other}"),
             }
         }
+    }
+
+    #[test]
+    fn sim_contexts_are_built_once_per_group_and_reused() {
+        use crate::spec::SimActivity;
+        // 2 widths × 2 flows = 4 (source, width, flow) groups of 3 skews × 2
+        // biases = 6 jobs each. One worker, overpartition 1: every group runs as
+        // one chunk. Both flows bind modules without looking at input profiles,
+        // so every point of a group synthesizes the identical structure and the
+        // simulated metric must compile exactly one block program (and draw one
+        // stimulus batch) per group, absorbing the other five points as verified
+        // reuses. (Profile-steered flows like the FA-tree family synthesize
+        // different structures per skew and legitimately build more.)
+        let spec = ExplorationSpec::builder()
+            .sum_workload(3)
+            .widths([3, 4])
+            .skews([
+                SkewProfile::Keep,
+                SkewProfile::Uniform(1.0),
+                SkewProfile::Uniform(2.0),
+            ])
+            .biases([BiasProfile::Keep, BiasProfile::Uniform(0.3)])
+            .flows([Flow::Conventional, Flow::CsaOpt])
+            .threads(1)
+            .overpartition(1)
+            .sim_activity(SimActivity {
+                seed: 11,
+                vectors: 512,
+            })
+            .build()
+            .expect("sim reuse spec is well-formed");
+        let (results, stats) = explore_with_stats(&spec).expect("sim sweep runs");
+        assert_eq!(results.points().len(), 24);
+        assert_eq!(stats.total_sim_points(), 24, "every point is simulated");
+        assert_eq!(
+            stats.total_sim_builds(),
+            4,
+            "one block program + stimulus batch per (source, width, flow) group"
+        );
+        assert_eq!(stats.total_sim_reuses(), 20);
+        for point in results.points() {
+            let simulated = point
+                .metrics
+                .simulated_switch_power
+                .expect("sim metric present on every point");
+            assert!(simulated.is_finite() && simulated > 0.0);
+        }
+        let text = results.render_summary();
+        assert!(text.contains("sim mW"), "summary gains the sim column");
+        assert!(text.contains("div%"), "summary gains the divergence column");
+
+        // An analytic sweep of the same matrix carries no simulated metric and
+        // renders the historical table.
+        let analytic = ExplorationSpec::builder()
+            .sum_workload(3)
+            .widths([3, 4])
+            .skews([
+                SkewProfile::Keep,
+                SkewProfile::Uniform(1.0),
+                SkewProfile::Uniform(2.0),
+            ])
+            .biases([BiasProfile::Keep, BiasProfile::Uniform(0.3)])
+            .flows([Flow::Conventional, Flow::CsaOpt])
+            .threads(1)
+            .overpartition(1)
+            .build()
+            .expect("analytic twin is well-formed");
+        let (results, stats) = explore_with_stats(&analytic).expect("analytic sweep runs");
+        assert_eq!(stats.total_sim_points(), 0);
+        assert_eq!(stats.total_sim_builds(), 0);
+        assert!(results
+            .points()
+            .iter()
+            .all(|point| point.metrics.simulated_switch_power.is_none()));
+        assert!(!results.render_summary().contains("sim mW"));
     }
 
     #[test]

@@ -38,6 +38,17 @@ pub enum ExploreError {
     InvalidBias(f64),
     /// Two probability-bias profiles describe the same probability range.
     ConflictingBiases(BiasProfile, BiasProfile),
+    /// A simulated-activity request asks for fewer than 2 stimulus vectors; toggle
+    /// rates need at least one vector-to-vector transition.
+    InvalidSimVectors(usize),
+    /// The simulated switching-activity metric failed on one job (block-engine
+    /// compilation or technology resolution of the synthesized netlist).
+    Sim {
+        /// Label of the failing job (design, axes and flow).
+        job: String,
+        /// What went wrong.
+        message: String,
+    },
     /// A synthesis flow failed on one job of the matrix.
     Flow {
         /// Label of the failing job (design, axes and flow).
@@ -122,6 +133,14 @@ impl fmt::Display for ExploreError {
                 "probability-bias profiles {first} and {second} conflict: they \
                  describe the same probability range and would enumerate duplicate jobs"
             ),
+            ExploreError::InvalidSimVectors(vectors) => write!(
+                f,
+                "simulated activity with {vectors} vector(s) is invalid (at least 2 \
+                 vectors are needed to witness a toggle)"
+            ),
+            ExploreError::Sim { job, message } => {
+                write!(f, "simulated activity failed on job `{job}`: {message}")
+            }
             ExploreError::Flow { job, source } => {
                 write!(f, "flow failed on job `{job}`: {source}")
             }

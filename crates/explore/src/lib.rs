@@ -18,6 +18,12 @@
 //!    analysis, switching power from probability propagation, cell area and structure
 //!    from the netlist), and the whole run is dominance-filtered into a Pareto front
 //!    over delay × power × area plus per-flow [`FlowSummary`] tables.
+//! 4. Optionally, a [`SimActivity`] request adds **simulated switching activity** as
+//!    a per-point metric: every synthesized netlist runs through the SIMD block-lane
+//!    engine of `dpsyn-sim` on a shared seeded stimulus batch (compiled once and
+//!    reused across each `(source, width, flow)` group, like the analytic delta
+//!    path), yielding `simulated_switch_power` and an analytic-vs-simulated
+//!    divergence column in the summary — still byte-identical for any worker count.
 //!
 //! # Example
 //!
@@ -49,6 +55,7 @@ mod job;
 mod pareto;
 #[cfg(unix)]
 mod serve;
+mod sim;
 mod spec;
 mod store;
 mod summary;
@@ -64,9 +71,13 @@ pub use pareto::{pareto_front, PointMetrics};
 #[cfg(unix)]
 pub use serve::{serve, ServeConfig, ServeResponse};
 pub use spec::{
-    BiasProfile, ExplorationSpec, ExplorationSpecBuilder, ExprSource, SkewProfile, StealPolicy,
+    BiasProfile, ExplorationSpec, ExplorationSpecBuilder, ExprSource, SimActivity, SkewProfile,
+    StealPolicy,
 };
-pub use store::{profile_digest, EvalKey, EvalStage, ResultStore, StoredEval, STORE_FORMAT};
+pub use store::{
+    profile_digest, stimulus_digest, stimulus_layout_digest, EvalKey, EvalStage, ResultStore,
+    StoredEval, STORE_FORMAT,
+};
 pub use summary::FlowSummary;
 
 #[cfg(test)]

@@ -18,6 +18,12 @@ pub struct PointMetrics {
     pub cell_count: usize,
     /// Structural logic depth of the netlist.
     pub logic_depth: usize,
+    /// Simulated switching power (same scale as `power`), measured by running the
+    /// synthesized netlist through the SIMD block engine on the sweep's shared
+    /// stimulus batch. `None` unless the specification requests a
+    /// [`SimActivity`](crate::SimActivity); rides along for summaries — dominance
+    /// stays over the analytic delay × power × area space.
+    pub simulated_switch_power: Option<f64>,
 }
 
 impl PointMetrics {
@@ -60,6 +66,7 @@ mod tests {
             switching_energy: power / 10.0,
             cell_count: 10,
             logic_depth: 3,
+            simulated_switch_power: None,
         }
     }
 

@@ -14,11 +14,16 @@
 //! {"sources":[{"design":"x_squared"},{"sum":3}],"widths":[4],
 //!  "skews":["keep",2.0],"biases":["keep"],
 //!  "flows":["conventional","csa_opt",{"fa_random":11}],
-//!  "seed":7,"threads":2,"overpartition":4,"steal":"busiest","tech":"lcbg10pv_like"}
+//!  "seed":7,"threads":2,"overpartition":4,"steal":"busiest","tech":"lcbg10pv_like",
+//!  "sim_activity":{"seed":11,"vectors":4096}}
 //! ```
 //!
 //! Every field maps straight onto the [`ExplorationSpec`] builder; unknown fields
-//! are rejected (a typo must not silently change the sweep). `{"shutdown":true}`
+//! are rejected (a typo must not silently change the sweep). The optional
+//! `sim_activity` object requests the simulated switching metric
+//! ([`SimActivity`]): it must carry exactly an integer `seed` and a `vectors`
+//! count, and any malformed combination (missing half, unknown extra field, a
+//! vector count below 2) is rejected with a typed reason. `{"shutdown":true}`
 //! asks the server to stop: it finishes every in-flight request, takes no new
 //! connections, flushes the store one final time and removes the socket file.
 //!
@@ -45,7 +50,7 @@
 
 use crate::engine::explore_with_store;
 use crate::error::ExploreError;
-use crate::spec::{BiasProfile, ExplorationSpec, SkewProfile, StealPolicy};
+use crate::spec::{BiasProfile, ExplorationSpec, SimActivity, SkewProfile, StealPolicy};
 use crate::store::ResultStore;
 use dpsyn_baselines::Flow;
 use dpsyn_designs::Design;
@@ -449,6 +454,35 @@ fn build_spec(fields: &[(String, Json)]) -> Result<ExplorationSpec, String> {
                     _ => return Err("`tech` is \"unit\" or \"lcbg10pv_like\"".to_string()),
                 });
             }
+            "sim_activity" => {
+                let Json::Object(entry) = value else {
+                    return Err("`sim_activity` is an object with `seed` and `vectors`".to_string());
+                };
+                let mut seed = None;
+                let mut vectors = None;
+                for (field, value) in entry {
+                    match field.as_str() {
+                        "seed" => {
+                            seed = Some(
+                                value
+                                    .as_u64()
+                                    .ok_or("`sim_activity.seed` must be an integer")?,
+                            );
+                        }
+                        "vectors" => {
+                            vectors = Some(
+                                value
+                                    .as_usize()
+                                    .ok_or("`sim_activity.vectors` must be an integer")?,
+                            );
+                        }
+                        other => return Err(format!("unknown `sim_activity` field `{other}`")),
+                    }
+                }
+                let seed = seed.ok_or("`sim_activity` requires a `seed`")?;
+                let vectors = vectors.ok_or("`sim_activity` requires a `vectors` count")?;
+                builder = builder.sim_activity(SimActivity { seed, vectors });
+            }
             other => return Err(format!("unknown request field `{other}`")),
         }
     }
@@ -812,6 +846,57 @@ mod tests {
         assert!(build_spec(&fields)
             .expect_err("unknown flow")
             .contains("unknown flow"));
+    }
+
+    #[test]
+    fn sim_activity_requests_parse_and_reject_malformed_combinations() {
+        let build = |line: &str| {
+            let Json::Object(fields) = parse_json(line).expect("request parses") else {
+                panic!("not an object");
+            };
+            build_spec(&fields)
+        };
+        let spec = build(
+            r#"{"sources":[{"design":"x_squared"}],"flows":["fa_aot"],
+                "sim_activity":{"seed":11,"vectors":4096}}"#,
+        )
+        .expect("well-formed sim_activity builds");
+        assert_eq!(
+            spec.sim_activity(),
+            Some(SimActivity {
+                seed: 11,
+                vectors: 4096
+            })
+        );
+        // Each malformed combination carries its own typed reason.
+        for (line, reason) in [
+            (r#"{"sim_activity":true}"#, "object with `seed`"),
+            (r#"{"sim_activity":{"vectors":64}}"#, "requires a `seed`"),
+            (
+                r#"{"sim_activity":{"seed":1}}"#,
+                "requires a `vectors` count",
+            ),
+            (
+                r#"{"sim_activity":{"seed":1,"vectors":64,"warp":9}}"#,
+                "unknown `sim_activity` field `warp`",
+            ),
+            (
+                r#"{"sim_activity":{"seed":1.5,"vectors":64}}"#,
+                "`sim_activity.seed` must be an integer",
+            ),
+            (
+                r#"{"sim_activity":{"seed":1,"vectors":"many"}}"#,
+                "`sim_activity.vectors` must be an integer",
+            ),
+            (
+                r#"{"sources":[{"design":"x_squared"}],"flows":["fa_aot"],
+                    "sim_activity":{"seed":1,"vectors":1}}"#,
+                "at least 2 vectors",
+            ),
+        ] {
+            let error = build(line).expect_err(line);
+            assert!(error.contains(reason), "{line} -> {error}");
+        }
     }
 
     #[test]

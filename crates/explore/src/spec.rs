@@ -161,6 +161,25 @@ pub enum StealPolicy {
     RoundRobin,
 }
 
+/// The simulated switching-activity metric of a sweep: when attached to a
+/// specification, every evaluated point is additionally simulated on the SIMD block
+/// engine of `dpsyn-sim` under `vectors` seeded biased stimulus vectors, producing a
+/// `simulated_switch_power` beside the analytic power figure.
+///
+/// One compiled block program and one pre-drawn stimulus batch are shared by every
+/// skew/bias point of a `(source, width, flow)` group, the same way timing and power
+/// reuse the primed delta state — see `crate::explore`'s engine docs. The seed and
+/// vector count are part of every persistent-store key (the stimulus digest), so a
+/// simulated run can never alias a non-simulated one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SimActivity {
+    /// Seed of the shared stimulus batch (independent of the exploration seed).
+    pub seed: u64,
+    /// Stimulus vectors simulated per design point (at least 2 — toggle rates need
+    /// a transition).
+    pub vectors: usize,
+}
+
 /// Default over-partitioning factor: each `(source, width, flow)` group is cut into
 /// up to `threads × 4` chunks (capped at the group length). Finer chunks let the
 /// work-stealing scheduler re-balance a dominant group's tail, and cost nothing when
@@ -222,6 +241,10 @@ pub struct ExplorationSpec {
     /// `None` (the default) runs the exploration without any persistence, exactly
     /// as before the store existed.
     pub(crate) store_path: Option<std::path::PathBuf>,
+    /// The simulated switching-activity metric, when one is requested. `None` (the
+    /// default) runs the purely analytic sweep, byte-identical to before the
+    /// metric existed.
+    pub(crate) sim_activity: Option<SimActivity>,
 }
 
 impl ExplorationSpec {
@@ -259,6 +282,11 @@ impl ExplorationSpec {
     /// The memo file of the persistent result store, when one is attached.
     pub fn store_path(&self) -> Option<&std::path::Path> {
         self.store_path.as_deref()
+    }
+
+    /// The simulated switching-activity metric, when one is requested.
+    pub fn sim_activity(&self) -> Option<SimActivity> {
+        self.sim_activity
     }
 
     /// Enumerates the job matrix in its canonical order: sources, then widths (for
@@ -374,6 +402,7 @@ impl Default for ExplorationSpecBuilder {
                 overpartition: DEFAULT_OVERPARTITION,
                 retain_artifacts: false,
                 store_path: None,
+                sim_activity: None,
             },
             threads: None,
         }
@@ -521,6 +550,17 @@ impl ExplorationSpecBuilder {
         self
     }
 
+    /// Requests the simulated switching-activity metric (default: none): every
+    /// evaluated point is additionally simulated on the block engine under the
+    /// given seeded stimulus, and carries a `simulated_switch_power` beside the
+    /// analytic power figure. The summary rendering gains a simulated-power and an
+    /// analytic-vs-simulated divergence column; sweeps without the metric render
+    /// byte-identically to before it existed.
+    pub fn sim_activity(mut self, activity: SimActivity) -> Self {
+        self.spec.sim_activity = Some(activity);
+        self
+    }
+
     /// Validates the axes and produces the specification.
     ///
     /// # Errors
@@ -528,7 +568,8 @@ impl ExplorationSpecBuilder {
     /// Returns a typed [`ExploreError`] when the `threads` field is explicitly zero,
     /// the `overpartition` factor is zero, a width is zero, a workload source lacks
     /// widths or operands, a skew/bias profile is invalid or conflicts with another,
-    /// or the matrix enumerates no jobs.
+    /// a simulated-activity request asks for fewer than 2 vectors, or the matrix
+    /// enumerates no jobs.
     pub fn build(mut self) -> Result<ExplorationSpec, ExploreError> {
         self.spec.threads = match self.threads {
             Some(0) => return Err(ExploreError::ZeroWorkers),
@@ -542,6 +583,13 @@ impl ExplorationSpecBuilder {
         }
         if self.spec.widths.contains(&0) {
             return Err(ExploreError::ZeroWidth);
+        }
+        if let Some(activity) = self.spec.sim_activity {
+            // Toggle rates divide by `vectors - 1` transitions; fewer than two
+            // vectors cannot witness a single toggle.
+            if activity.vectors < 2 {
+                return Err(ExploreError::InvalidSimVectors(activity.vectors));
+            }
         }
         let has_workloads = self.spec.sources.iter().any(ExprSource::is_workload);
         if has_workloads && self.spec.widths.is_empty() {

@@ -36,13 +36,20 @@
 //! result can never be served across a renamed design, an edited tech library, a
 //! different flow seed or a reprofiled input — each of those perturbs its digest.
 //!
+//! Both stages additionally carry a **stimulus digest**: `0` for a purely analytic
+//! run, and a digest of the simulated-activity identity (seed, vector count, batch
+//! shape — plus, at the analysis stage, the exact bit-to-net stimulus layout) when
+//! the sweep carries the simulated switching metric. A simulated record can
+//! therefore never be served to a non-simulated sweep or vice versa, and two
+//! different stimulus configurations never alias.
+//!
 //! # The memo file
 //!
 //! The on-disk format is deliberately line-oriented and self-checking:
 //!
 //! ```text
-//! dpsyn-eval-store v1
-//! A <structural> <fp0> <fp1> <tech> <profiles> <flow> <delay> <area> <energy> <power> <cells> <depth> <checksum>
+//! dpsyn-eval-store v2
+//! A <structural> <fp0> <fp1> <tech> <profiles> <stimulus> <flow> <delay> <area> <energy> <power> <cells> <depth> <sim_power> <checksum>
 //! P ...
 //! ```
 //!
@@ -73,7 +80,7 @@ use std::io::Write;
 use std::path::{Path, PathBuf};
 
 /// Header line of the memo file; the version suffix guards the record layout.
-pub const STORE_FORMAT: &str = "dpsyn-eval-store v1";
+pub const STORE_FORMAT: &str = "dpsyn-eval-store v2";
 
 /// Bounded retries for the flush merge-verify loop under concurrent writers.
 const FLUSH_ATTEMPTS: usize = 16;
@@ -85,6 +92,7 @@ const FINGERPRINT_SEEDS: [u64; 2] = [0x9d5c_41e7_3b28_f601, 0x5e8a_02c9_d714_6fb
 const POINT_PRIMARY_SEED: u64 = 0x31f6_88ad_0c52_e947;
 const PROFILE_SEED: u64 = 0xc703_5a1e_92d8_4b65;
 const LINE_SEED: u64 = 0x84b2_d90f_671c_3ae5;
+const STIMULUS_SEED: u64 = 0x2f9e_6c83_b1d7_054a;
 
 /// Which level of the evaluation pipeline a stored record memoizes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -130,6 +138,11 @@ pub struct EvalKey {
     pub flow: String,
     /// Digest of the input profiles the figures were computed under.
     pub profiles: u64,
+    /// Digest of the stimulus the simulated switching metric was computed under —
+    /// `0` for a purely analytic run. Build it with [`stimulus_digest`] (point
+    /// stage) or [`stimulus_layout_digest`] (analysis stage, which folds the exact
+    /// bit-to-net stimulus layout because analysis keys are name-blind).
+    pub stimulus: u64,
 }
 
 /// Folds `words` through one independently-seeded splitmix64 chain.
@@ -150,9 +163,17 @@ fn push_str(words: &mut Vec<u64>, text: &str) {
 impl EvalKey {
     /// Keys one synthesized-but-unanalysed netlist: the issue-specified
     /// `(structural_hash, exact serialization fingerprint, tech identity, flow,
-    /// input-profile digest)` tuple. Compute `profiles` with [`profile_digest`]
-    /// from the same per-net maps the analyses will consume.
-    pub fn analysis(netlist: &Netlist, tech: u64, flow: &str, profiles: u64) -> EvalKey {
+    /// input-profile digest)` tuple, plus the stimulus digest (`0` when the sweep
+    /// carries no simulated metric). Compute `profiles` with [`profile_digest`]
+    /// from the same per-net maps the analyses will consume, and `stimulus` with
+    /// [`stimulus_layout_digest`] over the same word map the simulation packs.
+    pub fn analysis(
+        netlist: &Netlist,
+        tech: u64,
+        flow: &str,
+        profiles: u64,
+        stimulus: u64,
+    ) -> EvalKey {
         debug_assert!(
             !flow.chars().any(char::is_whitespace),
             "flow identifiers must be single tokens"
@@ -168,6 +189,7 @@ impl EvalKey {
             tech,
             flow: flow.to_string(),
             profiles,
+            stimulus,
         }
     }
 
@@ -175,8 +197,9 @@ impl EvalKey {
     /// text, output width and every input bit's exact arrival/probability, times
     /// the flow (seed included) and the tech digest. The name is part of the key
     /// because rendered summaries carry it — a renamed twin falls through to the
-    /// name-blind analysis stage instead.
-    pub fn point(design: &Design, flow: Flow, tech: u64) -> EvalKey {
+    /// name-blind analysis stage instead. `stimulus` is [`stimulus_digest`] of the
+    /// sweep's simulated-activity request, or `0` for an analytic sweep.
+    pub fn point(design: &Design, flow: Flow, tech: u64, stimulus: u64) -> EvalKey {
         let expr = design.expr().to_string();
         let mut words = Vec::new();
         push_str(&mut words, design.name());
@@ -204,21 +227,54 @@ impl EvalKey {
             tech,
             flow: flow.to_string(),
             profiles: chain(PROFILE_SEED, &profile_words),
+            stimulus,
         }
     }
+}
+
+/// Digest of one simulated-activity request's identity: the stimulus seed, the
+/// vector count, and the batch shape the engine evaluates with (block size times
+/// lane width). `0` is reserved for "no simulated metric", and the chain seed
+/// guarantees no activity digests to `0` in practice.
+pub fn stimulus_digest(activity: crate::spec::SimActivity) -> u64 {
+    chain(
+        STIMULUS_SEED,
+        &[
+            activity.seed,
+            activity.vectors as u64,
+            dpsyn_sim::DEFAULT_BLOCK as u64,
+            dpsyn_sim::LANES as u64,
+        ],
+    )
+}
+
+/// Extends a [`stimulus_digest`] with the exact bit-to-net stimulus layout of one
+/// word map: per input word in declaration order, the bit count and each bit's net
+/// index. Analysis keys are name-blind, so without the layout two structurally
+/// identical netlists whose inputs bind the stimulus differently could alias.
+pub fn stimulus_layout_digest(base: u64, word_map: &dpsyn_netlist::WordMap) -> u64 {
+    let mut words = vec![base, word_map.inputs().len() as u64];
+    for word in word_map.inputs() {
+        words.push(word.bits().len() as u64);
+        for bit in word.bits() {
+            words.push(bit.index() as u64);
+        }
+    }
+    chain(STIMULUS_SEED, &words)
 }
 
 impl fmt::Display for EvalKey {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{} {:016x} {:016x} {:016x} {:016x} {:016x} {}",
+            "{} {:016x} {:016x} {:016x} {:016x} {:016x} {:016x} {}",
             self.stage.tag(),
             self.structural,
             self.fingerprint[0],
             self.fingerprint[1],
             self.tech,
             self.profiles,
+            self.stimulus,
             self.flow
         )
     }
@@ -262,12 +318,16 @@ pub struct StoredEval {
     pub cell_count: usize,
     /// Logic depth (levels) of the synthesized netlist.
     pub logic_depth: usize,
+    /// Simulated switching power on the same milliwatt-like scale as `power_mw`;
+    /// `0.0` when the record was produced by a purely analytic sweep (its key then
+    /// carries a zero stimulus digest, so the two never mix).
+    pub simulated_switch_power: f64,
 }
 
 impl StoredEval {
     /// The record as an exact word tuple — equality, ordering and the merge
     /// tie-break all operate on bit patterns, never on float comparison.
-    fn bits(&self) -> [u64; 6] {
+    fn bits(&self) -> [u64; 7] {
         [
             self.delay.to_bits(),
             self.area.to_bits(),
@@ -275,6 +335,7 @@ impl StoredEval {
             self.power_mw.to_bits(),
             self.cell_count as u64,
             self.logic_depth as u64,
+            self.simulated_switch_power.to_bits(),
         ]
     }
 }
@@ -324,6 +385,7 @@ fn line_checksum(key: &EvalKey, value: &StoredEval) -> u64 {
     hasher.write(key.fingerprint[1]);
     hasher.write(key.tech);
     hasher.write(key.profiles);
+    hasher.write(key.stimulus);
     hasher.write_str(&key.flow);
     for word in value.bits() {
         hasher.write(word);
@@ -334,13 +396,14 @@ fn line_checksum(key: &EvalKey, value: &StoredEval) -> u64 {
 fn format_line(key: &EvalKey, value: &StoredEval) -> String {
     let bits = value.bits();
     format!(
-        "{key} {:016x} {:016x} {:016x} {:016x} {:016x} {:016x} {:016x}",
+        "{key} {:016x} {:016x} {:016x} {:016x} {:016x} {:016x} {:016x} {:016x}",
         bits[0],
         bits[1],
         bits[2],
         bits[3],
         bits[4],
         bits[5],
+        bits[6],
         line_checksum(key, value)
     )
 }
@@ -348,7 +411,7 @@ fn format_line(key: &EvalKey, value: &StoredEval) -> String {
 /// Parses one record line; `None` for anything malformed or checksum-failing.
 fn parse_line(line: &str) -> Option<(EvalKey, StoredEval)> {
     let tokens: Vec<&str> = line.split_whitespace().collect();
-    if tokens.len() != 14 {
+    if tokens.len() != 16 {
         return None;
     }
     let word = |token: &str| u64::from_str_radix(token, 16).ok();
@@ -358,17 +421,19 @@ fn parse_line(line: &str) -> Option<(EvalKey, StoredEval)> {
         fingerprint: [word(tokens[2])?, word(tokens[3])?],
         tech: word(tokens[4])?,
         profiles: word(tokens[5])?,
-        flow: tokens[6].to_string(),
+        stimulus: word(tokens[6])?,
+        flow: tokens[7].to_string(),
     };
     let value = StoredEval {
-        delay: f64::from_bits(word(tokens[7])?),
-        area: f64::from_bits(word(tokens[8])?),
-        switching_energy: f64::from_bits(word(tokens[9])?),
-        power_mw: f64::from_bits(word(tokens[10])?),
-        cell_count: word(tokens[11])? as usize,
-        logic_depth: word(tokens[12])? as usize,
+        delay: f64::from_bits(word(tokens[8])?),
+        area: f64::from_bits(word(tokens[9])?),
+        switching_energy: f64::from_bits(word(tokens[10])?),
+        power_mw: f64::from_bits(word(tokens[11])?),
+        cell_count: word(tokens[12])? as usize,
+        logic_depth: word(tokens[13])? as usize,
+        simulated_switch_power: f64::from_bits(word(tokens[14])?),
     };
-    let checksum = word(tokens[13])?;
+    let checksum = word(tokens[15])?;
     (line_checksum(&key, &value) == checksum).then_some((key, value))
 }
 
@@ -598,6 +663,7 @@ mod tests {
             tech: 7,
             flow: "conventional".to_string(),
             profiles: salt ^ 3,
+            stimulus: 0,
         }
     }
 
@@ -609,6 +675,7 @@ mod tests {
             power_mw: 0.75,
             cell_count: 42,
             logic_depth: 9,
+            simulated_switch_power: 0.125,
         }
     }
 
@@ -630,8 +697,8 @@ mod tests {
         // Flip one hex digit of the delay field.
         let tampered = {
             let mut tokens: Vec<String> = line.split_whitespace().map(String::from).collect();
-            let delay = tokens[7].clone();
-            tokens[7] = match delay.strip_prefix('0') {
+            let delay = tokens[8].clone();
+            tokens[8] = match delay.strip_prefix('0') {
                 Some(rest) => format!("1{rest}"),
                 None => format!("0{}", &delay[1..]),
             };
@@ -655,30 +722,35 @@ mod tests {
     fn point_keys_track_every_identity_component() {
         let tech = dpsyn_tech::TechLibrary::lcbg10pv_like().identity_digest();
         let design = dpsyn_designs::x_squared();
-        let base = EvalKey::point(&design, Flow::FaAot, tech);
-        assert_eq!(base, EvalKey::point(&design, Flow::FaAot, tech));
-        assert_ne!(base, EvalKey::point(&design, Flow::FaAlp, tech));
+        let base = EvalKey::point(&design, Flow::FaAot, tech, 0);
+        assert_eq!(base, EvalKey::point(&design, Flow::FaAot, tech, 0));
+        assert_ne!(base, EvalKey::point(&design, Flow::FaAlp, tech, 0));
         assert_ne!(
             base,
-            EvalKey::point(&design, Flow::FaRandom(1), tech),
+            EvalKey::point(&design, Flow::FaRandom(1), tech, 0),
             "the fa_random seed is part of the flow identity"
         );
         assert_ne!(
-            EvalKey::point(&design, Flow::FaAnneal(1), tech),
-            EvalKey::point(&design, Flow::FaAnneal(2), tech),
+            EvalKey::point(&design, Flow::FaAnneal(1), tech, 0),
+            EvalKey::point(&design, Flow::FaAnneal(2), tech, 0),
             "the fa_anneal seed is part of the flow identity"
         );
         assert_ne!(
-            EvalKey::point(&design, Flow::FaRandom(1), tech),
-            EvalKey::point(&design, Flow::FaAnneal(1), tech),
+            EvalKey::point(&design, Flow::FaRandom(1), tech, 0),
+            EvalKey::point(&design, Flow::FaAnneal(1), tech, 0),
             "equal seeds of different seeded flows never alias"
         );
-        assert_ne!(base, EvalKey::point(&design, Flow::FaAot, tech ^ 1));
-        let reprofiled = design.with_uniform_arrival_skew(9, 2.0);
-        assert_ne!(base, EvalKey::point(&reprofiled, Flow::FaAot, tech));
+        assert_ne!(base, EvalKey::point(&design, Flow::FaAot, tech ^ 1, 0));
         assert_ne!(
             base,
-            EvalKey::point(&dpsyn_designs::x_cubed(), Flow::FaAot, tech)
+            EvalKey::point(&design, Flow::FaAot, tech, 1),
+            "the stimulus digest is part of the point key"
+        );
+        let reprofiled = design.with_uniform_arrival_skew(9, 2.0);
+        assert_ne!(base, EvalKey::point(&reprofiled, Flow::FaAot, tech, 0));
+        assert_ne!(
+            base,
+            EvalKey::point(&dpsyn_designs::x_cubed(), Flow::FaAot, tech, 0)
         );
     }
 
@@ -694,20 +766,81 @@ mod tests {
             netlist.mark_output(out);
             netlist
         };
-        let base = EvalKey::analysis(&build(false), 7, "conventional", 11);
+        let base = EvalKey::analysis(&build(false), 7, "conventional", 11, 0);
         let mut renamed = build(false);
         renamed.set_net_name(renamed.inputs()[0], "zz");
-        assert_eq!(EvalKey::analysis(&renamed, 7, "conventional", 11), base);
-        assert_ne!(EvalKey::analysis(&build(true), 7, "conventional", 11), base);
+        assert_eq!(EvalKey::analysis(&renamed, 7, "conventional", 11, 0), base);
         assert_ne!(
-            EvalKey::analysis(&build(false), 8, "conventional", 11),
+            EvalKey::analysis(&build(true), 7, "conventional", 11, 0),
             base
         );
-        assert_ne!(EvalKey::analysis(&build(false), 7, "csa_opt", 11), base);
         assert_ne!(
-            EvalKey::analysis(&build(false), 7, "conventional", 12),
+            EvalKey::analysis(&build(false), 8, "conventional", 11, 0),
             base
         );
+        assert_ne!(EvalKey::analysis(&build(false), 7, "csa_opt", 11, 0), base);
+        assert_ne!(
+            EvalKey::analysis(&build(false), 7, "conventional", 12, 0),
+            base
+        );
+        assert_ne!(
+            EvalKey::analysis(&build(false), 7, "conventional", 11, 3),
+            base,
+            "the stimulus digest is part of the analysis key"
+        );
+    }
+
+    #[test]
+    fn stimulus_digests_track_request_and_layout() {
+        use crate::spec::SimActivity;
+        use dpsyn_netlist::{Word, WordMap};
+        let base = stimulus_digest(SimActivity {
+            seed: 5,
+            vectors: 256,
+        });
+        assert_ne!(
+            base, 0,
+            "a real activity never digests to the analytic zero"
+        );
+        assert_eq!(
+            base,
+            stimulus_digest(SimActivity {
+                seed: 5,
+                vectors: 256
+            })
+        );
+        assert_ne!(
+            base,
+            stimulus_digest(SimActivity {
+                seed: 6,
+                vectors: 256
+            })
+        );
+        assert_ne!(
+            base,
+            stimulus_digest(SimActivity {
+                seed: 5,
+                vectors: 128
+            })
+        );
+
+        // Layout digests separate word maps that bind the same stimulus bits to
+        // different nets, and never collide with the bare request digest.
+        let mut netlist = Netlist::new("demo");
+        let a = netlist.add_input("a");
+        let b = netlist.add_input("b");
+        let straight = WordMap::new(
+            vec![Word::new("a", vec![a]), Word::new("b", vec![b])],
+            Word::new("out", vec![a]),
+        );
+        let crossed = WordMap::new(
+            vec![Word::new("a", vec![b]), Word::new("b", vec![a])],
+            Word::new("out", vec![a]),
+        );
+        let straight_digest = stimulus_layout_digest(base, &straight);
+        assert_eq!(straight_digest, stimulus_layout_digest(base, &straight));
+        assert_ne!(straight_digest, stimulus_layout_digest(base, &crossed));
+        assert_ne!(straight_digest, base);
     }
 
     #[test]

@@ -2,6 +2,7 @@
 
 use crate::engine::ExplorationResults;
 use dpsyn_baselines::Flow;
+use dpsyn_power::power_divergence;
 use std::fmt::Write as _;
 
 /// Aggregate quality of one flow over every design point it visited.
@@ -25,6 +26,13 @@ pub struct FlowSummary {
     pub mean_area: f64,
     /// How many of the flow's points sit on the overall Pareto front.
     pub pareto_points: usize,
+    /// Mean simulated switching power over the points, when the sweep carried the
+    /// simulated metric (`None` for analytic sweeps).
+    pub mean_simulated_power: Option<f64>,
+    /// Mean per-point analytic-vs-simulated divergence
+    /// ([`dpsyn_power::power_divergence`]) over the points, when the sweep carried
+    /// the simulated metric.
+    pub mean_divergence: Option<f64>,
 }
 
 /// Groups the evaluated points by flow (in order of first appearance in the job
@@ -49,7 +57,12 @@ pub(crate) fn summarize_flows(results: &ExplorationResults) -> Vec<FlowSummary> 
                 best_area: f64::INFINITY,
                 mean_area: 0.0,
                 pareto_points: 0,
+                mean_simulated_power: None,
+                mean_divergence: None,
             };
+            let mut simulated_sum = 0.0;
+            let mut divergence_sum = 0.0;
+            let mut simulated_points = 0usize;
             for point in results.points().iter().filter(|p| p.job.flow() == flow) {
                 summary.points += 1;
                 summary.best_delay = summary.best_delay.min(point.metrics.delay);
@@ -58,6 +71,11 @@ pub(crate) fn summarize_flows(results: &ExplorationResults) -> Vec<FlowSummary> 
                 summary.mean_power += point.metrics.power;
                 summary.best_area = summary.best_area.min(point.metrics.area);
                 summary.mean_area += point.metrics.area;
+                if let Some(simulated) = point.metrics.simulated_switch_power {
+                    simulated_sum += simulated;
+                    divergence_sum += power_divergence(point.metrics.power, simulated);
+                    simulated_points += 1;
+                }
             }
             summary.pareto_points = results
                 .front()
@@ -67,14 +85,27 @@ pub(crate) fn summarize_flows(results: &ExplorationResults) -> Vec<FlowSummary> 
             summary.mean_delay /= count;
             summary.mean_power /= count;
             summary.mean_area /= count;
+            if simulated_points > 0 {
+                summary.mean_simulated_power = Some(simulated_sum / simulated_points as f64);
+                summary.mean_divergence = Some(divergence_sum / simulated_points as f64);
+            }
             summary
         })
         .collect()
 }
 
 /// Renders the per-flow summary table plus the Pareto front. Pure function of the
-/// evaluated points: byte-identical across runs and thread counts.
+/// evaluated points: byte-identical across runs and thread counts. Sweeps that
+/// carry the simulated switching metric gain two columns — the mean simulated
+/// power and the mean analytic-vs-simulated divergence (in percent) — and a
+/// simulated-power figure per Pareto line; analytic sweeps render exactly the
+/// historical table.
 pub(crate) fn render_summary(results: &ExplorationResults) -> String {
+    let sim_on = results
+        .points()
+        .iter()
+        .any(|point| point.metrics.simulated_switch_power.is_some());
+    let rule_width = if sim_on { 129 } else { 108 };
     let mut text = String::new();
     let _ = writeln!(
         text,
@@ -82,7 +113,7 @@ pub(crate) fn render_summary(results: &ExplorationResults) -> String {
         results.points().len(),
         results.front_indices().len(),
     );
-    let _ = writeln!(
+    let _ = write!(
         text,
         "{:<22} | {:>6} | {:>9} {:>9} | {:>9} {:>9} | {:>9} {:>9} | {:>6}",
         "flow",
@@ -95,9 +126,13 @@ pub(crate) fn render_summary(results: &ExplorationResults) -> String {
         "mean ar",
         "pareto"
     );
-    let _ = writeln!(text, "{}", "-".repeat(108));
+    if sim_on {
+        let _ = write!(text, " | {:>9} {:>8}", "sim mW", "div%");
+    }
+    text.push('\n');
+    let _ = writeln!(text, "{}", "-".repeat(rule_width));
     for summary in results.summaries() {
-        let _ = writeln!(
+        let _ = write!(
             text,
             "{:<22} | {:>6} | {:>9.3} {:>9.3} | {:>9.3} {:>9.3} | {:>9.0} {:>9.0} | {:>6}",
             summary.flow.to_string(),
@@ -110,11 +145,20 @@ pub(crate) fn render_summary(results: &ExplorationResults) -> String {
             summary.mean_area,
             summary.pareto_points,
         );
+        if sim_on {
+            let _ = write!(
+                text,
+                " | {:>9.3} {:>8.2}",
+                summary.mean_simulated_power.unwrap_or(0.0),
+                summary.mean_divergence.unwrap_or(0.0) * 100.0,
+            );
+        }
+        text.push('\n');
     }
-    let _ = writeln!(text, "{}", "-".repeat(108));
+    let _ = writeln!(text, "{}", "-".repeat(rule_width));
     let _ = writeln!(text, "pareto front:");
     for point in results.front() {
-        let _ = writeln!(
+        let _ = write!(
             text,
             "  [{:>4}] {:<52} delay {:>8.3} ns  power {:>8.3} mW  area {:>8.0}",
             point.job.index(),
@@ -123,6 +167,10 @@ pub(crate) fn render_summary(results: &ExplorationResults) -> String {
             point.metrics.power,
             point.metrics.area,
         );
+        if let Some(simulated) = point.metrics.simulated_switch_power {
+            let _ = write!(text, "  sim {:>8.3} mW", simulated);
+        }
+        text.push('\n');
     }
     text
 }

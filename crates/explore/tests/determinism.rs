@@ -3,7 +3,8 @@
 //! workers, in the spirit of the repository-level `tests/determinism.rs`.
 
 use dpsyn_explore::{
-    explore, BiasProfile, ExplorationResults, ExplorationSpec, Flow, SkewProfile, StealPolicy,
+    explore, BiasProfile, ExplorationResults, ExplorationSpec, Flow, SimActivity, SkewProfile,
+    StealPolicy,
 };
 
 /// Builds the reference spec of the suite with the given worker count: two fixed
@@ -147,6 +148,63 @@ fn adversarial_skew_is_bit_identical_for_any_worker_count_and_steal_policy() {
                      overpartition {overpartition}"
                 );
             }
+        }
+    }
+}
+
+/// A simulated-activity sweep: the stimulus batch is keyed by the spec-level sim
+/// seed (never by worker or group identity), so the simulated power bits — and the
+/// summary bytes that carry the `sim mW`/`div%` columns — must be identical for any
+/// worker count and steal policy.
+fn sim_spec(threads: usize, policy: StealPolicy) -> ExplorationSpec {
+    ExplorationSpec::builder()
+        .design(dpsyn_designs::x_squared())
+        .design(dpsyn_designs::mixed_poly())
+        .sum_workload(3)
+        .widths([3, 4])
+        .skews([SkewProfile::Keep, SkewProfile::Uniform(2.0)])
+        .biases([BiasProfile::Keep, BiasProfile::Uniform(0.3)])
+        .flows([Flow::Conventional, Flow::CsaOpt, Flow::FaAot])
+        .seed(11)
+        .sim_activity(SimActivity {
+            seed: 19,
+            vectors: 256,
+        })
+        .threads(threads)
+        .steal_policy(policy)
+        .build()
+        .expect("sim spec is well-formed")
+}
+
+#[test]
+fn simulated_activity_sweeps_are_bit_identical_across_workers_and_policies() {
+    let reference = explore(&sim_spec(1, StealPolicy::BusiestVictim))
+        .expect("single-threaded sim exploration succeeds");
+    let sim_bits = |results: &ExplorationResults| -> Vec<u64> {
+        results
+            .points()
+            .iter()
+            .map(|point| {
+                point
+                    .metrics
+                    .simulated_switch_power
+                    .expect("every point of a sim sweep carries the simulated metric")
+                    .to_bits()
+            })
+            .collect()
+    };
+    let reference_fingerprint = (fingerprint(&reference), sim_bits(&reference));
+    assert!(reference_fingerprint.0 .3.contains("sim mW"));
+    assert!(reference_fingerprint.0 .3.contains("div%"));
+    for policy in [StealPolicy::BusiestVictim, StealPolicy::RoundRobin] {
+        for threads in [1, 2, 4] {
+            let parallel =
+                explore(&sim_spec(threads, policy)).expect("parallel sim exploration succeeds");
+            assert_eq!(
+                reference_fingerprint,
+                (fingerprint(&parallel), sim_bits(&parallel)),
+                "sim sweep diverged at {threads} thread(s), {policy:?}"
+            );
         }
     }
 }

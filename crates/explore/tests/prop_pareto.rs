@@ -14,6 +14,7 @@ fn point(objectives: (u8, u8, u8)) -> PointMetrics {
         switching_energy: f64::from(objectives.1 % 8) / 10.0,
         cell_count: usize::from(objectives.2),
         logic_depth: usize::from(objectives.0),
+        simulated_switch_power: None,
     }
 }
 

@@ -8,7 +8,7 @@
 
 use dpsyn_explore::{
     explore_with_stats, BiasProfile, EvalKey, EvalStage, ExplorationSpec, ExplorationSpecBuilder,
-    Flow, ResultStore, SkewProfile, StealPolicy, StoredEval, STORE_FORMAT,
+    Flow, ResultStore, SimActivity, SkewProfile, StealPolicy, StoredEval, STORE_FORMAT,
 };
 use std::path::PathBuf;
 
@@ -191,6 +191,14 @@ fn corrupt_and_stale_memo_files_rebuild_instead_of_failing() {
     assert!(store.rebuilt(), "stale version must report a rebuild");
     assert!(store.is_empty());
 
+    // The previous live version (v1, no stimulus column) is stale too: its lines
+    // cannot carry the stimulus digest, so the whole file rebuilds.
+    std::fs::write(&path, "dpsyn-eval-store v1\nA 0 0 0 0 0 x 0 0 0 0 0 0 0\n")
+        .expect("write v1 file");
+    let store = ResultStore::load(&path).expect("v1 files load as empty");
+    assert!(store.rebuilt(), "the stimulus-less v1 format must rebuild");
+    assert!(store.is_empty());
+
     // A single tampered line: skipped and counted, the healthy records survive.
     let mut seeded = ResultStore::load(&path).expect("load for seeding");
     seeded.record(sample_key(1), sample_value(1.0));
@@ -255,6 +263,71 @@ fn anneal_seeds_never_alias_one_memo_entry() {
     let _ = std::fs::remove_file(&path);
 }
 
+#[test]
+fn sim_stimulus_never_aliases_an_analytic_or_other_seed_entry() {
+    let path = scratch("sim-stimulus");
+    let sim_spec = |activity: Option<SimActivity>| {
+        let mut builder = ExplorationSpec::builder()
+            .design(dpsyn_designs::x_squared())
+            .flows([Flow::Conventional, Flow::CsaOpt])
+            .seed(7)
+            .store(path.clone())
+            .threads(2);
+        if let Some(activity) = activity {
+            builder = builder.sim_activity(activity);
+        }
+        builder.build().expect("sim spec is well-formed")
+    };
+    // Warm the store analytically. A simulated-metric sweep of the *same* matrix
+    // must not be served from those entries: a memoized analytic record has no
+    // simulated power to report.
+    explore_with_stats(&sim_spec(None)).expect("analytic warm-up succeeds");
+    let activity_a = SimActivity {
+        seed: 11,
+        vectors: 256,
+    };
+    let (cold_sim, stats) =
+        explore_with_stats(&sim_spec(Some(activity_a))).expect("cold sim sweep succeeds");
+    assert_eq!(
+        stats.total_store_hits(),
+        0,
+        "a simulated sweep must not alias analytic store entries"
+    );
+    let cold_summary = cold_sim.render_summary();
+    assert!(cold_summary.contains("sim mW"));
+
+    // A different stimulus (seed or vector count) is a different measurement.
+    for activity_b in [
+        SimActivity {
+            seed: 12,
+            vectors: 256,
+        },
+        SimActivity {
+            seed: 11,
+            vectors: 512,
+        },
+    ] {
+        let (_, stats) =
+            explore_with_stats(&sim_spec(Some(activity_b))).expect("other-stimulus sweep");
+        assert_eq!(
+            stats.total_store_hits(),
+            0,
+            "stimulus {activity_b:?} must not alias seed 11 x 256 entries"
+        );
+    }
+
+    // The exact same stimulus reruns fully warm and byte-identically.
+    let (warm_sim, stats) =
+        explore_with_stats(&sim_spec(Some(activity_a))).expect("warm sim sweep succeeds");
+    assert_eq!(stats.total_store_hits(), 2, "exact sim rerun hits fully");
+    assert_eq!(warm_sim.render_summary(), cold_summary);
+
+    // And the analytic matrix still hits its own (stimulus-0) entries.
+    let (_, stats) = explore_with_stats(&sim_spec(None)).expect("analytic rerun succeeds");
+    assert_eq!(stats.total_store_hits(), 2);
+    let _ = std::fs::remove_file(&path);
+}
+
 fn sample_key(salt: u64) -> EvalKey {
     EvalKey {
         stage: EvalStage::Analysis,
@@ -263,6 +336,7 @@ fn sample_key(salt: u64) -> EvalKey {
         tech: 7,
         flow: "conventional".to_string(),
         profiles: salt.rotate_left(13),
+        stimulus: 0,
     }
 }
 
@@ -274,6 +348,7 @@ fn sample_value(delay: f64) -> StoredEval {
         power_mw: 0.25 * delay,
         cell_count: 10,
         logic_depth: 3,
+        simulated_switch_power: 0.2 * delay,
     }
 }
 

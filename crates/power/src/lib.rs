@@ -534,6 +534,44 @@ fn propagate_op(kind: CellKind, inputs: &[f64; 3]) -> [f64; 2] {
     }
 }
 
+/// The switching energy of a compiled program from **measured** per-net toggle
+/// rates (`rates[net.index()]`, toggles per vector transition) instead of analytic
+/// probabilities: the per-pin activity `p·(1 − p)` of the analytic model is
+/// replaced by `rate / 2` (a toggle rate of `2·p·(1 − p)` is what independent
+/// consecutive samples produce), folded with the same per-kind energy weights in
+/// the same op-major pin order. Multiply by `V²` (see [`PowerReport::power_mw`])
+/// for the simulated counterpart of the analytic milliwatt figure.
+///
+/// # Panics
+///
+/// Panics when `rates` is shorter than the program's net count.
+pub fn simulated_energy(compiled: &CompiledNetlist, resolved: &ResolvedTech, rates: &[f64]) -> f64 {
+    assert!(
+        rates.len() >= compiled.net_count(),
+        "toggle rates must cover every net of the program"
+    );
+    let mut total = 0.0f64;
+    for op in compiled.ops() {
+        let weights = &resolved.energy[op.kind.table_index()];
+        for (pin, net) in op.output_nets().iter().enumerate() {
+            total += weights[pin] * (rates[net.index()] / 2.0);
+        }
+    }
+    total
+}
+
+/// The relative analytic-vs-simulated power divergence `(simulated − analytic) /
+/// analytic` — positive when simulation sees **more** switching than the
+/// independence model predicts. Returns 0 when the analytic figure is zero (a
+/// constant netlist switches in neither model).
+pub fn power_divergence(analytic: f64, simulated: f64) -> f64 {
+    if analytic == 0.0 {
+        0.0
+    } else {
+        (simulated - analytic) / analytic
+    }
+}
+
 /// Exact output-probability propagation through one cell under the independence
 /// assumption. Returns one probability per output pin.
 ///
@@ -897,6 +935,49 @@ mod tests {
             result,
             Err(PowerError::InvalidProbability { net: None, .. })
         ));
+    }
+
+    #[test]
+    fn simulated_energy_folds_toggle_rates_like_the_analytic_pass() {
+        // One FA: analytic activity p(1−p) per output vs measured rate/2. Feeding
+        // rates of exactly 2·p·(1−p) must reproduce the analytic energy.
+        let mut netlist = Netlist::new("fa");
+        let a = netlist.add_input("a");
+        let b = netlist.add_input("b");
+        let c = netlist.add_input("c");
+        let outs = netlist.add_gate(CellKind::Fa, &[a, b, c]).unwrap();
+        netlist.mark_output(outs[0]);
+        netlist.mark_output(outs[1]);
+        let compiled = netlist.compile().unwrap();
+        let lib = TechLibrary::lcbg10pv_like();
+        let report = ProbabilityAnalysis::new(&lib).run(&netlist).unwrap();
+        let resolved = lib.resolve(&compiled).unwrap();
+        let mut rates = vec![0.0; compiled.net_count()];
+        for net in [outs[0], outs[1]] {
+            rates[net.index()] = 2.0 * report.switching_activity(net);
+        }
+        let simulated = simulated_energy(&compiled, &resolved, &rates);
+        assert!(
+            (simulated - report.total_energy()).abs() < 1e-12,
+            "rate 2p(1-p) must reproduce the analytic energy: {simulated} vs {}",
+            report.total_energy()
+        );
+        // Doubling every rate doubles the energy (linearity in the rates).
+        for rate in &mut rates {
+            *rate *= 2.0;
+        }
+        let doubled = simulated_energy(&compiled, &resolved, &rates);
+        assert!((doubled - 2.0 * simulated).abs() < 1e-12);
+    }
+
+    #[test]
+    fn power_divergence_is_a_signed_relative_gap() {
+        assert_eq!(power_divergence(2.0, 2.0), 0.0);
+        assert!((power_divergence(2.0, 2.3) - 0.15).abs() < 1e-12);
+        assert!((power_divergence(2.0, 1.5) + 0.25).abs() < 1e-12);
+        // A zero analytic figure (constant netlist) never divides by zero.
+        assert_eq!(power_divergence(0.0, 0.0), 0.0);
+        assert_eq!(power_divergence(0.0, 1.0), 0.0);
     }
 
     #[test]

@@ -4,12 +4,16 @@
 //! The crate is built around two evaluation engines over a combinational
 //! [`Netlist`](dpsyn_netlist::Netlist):
 //!
-//! * [`LaneSim`] — the production engine. The netlist is compiled once into a
-//!   levelized flat program (dense `Vec` net storage, no per-vector map lookups) that
-//!   evaluates **64 stimulus vectors per pass** by packing one vector into each bit of
-//!   a `u64` lane word; every gate costs one or two bitwise machine operations.
+//! * [`BlockSim`] — the production engine. The netlist is compiled once into a
+//!   levelized flat program evaluated **`B × 64` stimulus vectors per pass**: each net
+//!   owns a block of `B` consecutive `u64` lane words (default `B = 4`, 256 vectors),
+//!   and the monomorphized inner loop is shaped for SIMD autovectorization.
+//! * [`LaneSim`] — the 64-lane engine (`B = 1` layout), kept as the differential
+//!   oracle the block engine is tested against, exactly as the scalar interpreter
+//!   anchors the lanes.
 //! * [`Simulator`] — the scalar reference evaluator, one vector at a time. It is the
-//!   oracle the lane engine is differentially tested against (`crates/sim/tests/`).
+//!   oracle the lane engine is differentially tested against (`crates/sim/tests/`),
+//!   closing the oracle chain scalar → lanes → blocks.
 //!
 //! On top of the engines the crate provides:
 //!
@@ -21,7 +25,9 @@
 //!   estimate of per-net switching activity that cross-validates the analytic model
 //!   of `dpsyn-power`;
 //! * [`Stimulus`] — random vector generation honouring per-input signal
-//!   probabilities, with batch helpers sized for lane passes.
+//!   probabilities, with batch helpers sized for lane passes; [`SharedStimulus`]
+//!   pre-draws one raw sample batch reusable across probability profiles (the
+//!   explorer's per-group stimulus sharing).
 //!
 //! # Example: the lane API
 //!
@@ -69,6 +75,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod blocks;
 mod equiv;
 mod error;
 mod lanes;
@@ -76,12 +83,13 @@ mod scalar;
 mod stimulus;
 mod toggle;
 
+pub use blocks::{BlockSim, BLOCK_SIZES, DEFAULT_BLOCK};
 pub use equiv::check_equivalence;
 pub use error::SimError;
 pub use lanes::{lane_mask, LaneSim, LANES};
 pub use scalar::Simulator;
-pub use stimulus::Stimulus;
-pub use toggle::{measure_toggles, ToggleCounter};
+pub use stimulus::{SharedStimulus, Stimulus};
+pub use toggle::{measure_toggles, measure_toggles_blocks, ToggleCounter};
 
 #[cfg(test)]
 pub(crate) mod tests {

@@ -87,6 +87,90 @@ impl Stimulus {
     }
 }
 
+/// A pre-drawn batch of raw uniform samples, shared across evaluation points that
+/// differ only in their per-bit probabilities.
+///
+/// [`Stimulus::biased_assignment`] draws **exactly one** uniform `f64` per input bit
+/// (vector-major, then spec-variable order, then bit order) regardless of the
+/// probability it is thresholded against. `SharedStimulus` exploits that: the raw
+/// samples are drawn once from the seed, and [`SharedStimulus::biased_assignments`]
+/// thresholds them against any probability profile — producing the bit-identical
+/// stream `Stimulus::with_seed(seed).biased_batch(spec, vectors)` would, without
+/// re-running the generator per profile. This is what lets an exploration group
+/// generate one stimulus batch and reuse it across every skew/bias point.
+#[derive(Debug, Clone)]
+pub struct SharedStimulus {
+    samples: Vec<f64>,
+    seed: u64,
+    bits_per_vector: usize,
+    vectors: usize,
+}
+
+impl SharedStimulus {
+    /// Draws `vectors × bits_per_vector` uniform samples from the seed, in the
+    /// exact order [`Stimulus::biased_batch`] consumes them.
+    pub fn generate(seed: u64, bits_per_vector: usize, vectors: usize) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let samples = (0..vectors * bits_per_vector)
+            .map(|_| rng.gen::<f64>())
+            .collect();
+        SharedStimulus {
+            samples,
+            seed,
+            bits_per_vector,
+            vectors,
+        }
+    }
+
+    /// The seed the samples were drawn from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Number of vectors the batch holds.
+    pub fn vectors(&self) -> usize {
+        self.vectors
+    }
+
+    /// Input bits consumed per vector.
+    pub fn bits_per_vector(&self) -> usize {
+        self.bits_per_vector
+    }
+
+    /// Thresholds the shared samples against the per-bit probabilities of `spec`,
+    /// producing the bit-identical assignment stream of
+    /// `Stimulus::with_seed(self.seed()).biased_batch(spec, self.vectors())`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the spec's total bit count differs from the batch shape the
+    /// samples were drawn for.
+    pub fn biased_assignments(&self, spec: &InputSpec) -> Vec<BTreeMap<String, u64>> {
+        assert_eq!(
+            spec.total_bits() as usize,
+            self.bits_per_vector,
+            "spec bit count does not match the shared stimulus batch shape"
+        );
+        let mut cursor = 0;
+        (0..self.vectors)
+            .map(|_| {
+                spec.vars()
+                    .map(|var| {
+                        let mut value = 0u64;
+                        for (index, bit) in var.bits().iter().enumerate() {
+                            if self.samples[cursor] < bit.probability {
+                                value |= 1 << index;
+                            }
+                            cursor += 1;
+                        }
+                        (var.name().to_string(), value)
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -154,6 +238,50 @@ mod tests {
                 second.uniform_assignment(&spec)
             );
         }
+    }
+
+    #[test]
+    fn shared_stimulus_matches_biased_batches_for_any_profile() {
+        // The same seed + batch shape, thresholded against three different
+        // probability profiles, must reproduce the per-profile generator streams
+        // bit for bit — the invariant the explorer's group-shared batch rests on.
+        let profiles = [
+            InputSpec::builder()
+                .var_with_probability("a", 9, 0.3)
+                .var_with_probability("b", 5, 0.5)
+                .build()
+                .unwrap(),
+            InputSpec::builder()
+                .var_with_probability("a", 9, 0.05)
+                .var_with_probability("b", 5, 0.95)
+                .build()
+                .unwrap(),
+            InputSpec::builder()
+                .var("a", 9)
+                .var("b", 5)
+                .build()
+                .unwrap(),
+        ];
+        let shared = SharedStimulus::generate(21, 14, 10);
+        assert_eq!(shared.seed(), 21);
+        assert_eq!(shared.vectors(), 10);
+        assert_eq!(shared.bits_per_vector(), 14);
+        for spec in &profiles {
+            let mut generator = Stimulus::with_seed(21);
+            assert_eq!(
+                shared.biased_assignments(spec),
+                generator.biased_batch(spec, 10),
+                "shared thresholding diverged from the generator stream"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "batch shape")]
+    fn shared_stimulus_rejects_a_mismatched_spec() {
+        let spec = InputSpec::builder().var("a", 4).build().unwrap();
+        let shared = SharedStimulus::generate(3, 9, 2);
+        let _ = shared.biased_assignments(&spec);
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Zero-delay toggle counting over a sequence of input vectors.
 
-use crate::{lane_mask, LaneSim, SimError, Stimulus, LANES};
+use crate::{lane_mask, BlockSim, LaneSim, SimError, Stimulus, LANES};
 use dpsyn_ir::InputSpec;
 use dpsyn_netlist::{NetId, Netlist, WordMap};
 
@@ -88,6 +88,65 @@ impl ToggleCounter {
         self.vectors += count as u64;
     }
 
+    /// Records `count ≤ block × 64` consecutive vectors at once from an evaluated
+    /// [`BlockSim`] buffer: net `n` owns words `n·block .. n·block + block`, and
+    /// vector `v` is bit `v mod 64` of word `v / 64` of that block.
+    ///
+    /// Counting is identical to [`ToggleCounter::record_lanes`] fed the same vector
+    /// sequence in 64-wide chunks: within-word pairs reduce to `count_ones` over
+    /// word XORs, the word-to-word seams inside a block and the seam to the
+    /// previously recorded vector are handled bit-exactly — so block recording,
+    /// lane recording and scalar recording may be mixed freely over one sequence.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `block` is 0, `count` is 0 or exceeds `block × 64`, or `blocks`
+    /// is shorter than `net count × block`.
+    pub fn record_blocks(&mut self, blocks: &[u64], block: usize, count: usize) {
+        assert!(block >= 1, "the block size must be at least one lane word");
+        assert!(
+            (1..=block * LANES).contains(&count),
+            "a block batch holds between 1 and {} vectors",
+            block * LANES
+        );
+        assert!(
+            blocks.len() >= self.toggles.len() * block,
+            "block buffer shorter than net count x block"
+        );
+        // Seam: the last previously recorded vector against bit 0 of word 0.
+        if let Some(previous) = &self.previous {
+            for (index, old) in previous.iter().enumerate() {
+                if *old != (blocks[index * block] & 1 == 1) {
+                    self.toggles[index] += 1;
+                }
+            }
+        }
+        let mut previous = self.previous.take().unwrap_or_default();
+        previous.resize(self.toggles.len(), false);
+        for (index, toggle) in self.toggles.iter_mut().enumerate() {
+            let base = index * block;
+            let mut remaining = count;
+            let mut word_index = 0;
+            let mut last = false;
+            while remaining > 0 {
+                let in_word = remaining.min(LANES);
+                let word = blocks[base + word_index];
+                // Seam between consecutive words of the block: the last active bit
+                // of the previous word against bit 0 of this one.
+                if word_index > 0 && last != (word & 1 == 1) {
+                    *toggle += 1;
+                }
+                *toggle += u64::from(((word ^ (word >> 1)) & lane_mask(in_word - 1)).count_ones());
+                last = (word >> (in_word - 1)) & 1 == 1;
+                remaining -= in_word;
+                word_index += 1;
+            }
+            previous[index] = last;
+        }
+        self.previous = Some(previous);
+        self.vectors += count as u64;
+    }
+
     /// Number of vectors recorded so far.
     pub fn vectors(&self) -> u64 {
         self.vectors
@@ -143,6 +202,38 @@ pub fn measure_toggles(
         LaneSim::pack_word_assignments(map, &assignments, &mut lanes);
         simulator.evaluate_into(&mut lanes);
         counter.record_lanes(&lanes, batch);
+        remaining -= batch;
+    }
+    Ok(counter)
+}
+
+/// [`measure_toggles`] on the [`BlockSim`] engine: the same stimulus stream,
+/// evaluated `block × 64` vectors per pass. Counts are bit-identical to
+/// [`measure_toggles`] (and to the scalar path) by the chunking invariance of
+/// [`ToggleCounter`] — the differential suites pin this for every block size.
+///
+/// # Errors
+///
+/// Returns an error when the netlist cannot be simulated.
+pub fn measure_toggles_blocks(
+    netlist: &Netlist,
+    map: &WordMap,
+    spec: &InputSpec,
+    vectors: usize,
+    seed: u64,
+    block: usize,
+) -> Result<ToggleCounter, SimError> {
+    let simulator = BlockSim::compile(netlist, block)?;
+    let mut stimulus = Stimulus::with_seed(seed);
+    let mut counter = ToggleCounter::new(netlist.net_count());
+    let mut blocks = simulator.block_buffer();
+    let mut remaining = vectors;
+    while remaining > 0 {
+        let batch = remaining.min(simulator.vectors_per_pass());
+        let assignments = stimulus.biased_batch(spec, batch);
+        simulator.pack_word_assignments(map, &assignments, &mut blocks);
+        simulator.evaluate_into(&mut blocks);
+        counter.record_blocks(&blocks, block, batch);
         remaining -= batch;
     }
     Ok(counter)
@@ -216,6 +307,129 @@ mod tests {
         counter.record_lanes(&[u64::MAX << 1], 1);
         assert_eq!(counter.vectors(), 2);
         assert_eq!(counter.toggles(fake_net(0)), 1);
+    }
+
+    #[test]
+    fn block_recording_matches_lane_recording_across_seams() {
+        // A 200-vector pseudo-random sequence over 3 nets, recorded (a) vector by
+        // vector, (b) as 64-wide lane batches, (c) as block batches with ragged
+        // tails for every supported block size — all counts must be identical,
+        // covering the word-to-word seams inside a block and the batch seams.
+        let nets = 3;
+        let total = 200usize;
+        let value = |vector: usize, net: usize| (vector * 31 + net * 7) % 3 == 0;
+        let mut scalar = ToggleCounter::new(nets);
+        for vector in 0..total {
+            let values: Vec<bool> = (0..nets).map(|net| value(vector, net)).collect();
+            scalar.record(&values);
+        }
+        let pack_block = |start: usize, count: usize, block: usize| -> Vec<u64> {
+            let mut blocks = vec![0u64; nets * block];
+            for offset in 0..count {
+                let vector = start + offset;
+                for net in 0..nets {
+                    if value(vector, net) {
+                        blocks[net * block + offset / 64] |= 1 << (offset % 64);
+                    }
+                }
+            }
+            blocks
+        };
+        for block in [1, 2, 4, 8] {
+            let mut counter = ToggleCounter::new(nets);
+            let mut start = 0;
+            // Ragged batch sizes exercise partial words and partial blocks.
+            for batch in [1, 65, block * 64, 17, 3].iter().cycle() {
+                if start >= total {
+                    break;
+                }
+                let count = (*batch).min(block * 64).min(total - start);
+                counter.record_blocks(&pack_block(start, count, block), block, count);
+                start += count;
+            }
+            assert_eq!(counter.vectors(), scalar.vectors(), "block {block}");
+            for net in 0..nets {
+                assert_eq!(
+                    counter.toggles(fake_net(net)),
+                    scalar.toggles(fake_net(net)),
+                    "block {block}, net {net}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn block_and_lane_recording_mix_freely() {
+        // One sequence split across record, record_lanes and record_blocks calls
+        // must count like the pure scalar path.
+        let nets = 2;
+        let total = 150usize;
+        let value = |vector: usize, net: usize| (vector / (net + 1)) % 2 == 1;
+        let mut scalar = ToggleCounter::new(nets);
+        for vector in 0..total {
+            let values: Vec<bool> = (0..nets).map(|net| value(vector, net)).collect();
+            scalar.record(&values);
+        }
+        let mut mixed = ToggleCounter::new(nets);
+        let mut cursor = 0;
+        // 10 scalar vectors.
+        for vector in 0..10 {
+            let values: Vec<bool> = (0..nets).map(|net| value(vector, net)).collect();
+            mixed.record(&values);
+        }
+        cursor += 10;
+        // One 40-vector lane batch.
+        let mut lanes = vec![0u64; nets];
+        for offset in 0..40 {
+            for (net, lane) in lanes.iter_mut().enumerate() {
+                if value(cursor + offset, net) {
+                    *lane |= 1 << offset;
+                }
+            }
+        }
+        mixed.record_lanes(&lanes, 40);
+        cursor += 40;
+        // The remaining 100 vectors as one 2-word block batch.
+        let block = 2;
+        let mut blocks = vec![0u64; nets * block];
+        for offset in 0..(total - cursor) {
+            for net in 0..nets {
+                if value(cursor + offset, net) {
+                    blocks[net * block + offset / 64] |= 1 << (offset % 64);
+                }
+            }
+        }
+        mixed.record_blocks(&blocks, block, total - cursor);
+        assert_eq!(mixed.vectors(), scalar.vectors());
+        for net in 0..nets {
+            assert_eq!(
+                mixed.toggles(fake_net(net)),
+                scalar.toggles(fake_net(net)),
+                "net {net}"
+            );
+        }
+    }
+
+    #[test]
+    fn measure_toggles_blocks_matches_the_lane_measurement() {
+        let (netlist, map) = ripple2();
+        let spec = InputSpec::builder()
+            .var_with_probability("a", 2, 0.3)
+            .var_with_probability("b", 2, 0.7)
+            .build()
+            .unwrap();
+        let lane = measure_toggles(&netlist, &map, &spec, 333, 17).unwrap();
+        for block in [1, 2, 4, 8] {
+            let blocked = measure_toggles_blocks(&netlist, &map, &spec, 333, 17, block).unwrap();
+            assert_eq!(blocked.vectors(), lane.vectors(), "block {block}");
+            for index in 0..netlist.net_count() {
+                assert_eq!(
+                    blocked.toggles(fake_net(index)),
+                    lane.toggles(fake_net(index)),
+                    "block {block}, net {index}"
+                );
+            }
+        }
     }
 
     /// Toggle rates measured by simulation should agree with the analytic model

@@ -5,7 +5,10 @@
 
 use dpsyn_ir::InputSpec;
 use dpsyn_netlist::{CellKind, NetId, Netlist, Word, WordMap};
-use dpsyn_sim::{measure_toggles, LaneSim, Simulator, Stimulus, ToggleCounter};
+use dpsyn_sim::{
+    measure_toggles, measure_toggles_blocks, BlockSim, LaneSim, Simulator, Stimulus, ToggleCounter,
+    BLOCK_SIZES,
+};
 
 /// Builds an 8-bit ripple-carry adder with an XOR/MUX post-stage — enough cell
 /// variety and depth (FA, HA, XOR, MUX, NOT) to exercise every lane path.
@@ -154,4 +157,93 @@ fn lane_batch_boundaries_are_seamless() {
         mixed.record_lanes(&lanes, chunk.len());
     }
     assert_identical(&mixed, &scalar, &netlist, "mixed scalar/lane recording");
+}
+
+/// `measure_toggles_blocks` must reproduce the scalar loop exactly for every
+/// supported block size, on vector counts that are ragged against both the lane
+/// width and the block width.
+#[test]
+fn measure_toggles_blocks_matches_the_scalar_loop_exactly() {
+    let (netlist, map) = datapath();
+    let spec = biased_spec();
+    for (vectors, seed) in [(1usize, 3u64), (63, 5), (257, 13), (1000, 17)] {
+        let scalar = scalar_count(&netlist, &map, &spec, vectors, seed);
+        for block in BLOCK_SIZES {
+            let blocked =
+                measure_toggles_blocks(&netlist, &map, &spec, vectors, seed, block).unwrap();
+            assert_identical(
+                &blocked,
+                &scalar,
+                &netlist,
+                &format!("{vectors} vectors, block {block}"),
+            );
+        }
+    }
+}
+
+/// Chunking one sequence into ragged block batches — and mixing block recording
+/// with the scalar and lane paths on the same counter — never changes the counts.
+#[test]
+fn block_batch_boundaries_are_seamless() {
+    let (netlist, map) = datapath();
+    let spec = biased_spec();
+    let vectors = 700;
+    let seed = 29;
+    let scalar = scalar_count(&netlist, &map, &spec, vectors, seed);
+    let mut stimulus = Stimulus::with_seed(seed);
+    let assignments = stimulus.biased_batch(&spec, vectors);
+
+    for block in BLOCK_SIZES {
+        let block_sim = BlockSim::compile(&netlist, block).unwrap();
+        let mut blocks = block_sim.block_buffer();
+        let mut chunked = ToggleCounter::new(netlist.net_count());
+        let mut cursor = 0;
+        // Ragged against both the 64-lane word and the block width.
+        for size in [1usize, 65, block * 64, 17, 129, 3].iter().cycle() {
+            if cursor >= assignments.len() {
+                break;
+            }
+            let size = (*size)
+                .min(block_sim.vectors_per_pass())
+                .min(assignments.len() - cursor);
+            let chunk = &assignments[cursor..cursor + size];
+            block_sim.pack_word_assignments(&map, chunk, &mut blocks);
+            block_sim.evaluate_into(&mut blocks);
+            chunked.record_blocks(&blocks, block, size);
+            cursor += size;
+        }
+        assert_identical(
+            &chunked,
+            &scalar,
+            &netlist,
+            &format!("ragged block batches, block {block}"),
+        );
+    }
+
+    // Mixed mode: scalar, then lanes, then blocks, on one counter.
+    let scalar_sim = Simulator::compile(&netlist).unwrap();
+    let lane_sim = LaneSim::compile(&netlist).unwrap();
+    let block_sim = BlockSim::compile(&netlist, 4).unwrap();
+    let mut mixed = ToggleCounter::new(netlist.net_count());
+    for assignment in &assignments[..50] {
+        mixed.record(&scalar_sim.evaluate(&map.assignment_to_bits(assignment)));
+    }
+    let mut lanes = lane_sim.lane_buffer();
+    for chunk in assignments[50..178].chunks(64) {
+        LaneSim::pack_word_assignments(&map, chunk, &mut lanes);
+        lane_sim.evaluate_into(&mut lanes);
+        mixed.record_lanes(&lanes, chunk.len());
+    }
+    let mut blocks = block_sim.block_buffer();
+    for chunk in assignments[178..].chunks(block_sim.vectors_per_pass()) {
+        block_sim.pack_word_assignments(&map, chunk, &mut blocks);
+        block_sim.evaluate_into(&mut blocks);
+        mixed.record_blocks(&blocks, 4, chunk.len());
+    }
+    assert_identical(
+        &mixed,
+        &scalar,
+        &netlist,
+        "mixed scalar/lane/block recording",
+    );
 }

@@ -5,7 +5,7 @@
 use dpsyn_core::{Objective, Synthesizer};
 use dpsyn_netlist::NetlistStats;
 use dpsyn_power::ProbabilityAnalysis;
-use dpsyn_sim::measure_toggles;
+use dpsyn_sim::{measure_toggles, measure_toggles_blocks, BlockSim, BLOCK_SIZES, DEFAULT_BLOCK};
 use dpsyn_tech::TechLibrary;
 use dpsyn_timing::TimingAnalysis;
 use std::collections::BTreeMap;
@@ -99,6 +99,80 @@ fn lane_toggle_counts_track_analytic_activity_on_the_low_power_example() {
         .build()
         .expect("valid spec");
     assert_analytic_tracks_simulation(&expr, &spec, 26, 8192, 5);
+}
+
+#[test]
+fn block_engine_matches_lanes_exactly_and_analytic_power_within_divergence_budget() {
+    // The same Table-2 setup as above, through the SIMD *block* engine: every block
+    // size must reproduce the 64-lane toggle counts bit-for-bit, and the simulated
+    // power folded from those counts must sit within the ~15% divergence the
+    // explorer's `div%` column is allowed to report.
+    let design = dpsyn_designs::mixed_poly().with_random_probabilities(7);
+    let lib = TechLibrary::lcbg10pv_like();
+    let synthesized = Synthesizer::new(design.expr(), design.spec())
+        .objective(Objective::Power)
+        .technology(&lib)
+        .output_width(design.output_width())
+        .run()
+        .expect("synthesis");
+    let (netlist, map, spec) = (synthesized.netlist(), synthesized.word_map(), design.spec());
+    let vectors = 12000;
+    let lanes = measure_toggles(netlist, map, spec, vectors, 11).expect("lane simulation");
+    for block in BLOCK_SIZES {
+        let blocks = measure_toggles_blocks(netlist, map, spec, vectors, 11, block)
+            .expect("block simulation");
+        for (net, _) in netlist.nets() {
+            assert_eq!(
+                lanes.toggle_rate(net).to_bits(),
+                blocks.toggle_rate(net).to_bits(),
+                "block size {block} diverged from the lane oracle on net {net:?}"
+            );
+        }
+    }
+
+    // Fold both rate vectors — analytic `2·p·(1−p)` and block-measured — through
+    // the *same* simulated-energy weights; the relative gap is exactly what the
+    // explorer publishes as its divergence column.
+    let simulator = BlockSim::compile(netlist, DEFAULT_BLOCK).expect("block compile");
+    let resolved = lib.resolve(simulator.compiled()).expect("tech resolution");
+    let mut probabilities = BTreeMap::new();
+    for word in map.inputs() {
+        for (bit, net) in word.bits().iter().enumerate() {
+            probabilities.insert(
+                *net,
+                spec.bit_profile(word.name(), bit as u32)
+                    .map(|p| p.probability)
+                    .unwrap_or(0.5),
+            );
+        }
+    }
+    let analytic = ProbabilityAnalysis::new(&lib)
+        .with_input_probabilities(probabilities)
+        .run(netlist)
+        .expect("power analysis");
+    let mut analytic_rates = vec![0.0; simulator.net_count()];
+    let mut simulated_rates = vec![0.0; simulator.net_count()];
+    for (net, _) in netlist.nets() {
+        analytic_rates[net.index()] = 2.0 * analytic.switching_activity(net);
+        simulated_rates[net.index()] = lanes.toggle_rate(net);
+    }
+    let volts_squared = lib.voltage() * lib.voltage();
+    let analytic_power =
+        dpsyn_power::simulated_energy(simulator.compiled(), &resolved, &analytic_rates)
+            * volts_squared;
+    let simulated_power =
+        dpsyn_power::simulated_energy(simulator.compiled(), &resolved, &simulated_rates)
+            * volts_squared;
+    let divergence = dpsyn_power::power_divergence(analytic_power, simulated_power);
+    assert!(
+        analytic_power > 0.0 && simulated_power > 0.0,
+        "both power figures must be positive ({analytic_power} vs {simulated_power})"
+    );
+    assert!(
+        divergence.abs() < 0.15,
+        "analytic {analytic_power} mW vs simulated {simulated_power} mW \
+         diverged by {divergence}"
+    );
 }
 
 #[test]
