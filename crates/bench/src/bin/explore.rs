@@ -109,10 +109,34 @@ fn main() {
         workers
     );
     let (results, stats) = explore_with_stats(&spec).expect("every flow succeeds");
+    if let Some(health) = stats.store {
+        eprintln!(
+            "store: {} record(s) loaded, {} damaged line(s), {} quarantined line(s){}{}",
+            health.records,
+            health.damaged_lines,
+            health.quarantined,
+            if health.torn_tail {
+                ", torn tail (mid-flush kill recovered)"
+            } else {
+                ""
+            },
+            if health.rebuilt {
+                ", stale file rebuilt"
+            } else {
+                ""
+            },
+        );
+    }
     for (worker, worker_stats) in stats.workers.iter().enumerate() {
         eprintln!(
             "worker {worker}: {} chunk(s), {} job(s), {} steal(s), {} store hit(s)",
             worker_stats.chunks, worker_stats.jobs, worker_stats.steals, worker_stats.store_hits
+        );
+    }
+    if !results.quarantined().is_empty() {
+        eprintln!(
+            "WARNING: {} job(s) quarantined after repeated panics",
+            results.quarantined().len()
         );
     }
     let (busiest, laziest) = stats.job_spread();
@@ -147,7 +171,9 @@ fn serve_mode(socket: PathBuf, store_path: Option<PathBuf>) {
             .as_ref()
             .map_or("in-memory".to_string(), |path| path.display().to_string())
     );
-    serve(&ServeConfig { socket, store_path }).expect("server runs until shutdown");
+    let mut config = ServeConfig::new(socket);
+    config.store_path = store_path;
+    serve(&config).expect("server runs until shutdown");
 }
 
 #[cfg(not(unix))]
@@ -170,10 +196,8 @@ fn serve_smoke() {
     let socket = scratch.join("explore.sock");
     let store = scratch.join("store.txt");
     let _ = std::fs::remove_file(&store);
-    let config = ServeConfig {
-        socket: socket.clone(),
-        store_path: Some(store.clone()),
-    };
+    let mut config = ServeConfig::new(socket.clone());
+    config.store_path = Some(store.clone());
     let server = std::thread::spawn(move || serve(&config));
 
     // The smoke matrix as a protocol request (single-threaded for a fixed job
@@ -316,6 +340,33 @@ fn serve_smoke() {
         rejected.error
     );
 
+    // Request 6: the admission/health status — hit-rate, in-flight and store
+    // counters must be answered and coherent with the sweeps above.
+    let mut statusline = connect();
+    statusline
+        .write_all(b"{\"status\":{}}\n")
+        .expect("status request sends");
+    let status_response = read_response(&mut statusline);
+    assert!(status_response.ok, "status must answer");
+    let status = status_response.status.expect("status payload present");
+    assert!(
+        status.completed >= 4,
+        "at least the four sweeps completed (got {})",
+        status.completed
+    );
+    assert!(
+        status.hit_rate > 0.0,
+        "warm sweeps must have produced a positive store hit-rate"
+    );
+    assert_eq!(status.store, "ok", "the healthy store reports ok");
+    assert!(status.records > 0, "the store holds the smoke records");
+    assert_eq!(status.in_flight, 0, "no sweep is executing now");
+    drop(statusline);
+    eprintln!(
+        "serve smoke: status answered ({} completed, hit-rate {:.3}, store {})",
+        status.completed, status.hit_rate, status.store
+    );
+
     // Graceful shutdown: acknowledged, server thread exits, socket file removed.
     let mut closer = connect();
     closer
@@ -330,8 +381,95 @@ fn serve_smoke() {
         .expect("server exits cleanly");
     assert!(!socket.exists(), "socket file must be removed on shutdown");
     assert!(store.exists(), "store must persist across server shutdown");
+    serve_smoke_degraded(&scratch, &store, connect, read_response);
     let _ = std::fs::remove_dir_all(&scratch);
     eprintln!("serve smoke OK: overlapping warm requests byte-identical to batch mode");
+}
+
+/// Second phase of the serve smoke: a server whose store is *unavailable* (a
+/// permanent injected read+write outage) must keep answering — degraded, flagged
+/// as such in both the sweep response and the status — and still shut down
+/// cleanly. This is the degrade-don't-die contract, driven end to end.
+#[cfg(unix)]
+fn serve_smoke_degraded(
+    scratch: &std::path::Path,
+    store: &std::path::Path,
+    connect: impl Fn() -> std::os::unix::net::UnixStream,
+    read_response: impl Fn(&mut std::os::unix::net::UnixStream) -> dpsyn_explore::ServeResponse,
+) {
+    use dpsyn_explore::faults::FaultPlan;
+    use dpsyn_explore::{serve, ServeConfig};
+    use std::io::Write;
+
+    let socket = scratch.join("explore.sock");
+    let mut config = ServeConfig::new(socket.clone());
+    config.store_path = Some(store.to_path_buf());
+    config.faults = Some(
+        FaultPlan::builder()
+            .store_read_outage(1, u64::MAX)
+            .store_write_outage(1, u64::MAX)
+            .build(),
+    );
+    let server = std::thread::spawn(move || serve(&config));
+
+    let request = concat!(
+        r#"{"sources":[{"design":"x_squared"}],"flows":["conventional","fa_aot"],"#,
+        r#""seed":7,"threads":1}"#,
+        "\n"
+    );
+    let mut stream = connect();
+    stream.write_all(request.as_bytes()).expect("request sends");
+    let degraded = read_response(&mut stream);
+    assert!(
+        degraded.ok,
+        "a store outage must not fail the sweep: {}",
+        degraded.error
+    );
+    assert_eq!(degraded.points, 2, "the sweep computed through");
+    assert_eq!(
+        degraded.store, "degraded",
+        "the response must flag the degraded store"
+    );
+    assert_eq!(
+        degraded.store_hits, 0,
+        "an unloadable store cannot serve warm hits"
+    );
+    drop(stream);
+
+    let mut statusline = connect();
+    statusline
+        .write_all(b"{\"status\":{}}\n")
+        .expect("status request sends");
+    let status = read_response(&mut statusline)
+        .status
+        .expect("degraded server still answers status");
+    assert_eq!(status.store, "degraded");
+    assert_eq!(status.completed, 1);
+    assert_eq!(
+        status.hit_rate, 0.0,
+        "nothing was loaded from the unavailable file, so no hit can be warm"
+    );
+    assert!(
+        status.records > 0,
+        "the computed-through records are held in memory awaiting a flush"
+    );
+    drop(statusline);
+
+    let mut closer = connect();
+    closer
+        .write_all(b"{\"shutdown\":true}\n")
+        .expect("shutdown sends");
+    let ack = read_response(&mut closer);
+    assert!(
+        ack.ok && ack.shutdown,
+        "degraded server still acknowledges shutdown"
+    );
+    drop(closer);
+    server
+        .join()
+        .expect("degraded server thread joins")
+        .expect("degraded server exits cleanly despite the failing final flush");
+    eprintln!("serve smoke: store-outage phase served degraded and shut down cleanly");
 }
 
 #[cfg(not(unix))]

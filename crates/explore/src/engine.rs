@@ -7,7 +7,8 @@ use crate::pareto::{pareto_front, PointMetrics};
 use crate::sim::{SimCache, SimOutcome};
 use crate::spec::{ExplorationSpec, StealPolicy};
 use crate::store::{
-    profile_digest, stimulus_digest, stimulus_layout_digest, EvalKey, ResultStore, StoredEval,
+    profile_digest, stimulus_digest, stimulus_layout_digest, EvalKey, ResultStore, StoreHealth,
+    StoredEval,
 };
 use crate::summary::{render_summary, summarize_flows, FlowSummary};
 use dpsyn_baselines::{input_profiles, FlowResult, FlowSynthesis};
@@ -32,18 +33,49 @@ pub struct ExplorationPoint {
     pub artifact: Option<FlowResult>,
 }
 
-/// The outcome of one exploration: every evaluated point in canonical job order plus
-/// the dominance-filtered Pareto front.
+/// Bounded retries per job under the engine's catch-unwind supervision: a job
+/// whose evaluation panics is retried from a clean per-worker cache state up to
+/// this many total attempts, then quarantined ([`QuarantinedJob`]) instead of
+/// aborting the sweep.
+pub const JOB_ATTEMPT_LIMIT: usize = 3;
+
+/// One job the engine gave up on: every attempt panicked, so the sweep completed
+/// without it and reports it here (and in the rendered summary) instead of
+/// aborting. Quarantined jobs are deterministic — the same specification and
+/// fault plan quarantine the same jobs for every thread count.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QuarantinedJob {
+    /// Canonical index of the job in the specification's matrix.
+    pub index: usize,
+    /// Human-readable job label (design, axes and flow).
+    pub label: String,
+    /// Evaluation attempts made before giving up (the retry limit).
+    pub attempts: usize,
+    /// The panic message of the final attempt.
+    pub reason: String,
+}
+
+/// The outcome of one exploration: every evaluated point in canonical job order,
+/// the dominance-filtered Pareto front, and the jobs quarantined after exhausting
+/// their evaluation retries.
 #[derive(Debug, Clone)]
 pub struct ExplorationResults {
     points: Vec<ExplorationPoint>,
     front: Vec<usize>,
+    quarantined: Vec<QuarantinedJob>,
 }
 
 impl ExplorationResults {
     /// Every evaluated point, in canonical job order (independent of thread count).
+    /// Quarantined jobs contribute no point.
     pub fn points(&self) -> &[ExplorationPoint] {
         &self.points
+    }
+
+    /// Jobs whose every evaluation attempt panicked, in canonical job order.
+    /// Empty on every healthy sweep.
+    pub fn quarantined(&self) -> &[QuarantinedJob] {
+        &self.quarantined
     }
 
     /// Indices (into [`Self::points`]) of the Pareto-optimal points over
@@ -103,6 +135,9 @@ pub struct WorkerStats {
 pub struct ExploreStats {
     /// Per-worker counters, indexed by worker id (spawn order).
     pub workers: Vec<WorkerStats>,
+    /// Integrity counters of the attached persistent store at load time
+    /// (damaged/quarantined lines, torn tail, rebuild); `None` without a store.
+    pub store: Option<StoreHealth>,
 }
 
 impl ExploreStats {
@@ -396,7 +431,7 @@ pub fn explore_with_stats(
     match spec.store_path() {
         None => explore_with_store(spec, None).map(|(results, stats, _)| (results, stats)),
         Some(path) => {
-            let mut store = ResultStore::load(path)?;
+            let mut store = ResultStore::load_with_faults(path, spec.faults().cloned())?;
             let (results, stats, fresh) = explore_with_store(spec, Some(&store))?;
             store.merge(fresh);
             store.flush()?;
@@ -432,10 +467,13 @@ pub type FreshRecords = Vec<(EvalKey, StoredEval)>;
 /// # Errors
 ///
 /// Returns [`ExploreError::Flow`] when a synthesis flow fails on a job (lowest
-/// job index wins, independent of thread count), or
-/// [`ExploreError::WorkerPanic`] naming the job whose evaluation panicked — the
-/// engine converts worker panics into a typed error instead of aborting, so
-/// long-lived callers survive them.
+/// job index wins, independent of thread count). A *panicking* evaluation no
+/// longer fails the run at all: each job runs under `catch_unwind` supervision,
+/// is retried up to [`JOB_ATTEMPT_LIMIT`] attempts from a clean per-worker cache
+/// state, and is quarantined ([`ExplorationResults::quarantined`]) when every
+/// attempt panics — the other jobs complete normally.
+/// [`ExploreError::WorkerPanic`] remains only as the thread-level fallback for a
+/// panic *outside* the supervised evaluation (scheduler internals).
 pub fn explore_with_store(
     spec: &ExplorationSpec,
     store: Option<&ResultStore>,
@@ -449,10 +487,10 @@ pub fn explore_with_store(
         tech_digest: spec.tech().identity_digest(),
     });
     // One write-once slot per job: no result lock, no post-run sort.
-    let slots: Vec<OnceLock<Result<ExplorationPoint, ExploreError>>> =
-        jobs.iter().map(|_| OnceLock::new()).collect();
+    let slots: Vec<OnceLock<JobOutcome>> = jobs.iter().map(|_| OnceLock::new()).collect();
     let mut stats = ExploreStats {
         workers: Vec::with_capacity(workers),
+        store: store.map(ResultStore::health),
     };
     // Fresh records, keyed: the BTreeMap both deduplicates (identical keys carry
     // identical values by evaluation purity) and fixes the return order, so the
@@ -484,7 +522,7 @@ pub fn explore_with_store(
                         worker.steals += usize::from(stolen);
                         for &job_index in &plan.order[plan.chunks[chunk_index].clone()] {
                             worker.jobs += 1;
-                            let outcome = evaluate(
+                            let outcome = supervised_evaluate(
                                 spec,
                                 &jobs[job_index],
                                 &mut cache,
@@ -509,11 +547,10 @@ pub fn explore_with_store(
                         fresh.entry(key).or_insert(value);
                     }
                 }
-                // A worker panicked mid-evaluation. Its panic payload is opaque;
-                // the unfilled result slot identifies the job (a slot is claimed
-                // by exactly one worker, and the panic site is inside `evaluate`,
-                // before the claiming `set`). Keep joining so the remaining
-                // workers drain cleanly before the error returns.
+                // A worker thread died outside the supervised evaluation (its
+                // panic payload is opaque; the unfilled result slot identifies
+                // the job). Keep joining so the remaining workers drain cleanly
+                // before the error returns.
                 Err(_) => panicked = true,
             }
         }
@@ -526,19 +563,121 @@ pub fn explore_with_store(
         return Err(ExploreError::WorkerPanic { job });
     }
     let mut points = Vec::with_capacity(jobs.len());
-    for slot in slots {
+    let mut quarantined = Vec::new();
+    let mut first_error = None;
+    for (index, slot) in slots.into_iter().enumerate() {
         let outcome = slot
             .into_inner()
             .expect("every job slot is filled by exactly one worker");
-        points.push(outcome?);
+        match outcome {
+            JobOutcome::Point(point) => points.push(*point),
+            // Lowest job index wins, independent of the thread count: slots are
+            // scanned in canonical order.
+            JobOutcome::Failed(error) => {
+                if first_error.is_none() {
+                    first_error = Some(error);
+                }
+            }
+            JobOutcome::Quarantined { attempts, reason } => quarantined.push(QuarantinedJob {
+                index,
+                label: jobs[index].label(),
+                attempts,
+                reason,
+            }),
+        }
+    }
+    if let Some(error) = first_error {
+        return Err(error);
     }
     let metrics: Vec<PointMetrics> = points.iter().map(|point| point.metrics).collect();
     let front = pareto_front(&metrics);
     Ok((
-        ExplorationResults { points, front },
+        ExplorationResults {
+            points,
+            front,
+            quarantined,
+        },
         stats,
         fresh.into_iter().collect(),
     ))
+}
+
+/// The supervised outcome of one job, as stored in its write-once result slot.
+enum JobOutcome {
+    /// The evaluation succeeded (possibly after panicking retries).
+    ///
+    /// Boxed: a point (metrics + optional retained artifacts) dwarfs the other
+    /// variants, and the slot vector holds one slot per job.
+    Point(Box<ExplorationPoint>),
+    /// The evaluation returned a typed error (flow/sim/store failure).
+    Failed(ExploreError),
+    /// Every attempt panicked; the job is quarantined instead of failing the run.
+    Quarantined {
+        /// Attempts made (the retry limit).
+        attempts: usize,
+        /// Panic message of the final attempt.
+        reason: String,
+    },
+}
+
+/// Best-effort text of a panic payload (`panic!` carries `&str` or `String`).
+fn panic_reason(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(text) = payload.downcast_ref::<&str>() {
+        (*text).to_string()
+    } else if let Some(text) = payload.downcast_ref::<String>() {
+        text.clone()
+    } else {
+        "opaque panic payload".to_string()
+    }
+}
+
+/// Runs [`evaluate`] under `catch_unwind` supervision with bounded deterministic
+/// retry: a panicking attempt resets the worker's compiled and sim caches (a
+/// panic may have left them mid-update) and truncates the fresh-record tail back
+/// to the pre-attempt mark (so the store never keeps records of a poisoned
+/// attempt), then retries; after [`JOB_ATTEMPT_LIMIT`] panicking attempts the job
+/// is quarantined. Because the retry budget is per *job* (not per worker or
+/// wall-clock), the outcome is identical for every thread count.
+#[allow(clippy::too_many_arguments)]
+fn supervised_evaluate(
+    spec: &ExplorationSpec,
+    job: &Job,
+    cache: &mut CompiledCache,
+    sim_cache: &mut SimCache,
+    memo: Option<&StoreContext<'_>>,
+    recorded: &mut Vec<(EvalKey, StoredEval)>,
+    worker: &mut WorkerStats,
+) -> JobOutcome {
+    for attempt in 1..=JOB_ATTEMPT_LIMIT {
+        let mark = recorded.len();
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            evaluate(
+                spec,
+                job,
+                &mut *cache,
+                &mut *sim_cache,
+                memo,
+                recorded,
+                worker,
+            )
+        }));
+        match caught {
+            Ok(Ok(point)) => return JobOutcome::Point(Box::new(point)),
+            Ok(Err(error)) => return JobOutcome::Failed(error),
+            Err(payload) => {
+                recorded.truncate(mark);
+                *cache = CompiledCache::new();
+                *sim_cache = SimCache::new();
+                if attempt == JOB_ATTEMPT_LIMIT {
+                    return JobOutcome::Quarantined {
+                        attempts: attempt,
+                        reason: panic_reason(payload.as_ref()),
+                    };
+                }
+            }
+        }
+    }
+    unreachable!("the attempt loop always returns")
 }
 
 /// The store view one run evaluates against: an immutable snapshot plus the tech
@@ -617,6 +756,11 @@ fn evaluate(
     recorded: &mut Vec<(EvalKey, StoredEval)>,
     worker: &mut WorkerStats,
 ) -> Result<ExplorationPoint, ExploreError> {
+    // Fault hook first: injected panics and stalls must fire on *every* attempt,
+    // including warm reruns that would otherwise short-circuit on a store hit.
+    if let Some(faults) = spec.faults() {
+        faults.on_job_attempt(job.index());
+    }
     let design = spec.materialize(job);
     #[cfg(test)]
     if design.name() == "__panic__" {
@@ -913,9 +1057,12 @@ mod tests {
     }
 
     #[test]
-    fn worker_panics_surface_as_typed_errors_naming_the_job() {
+    fn panicking_jobs_are_retried_then_quarantined_not_fatal() {
         // The panicking design sits *after* a healthy one, so its job indices are
-        // 2 and 3 (two flows per design) and healthy jobs complete around it.
+        // 2 and 3 (two flows per design) and healthy jobs complete around it. Its
+        // evaluation panics on *every* attempt, so both jobs exhaust the retry
+        // budget and land in quarantine — the sweep itself still succeeds, with
+        // identical results for every thread count.
         for threads in [1, 2, 4] {
             let spec = ExplorationSpec::builder()
                 .design(dpsyn_designs::x_squared())
@@ -925,21 +1072,63 @@ mod tests {
                 .seed(7)
                 .build()
                 .expect("panic-injection spec is well-formed");
-            let error = explore(&spec).expect_err("the injected panic must surface");
-            match error {
-                ExploreError::WorkerPanic { job } => {
-                    assert!(
-                        [2, 3].contains(&job),
-                        "the reported job must be one of the panicking design's \
-                         (got {job}); with one worker it is the first one reached"
-                    );
-                    if threads == 1 {
-                        assert_eq!(job, 2, "single-threaded order is canonical");
-                    }
-                }
-                other => panic!("expected WorkerPanic, got {other}"),
+            let results = explore(&spec).expect("a poisoned job must not fail the sweep");
+            assert_eq!(
+                results.points().len(),
+                2,
+                "the healthy design's two jobs complete"
+            );
+            let indices: Vec<usize> = results.quarantined().iter().map(|job| job.index).collect();
+            assert_eq!(indices, vec![2, 3], "quarantine order is canonical");
+            for job in results.quarantined() {
+                assert_eq!(job.attempts, JOB_ATTEMPT_LIMIT, "full retry budget spent");
+                assert!(
+                    job.reason.contains("injected evaluation panic"),
+                    "the panic message is preserved (got {:?})",
+                    job.reason
+                );
+                assert!(
+                    job.label.contains("__panic__"),
+                    "the label names the poisoned design (got {:?})",
+                    job.label
+                );
             }
+            let summary = results.render_summary();
+            assert!(
+                summary.contains("quarantined jobs (2):"),
+                "the summary reports the quarantine section"
+            );
         }
+    }
+
+    #[test]
+    fn transient_panics_are_retried_to_success() {
+        // A fault plan that panics job 2's first attempt only: the supervised
+        // retry succeeds on attempt 2 and the sweep is complete — no quarantine,
+        // and the results match a fault-free run of the same spec.
+        let build = |faults: Option<std::sync::Arc<crate::faults::FaultPlan>>| {
+            let mut builder = ExplorationSpec::builder()
+                .sum_workload(2)
+                .widths([3, 4])
+                .flows([Flow::Conventional])
+                .threads(2)
+                .seed(11);
+            if let Some(plan) = faults {
+                builder = builder.faults(plan);
+            }
+            builder.build().expect("spec is well-formed")
+        };
+        let plan = crate::faults::FaultPlan::builder().panic_job(1, 1).build();
+        let faulted = build(Some(std::sync::Arc::clone(&plan)));
+        let results = explore(&faulted).expect("one transient panic must be retried");
+        assert!(results.quarantined().is_empty(), "the retry succeeded");
+        assert_eq!(plan.job_attempts(1), 2, "attempt 1 panicked, attempt 2 ran");
+        let clean = explore(&build(None)).expect("fault-free run");
+        assert_eq!(
+            results.render_summary(),
+            clean.render_summary(),
+            "recovered results are byte-identical to the fault-free run"
+        );
     }
 
     #[test]

@@ -56,12 +56,15 @@ pub enum ExploreError {
         /// The underlying flow error.
         source: BaselineError,
     },
-    /// A worker thread panicked while evaluating a job. The engine converts the
-    /// panic into this typed error instead of aborting the process, so callers
-    /// (notably the long-lived server mode) survive a poisoned evaluation.
+    /// A worker thread died outside the supervised per-job evaluation (scheduler
+    /// internals). Panics *inside* an evaluation are caught, retried and
+    /// quarantined by the engine instead
+    /// ([`ExplorationResults::quarantined`](crate::ExplorationResults::quarantined)),
+    /// so this is a thread-level fallback that healthy and fault-injected sweeps
+    /// alike should never hit.
     WorkerPanic {
-        /// Index of the job whose evaluation panicked (its result slot was left
-        /// unfilled).
+        /// Index of the job whose result slot was left unfilled by the dead
+        /// worker.
         job: usize,
     },
     /// The persistent result store failed on a true I/O operation (corrupt or

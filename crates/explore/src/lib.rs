@@ -51,7 +51,10 @@
 mod cache;
 mod engine;
 mod error;
+pub mod faults;
 mod job;
+#[cfg(unix)]
+mod metrics;
 mod pareto;
 #[cfg(unix)]
 mod serve;
@@ -63,10 +66,13 @@ mod summary;
 pub use dpsyn_baselines::Flow;
 pub use engine::{
     explore, explore_with_stats, explore_with_store, schedule_preview, ExplorationPoint,
-    ExplorationResults, ExploreStats, FreshRecords, SchedulePreview, WorkerStats,
+    ExplorationResults, ExploreStats, FreshRecords, QuarantinedJob, SchedulePreview, WorkerStats,
+    JOB_ATTEMPT_LIMIT,
 };
 pub use error::ExploreError;
 pub use job::Job;
+#[cfg(unix)]
+pub use metrics::ServeStatus;
 pub use pareto::{pareto_front, PointMetrics};
 #[cfg(unix)]
 pub use serve::{serve, ServeConfig, ServeResponse};
@@ -75,8 +81,8 @@ pub use spec::{
     StealPolicy,
 };
 pub use store::{
-    profile_digest, stimulus_digest, stimulus_layout_digest, EvalKey, EvalStage, ResultStore,
-    StoredEval, STORE_FORMAT,
+    profile_digest, quarantine_path, stimulus_digest, stimulus_layout_digest, EvalKey, EvalStage,
+    ResultStore, StoreHealth, StoredEval, STORE_FORMAT,
 };
 pub use summary::FlowSummary;
 

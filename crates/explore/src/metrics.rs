@@ -1,0 +1,208 @@
+//! Admission metrics of the exploration server.
+//!
+//! The server counts every request, rejection and sweep through a lock-free
+//! [`ServeMetrics`] and answers a `{"status":{}}` request with a [`ServeStatus`]
+//! snapshot — hit-rate, in-flight sweeps, queue depth and store health — so an
+//! operator (or the CI smoke) can see a degraded server *saying* it is degraded
+//! instead of inferring it from timings.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+/// One point-in-time snapshot of a running server's admission metrics and store
+/// health, as answered to a `{"status":{}}` request.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ServeStatus {
+    /// Requests received (sweeps, status and shutdown lines alike).
+    pub requests: u64,
+    /// Sweep requests that completed and answered.
+    pub completed: u64,
+    /// Sweeps currently executing.
+    pub in_flight: u64,
+    /// Open connections not currently executing a sweep (parsed/parked lines).
+    pub queue_depth: u64,
+    /// Sweep requests shed with a typed `overloaded` response.
+    pub rejected_overload: u64,
+    /// Lines rejected for exceeding the configured byte cap.
+    pub rejected_oversized: u64,
+    /// Requests rejected because the client missed the read deadline.
+    pub rejected_deadline: u64,
+    /// Jobs enumerated across all completed sweeps.
+    pub jobs: u64,
+    /// Jobs served from the shared store across all completed sweeps.
+    pub store_hits: u64,
+    /// `store_hits / jobs` over the server's lifetime (0 before the first job).
+    pub hit_rate: f64,
+    /// Store state: `"ok"`, `"degraded"` (compute-through, flushes failing) or
+    /// `"none"` (no backing file configured).
+    pub store: String,
+    /// Records currently held by the shared store.
+    pub records: u64,
+    /// Damaged record lines the last store load skipped and quarantined.
+    pub damaged_lines: u64,
+    /// Total lines in the store's quarantine sidecar.
+    pub quarantined: u64,
+}
+
+/// Lock-free counters behind the server's `status` response; one instance per
+/// [`serve`](crate::serve) call, shared by every connection thread.
+#[derive(Debug, Default)]
+pub(crate) struct ServeMetrics {
+    requests: AtomicU64,
+    completed: AtomicU64,
+    in_flight: AtomicU64,
+    connections: AtomicU64,
+    rejected_overload: AtomicU64,
+    rejected_oversized: AtomicU64,
+    rejected_deadline: AtomicU64,
+    jobs: AtomicU64,
+    store_hits: AtomicU64,
+    degraded: AtomicBool,
+}
+
+impl ServeMetrics {
+    pub(crate) fn new(degraded: bool) -> Self {
+        let metrics = ServeMetrics::default();
+        metrics.degraded.store(degraded, Ordering::SeqCst);
+        metrics
+    }
+
+    pub(crate) fn note_request(&self) {
+        self.requests.fetch_add(1, Ordering::SeqCst);
+    }
+
+    pub(crate) fn note_sweep(&self, jobs: u64, store_hits: u64) {
+        self.completed.fetch_add(1, Ordering::SeqCst);
+        self.jobs.fetch_add(jobs, Ordering::SeqCst);
+        self.store_hits.fetch_add(store_hits, Ordering::SeqCst);
+    }
+
+    pub(crate) fn note_oversized(&self) {
+        self.rejected_oversized.fetch_add(1, Ordering::SeqCst);
+    }
+
+    pub(crate) fn note_deadline(&self) {
+        self.rejected_deadline.fetch_add(1, Ordering::SeqCst);
+    }
+
+    pub(crate) fn set_degraded(&self, degraded: bool) {
+        self.degraded.store(degraded, Ordering::SeqCst);
+    }
+
+    pub(crate) fn degraded(&self) -> bool {
+        self.degraded.load(Ordering::SeqCst)
+    }
+
+    /// Tries to claim one of the `cap` in-flight sweep slots; `None` (and an
+    /// `rejected_overload` tick) when they are all taken. The returned guard
+    /// releases the slot on drop.
+    pub(crate) fn try_admit(&self, cap: usize) -> Option<InFlightGuard<'_>> {
+        let claimed = self.in_flight.fetch_add(1, Ordering::SeqCst) + 1;
+        if claimed > cap as u64 {
+            self.in_flight.fetch_sub(1, Ordering::SeqCst);
+            self.rejected_overload.fetch_add(1, Ordering::SeqCst);
+            return None;
+        }
+        Some(InFlightGuard { metrics: self })
+    }
+
+    /// Counts one open connection; the returned guard closes it on drop.
+    pub(crate) fn connection_guard(&self) -> ConnectionGuard<'_> {
+        self.connections.fetch_add(1, Ordering::SeqCst);
+        ConnectionGuard { metrics: self }
+    }
+
+    /// Snapshots the counters; the caller supplies the store half of the status.
+    pub(crate) fn snapshot(
+        &self,
+        store: String,
+        records: u64,
+        damaged_lines: u64,
+        quarantined: u64,
+    ) -> ServeStatus {
+        let jobs = self.jobs.load(Ordering::SeqCst);
+        let store_hits = self.store_hits.load(Ordering::SeqCst);
+        let in_flight = self.in_flight.load(Ordering::SeqCst);
+        let connections = self.connections.load(Ordering::SeqCst);
+        ServeStatus {
+            requests: self.requests.load(Ordering::SeqCst),
+            completed: self.completed.load(Ordering::SeqCst),
+            in_flight,
+            queue_depth: connections.saturating_sub(in_flight),
+            rejected_overload: self.rejected_overload.load(Ordering::SeqCst),
+            rejected_oversized: self.rejected_oversized.load(Ordering::SeqCst),
+            rejected_deadline: self.rejected_deadline.load(Ordering::SeqCst),
+            jobs,
+            store_hits,
+            hit_rate: if jobs == 0 {
+                0.0
+            } else {
+                store_hits as f64 / jobs as f64
+            },
+            store,
+            records,
+            damaged_lines,
+            quarantined,
+        }
+    }
+}
+
+/// RAII slot of one executing sweep; releases `in_flight` on drop.
+pub(crate) struct InFlightGuard<'a> {
+    metrics: &'a ServeMetrics,
+}
+
+impl Drop for InFlightGuard<'_> {
+    fn drop(&mut self) {
+        self.metrics.in_flight.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// RAII handle of one open connection; releases `connections` on drop.
+pub(crate) struct ConnectionGuard<'a> {
+    metrics: &'a ServeMetrics,
+}
+
+impl Drop for ConnectionGuard<'_> {
+    fn drop(&mut self) {
+        self.metrics.connections.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn admission_caps_in_flight_and_releases_on_drop() {
+        let metrics = ServeMetrics::new(false);
+        let first = metrics.try_admit(2).expect("slot 1");
+        let _second = metrics.try_admit(2).expect("slot 2");
+        assert!(metrics.try_admit(2).is_none(), "cap reached");
+        drop(first);
+        let _third = metrics.try_admit(2).expect("slot freed by drop");
+        let status = metrics.snapshot("none".to_string(), 0, 0, 0);
+        assert_eq!(status.in_flight, 2);
+        assert_eq!(status.rejected_overload, 1);
+    }
+
+    #[test]
+    fn hit_rate_and_queue_depth_derive_from_counters() {
+        let metrics = ServeMetrics::new(true);
+        let _conn_a = metrics.connection_guard();
+        let _conn_b = metrics.connection_guard();
+        let _slot = metrics.try_admit(4).expect("slot");
+        metrics.note_request();
+        metrics.note_sweep(24, 18);
+        let status = metrics.snapshot("degraded".to_string(), 5, 1, 2);
+        assert_eq!(status.requests, 1);
+        assert_eq!(status.completed, 1);
+        assert_eq!(status.in_flight, 1);
+        assert_eq!(status.queue_depth, 1, "2 connections - 1 in flight");
+        assert!((status.hit_rate - 0.75).abs() < 1e-12);
+        assert_eq!(status.store, "degraded");
+        assert!(metrics.degraded());
+        assert_eq!(status.records, 5);
+        assert_eq!(status.damaged_lines, 1);
+        assert_eq!(status.quarantined, 2);
+    }
+}

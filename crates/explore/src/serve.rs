@@ -34,10 +34,20 @@
 //! ```
 //!
 //! with `summary` the full [`render_summary`](crate::ExplorationResults::render_summary)
-//! text (byte-identical to a batch run of the same spec), or
-//! `{"ok":false,"error":"..."}` when the request is malformed or the run fails.
-//! Responses are produced by [`ServeResponse`]'s writer and parsed back by
-//! [`ServeResponse::parse`], so clients need no JSON library either.
+//! text (byte-identical to a batch run of the same spec), `store` the store state
+//! (`"ok"`, `"degraded"` or `"none"`) and `quarantined` the count of jobs whose
+//! every evaluation attempt panicked; or `{"ok":false,"error":"..."}` when the
+//! request is malformed or the run fails. A request the server *sheds* (rather
+//! than fails) additionally carries a machine-readable `reject` kind:
+//! `{"ok":false,"reject":"overloaded","error":"..."}` — kinds are `overloaded`
+//! (the in-flight admission cap is reached), `oversized` (a request line exceeds
+//! the byte cap) and `deadline` (a partial line sat unfinished past the read
+//! deadline; the latter two also close the connection). `{"status":{}}` bypasses
+//! admission and answers the server's [`ServeStatus`] — request/rejection
+//! counters, in-flight sweeps, queue depth, store hit-rate and store health — as
+//! `{"ok":true,"status":{...}}`. Responses are produced by [`ServeResponse`]'s
+//! writer and parsed back by [`ServeResponse::parse`], so clients need no JSON
+//! library either.
 //!
 //! # Concurrency and the shared store
 //!
@@ -47,9 +57,21 @@
 //! records back and flushes under the lock. Two overlapping requests therefore
 //! cannot corrupt the store, and whichever finishes second gets the first one's
 //! records on its next request.
+//!
+//! # Degrade, don't die
+//!
+//! The server treats its store as an accelerator, never as a dependency. When the
+//! memo file cannot be loaded at startup, it serves from an empty in-memory store
+//! that *keeps* the configured path ([`ResultStore::empty_at`]); when a flush
+//! fails, the request still answers with its computed results and the response
+//! (and `status`) flags `"store":"degraded"`. Every later flush retries the real
+//! file, so the store heals the moment the path does — the `tests/fault_injection.rs`
+//! wall drives both transitions with an injected store outage.
 
 use crate::engine::explore_with_store;
 use crate::error::ExploreError;
+use crate::faults::FaultPlan;
+use crate::metrics::{ServeMetrics, ServeStatus};
 use crate::spec::{BiasProfile, ExplorationSpec, SimActivity, SkewProfile, StealPolicy};
 use crate::store::ResultStore;
 use dpsyn_baselines::Flow;
@@ -60,14 +82,16 @@ use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// How long the accept loop and connection reads sleep/block between shutdown
 /// checks. Short enough for prompt drain, long enough to stay off the CPU.
 const POLL_INTERVAL: Duration = Duration::from_millis(25);
 const READ_TIMEOUT: Duration = Duration::from_millis(250);
 
-/// Configuration of one [`serve`] call.
+/// Configuration of one [`serve`] call. Build the common shape with
+/// [`ServeConfig::new`] and override fields as needed; the robustness knobs
+/// (line cap, admission cap, deadlines) default to generous production values.
 #[derive(Debug, Clone)]
 pub struct ServeConfig {
     /// Path of the Unix domain socket to listen on (an existing socket file at
@@ -76,6 +100,52 @@ pub struct ServeConfig {
     /// Memo file of the shared persistent store; `None` serves from a process-
     /// lifetime in-memory store instead.
     pub store_path: Option<PathBuf>,
+    /// Longest accepted request line in bytes (newline excluded). A longer line
+    /// — or a lineless byte stream growing past the cap — is rejected with a
+    /// typed `oversized` response and the connection is closed, bounding the
+    /// memory a garbage-spewing client can pin.
+    pub max_line_bytes: usize,
+    /// Sweeps allowed to execute concurrently. The request that would exceed the
+    /// cap is shed immediately with a typed `overloaded` response (the client
+    /// retries; the server never queues unbounded work).
+    pub max_in_flight: usize,
+    /// How long a *partial* request line may sit without its newline before the
+    /// connection is rejected with a typed `deadline` response — a slow-loris
+    /// client cannot park forever.
+    pub read_deadline: Duration,
+    /// Write timeout on every response, so a client that stops draining cannot
+    /// wedge a connection thread.
+    pub write_deadline: Duration,
+    /// Fault-injection plan threaded through the server's store (load and every
+    /// flush) and every sweep it runs; `None` in production. See [`crate::faults`].
+    pub faults: Option<Arc<FaultPlan>>,
+}
+
+impl ServeConfig {
+    /// A config listening on `socket` with no store file and default robustness
+    /// knobs: 1 MiB line cap, 8 concurrent sweeps, 10 s read/write deadlines.
+    pub fn new(socket: impl Into<PathBuf>) -> Self {
+        ServeConfig {
+            socket: socket.into(),
+            store_path: None,
+            max_line_bytes: 1 << 20,
+            max_in_flight: 8,
+            read_deadline: Duration::from_secs(10),
+            write_deadline: Duration::from_secs(10),
+            faults: None,
+        }
+    }
+}
+
+/// Everything a connection thread needs, shared once per [`serve`] call.
+struct Shared {
+    store: Mutex<ResultStore>,
+    metrics: ServeMetrics,
+    shutdown: AtomicBool,
+    config: ServeConfig,
+    /// Whether a store file is configured (`"none"` vs `"ok"`/`"degraded"` in
+    /// responses).
+    store_attached: bool,
 }
 
 /// One parsed response line of the protocol; see the [module docs](self).
@@ -89,12 +159,23 @@ pub struct ServeResponse {
     pub points: usize,
     /// Jobs served straight from the shared store.
     pub store_hits: usize,
+    /// Jobs quarantined after every evaluation attempt panicked.
+    pub quarantined: usize,
+    /// Store state of the answering server: `"ok"`, `"degraded"` (flushes
+    /// failing, compute-through) or `"none"` (no store file configured).
+    pub store: String,
     /// The rendered summary (byte-identical to a batch run of the same spec).
     pub summary: String,
     /// The error message when `ok` is false.
     pub error: String,
+    /// Machine-readable shed kind when the server rejected rather than failed
+    /// the request: `"overloaded"`, `"oversized"` or `"deadline"` (empty on
+    /// failures and successes).
+    pub reject: String,
     /// Whether this response acknowledges a shutdown request.
     pub shutdown: bool,
+    /// The server status snapshot, on `{"status":{}}` responses only.
+    pub status: Option<ServeStatus>,
 }
 
 impl ServeResponse {
@@ -119,9 +200,17 @@ impl ServeResponse {
                 "jobs" => response.jobs = value.as_usize().unwrap_or(0),
                 "points" => response.points = value.as_usize().unwrap_or(0),
                 "store_hits" => response.store_hits = value.as_usize().unwrap_or(0),
+                "quarantined" => response.quarantined = value.as_usize().unwrap_or(0),
+                "store" => response.store = value.as_str().unwrap_or("").to_string(),
                 "summary" => response.summary = value.as_str().unwrap_or("").to_string(),
                 "error" => response.error = value.as_str().unwrap_or("").to_string(),
+                "reject" => response.reject = value.as_str().unwrap_or("").to_string(),
                 "shutdown" => response.shutdown = value.as_bool().unwrap_or(false),
+                "status" => {
+                    if let Json::Object(entries) = value {
+                        response.status = Some(parse_status(entries));
+                    }
+                }
                 _ => {}
             }
         }
@@ -132,21 +221,78 @@ impl ServeResponse {
         if self.shutdown {
             return "{\"ok\":true,\"shutdown\":true}".to_string();
         }
+        if let Some(status) = &self.status {
+            return format!(
+                "{{\"ok\":true,\"status\":{{\"requests\":{},\"completed\":{},\
+                 \"in_flight\":{},\"queue_depth\":{},\"rejected_overload\":{},\
+                 \"rejected_oversized\":{},\"rejected_deadline\":{},\"jobs\":{},\
+                 \"store_hits\":{},\"hit_rate\":{:.6},\"store\":\"{}\",\
+                 \"records\":{},\"damaged_lines\":{},\"quarantined\":{}}}}}",
+                status.requests,
+                status.completed,
+                status.in_flight,
+                status.queue_depth,
+                status.rejected_overload,
+                status.rejected_oversized,
+                status.rejected_deadline,
+                status.jobs,
+                status.store_hits,
+                status.hit_rate,
+                escape_json(&status.store),
+                status.records,
+                status.damaged_lines,
+                status.quarantined,
+            );
+        }
         if self.ok {
             format!(
-                "{{\"ok\":true,\"jobs\":{},\"points\":{},\"store_hits\":{},\"summary\":\"{}\"}}",
+                "{{\"ok\":true,\"jobs\":{},\"points\":{},\"store_hits\":{},\
+                 \"quarantined\":{},\"store\":\"{}\",\"summary\":\"{}\"}}",
                 self.jobs,
                 self.points,
                 self.store_hits,
+                self.quarantined,
+                escape_json(&self.store),
                 escape_json(&self.summary)
             )
-        } else {
+        } else if self.reject.is_empty() {
             format!(
                 "{{\"ok\":false,\"error\":\"{}\"}}",
                 escape_json(&self.error)
             )
+        } else {
+            format!(
+                "{{\"ok\":false,\"reject\":\"{}\",\"error\":\"{}\"}}",
+                escape_json(&self.reject),
+                escape_json(&self.error)
+            )
         }
     }
+}
+
+/// Decodes the `status` object of a status response.
+fn parse_status(entries: &[(String, Json)]) -> ServeStatus {
+    let mut status = ServeStatus::default();
+    for (key, value) in entries {
+        match key.as_str() {
+            "requests" => status.requests = value.as_u64().unwrap_or(0),
+            "completed" => status.completed = value.as_u64().unwrap_or(0),
+            "in_flight" => status.in_flight = value.as_u64().unwrap_or(0),
+            "queue_depth" => status.queue_depth = value.as_u64().unwrap_or(0),
+            "rejected_overload" => status.rejected_overload = value.as_u64().unwrap_or(0),
+            "rejected_oversized" => status.rejected_oversized = value.as_u64().unwrap_or(0),
+            "rejected_deadline" => status.rejected_deadline = value.as_u64().unwrap_or(0),
+            "jobs" => status.jobs = value.as_u64().unwrap_or(0),
+            "store_hits" => status.store_hits = value.as_u64().unwrap_or(0),
+            "hit_rate" => status.hit_rate = value.as_number().unwrap_or(0.0),
+            "store" => status.store = value.as_str().unwrap_or("").to_string(),
+            "records" => status.records = value.as_u64().unwrap_or(0),
+            "damaged_lines" => status.damaged_lines = value.as_u64().unwrap_or(0),
+            "quarantined" => status.quarantined = value.as_u64().unwrap_or(0),
+            _ => {}
+        }
+    }
+    status
 }
 
 fn serve_error(message: impl std::fmt::Display) -> ExploreError {
@@ -168,17 +314,37 @@ fn lock_store(store: &Mutex<ResultStore>) -> MutexGuard<'_, ResultStore> {
 /// socket, serves each connection on its own thread against the shared store, then
 /// drains every in-flight request, flushes the store and removes the socket file.
 ///
+/// The server **degrades instead of dying**: an unloadable store file starts it
+/// in degraded compute-through mode ([`ResultStore::empty_at`]), and the final
+/// flush is best-effort — its failure is reported on stderr, never as an error
+/// (the computed answers were already delivered to the clients).
+///
 /// # Errors
 ///
-/// Returns [`ExploreError::Serve`] when the socket cannot be bound, or
-/// [`ExploreError::Store`] when the store cannot be loaded or finally flushed.
-/// Per-request failures are reported to the requesting client, never here.
+/// Returns [`ExploreError::Serve`] when the socket cannot be bound. Per-request
+/// failures are reported to the requesting client, never here.
 pub fn serve(config: &ServeConfig) -> Result<(), ExploreError> {
+    let mut degraded = false;
     let store = match &config.store_path {
-        Some(path) => ResultStore::load(path)?,
+        Some(path) => match ResultStore::load_with_faults(path, config.faults.clone()) {
+            Ok(store) => store,
+            Err(error) => {
+                // Degraded startup: keep answering from an empty store that
+                // retains the path, so a later successful flush heals it.
+                eprintln!("explore-serve: store load failed, serving degraded: {error}");
+                degraded = true;
+                ResultStore::empty_at(path, config.faults.clone())
+            }
+        },
         None => ResultStore::in_memory(),
     };
-    let store = Arc::new(Mutex::new(store));
+    let shared = Arc::new(Shared {
+        store: Mutex::new(store),
+        metrics: ServeMetrics::new(degraded),
+        shutdown: AtomicBool::new(false),
+        store_attached: config.store_path.is_some(),
+        config: config.clone(),
+    });
     // Replace a stale socket file from a previous, unclean shutdown.
     let _ = std::fs::remove_file(&config.socket);
     let listener = UnixListener::bind(&config.socket).map_err(|error| {
@@ -188,15 +354,13 @@ pub fn serve(config: &ServeConfig) -> Result<(), ExploreError> {
         ))
     })?;
     listener.set_nonblocking(true).map_err(serve_error)?;
-    let shutdown = Arc::new(AtomicBool::new(false));
     let mut handlers: Vec<std::thread::JoinHandle<()>> = Vec::new();
-    while !shutdown.load(Ordering::SeqCst) {
+    while !shared.shutdown.load(Ordering::SeqCst) {
         match listener.accept() {
             Ok((stream, _)) => {
-                let store = Arc::clone(&store);
-                let shutdown = Arc::clone(&shutdown);
+                let shared = Arc::clone(&shared);
                 handlers.push(std::thread::spawn(move || {
-                    handle_connection(stream, &store, &shutdown);
+                    handle_connection(stream, &shared);
                 }));
             }
             Err(error) if error.kind() == ErrorKind::WouldBlock => {
@@ -219,7 +383,9 @@ pub fn serve(config: &ServeConfig) -> Result<(), ExploreError> {
     for handle in handlers {
         let _ = handle.join();
     }
-    lock_store(&store).flush()?;
+    if let Err(error) = lock_store(&shared.store).flush() {
+        eprintln!("explore-serve: final store flush failed: {error}");
+    }
     let _ = std::fs::remove_file(&config.socket);
     Ok(())
 }
@@ -227,37 +393,79 @@ pub fn serve(config: &ServeConfig) -> Result<(), ExploreError> {
 /// Serves one connection: accumulates bytes into a line buffer (a read timeout
 /// must not lose a partial line, so this does its own splitting instead of
 /// `BufRead::read_line`), answers each complete request line, and leaves when the
-/// peer closes or the server shuts down.
-fn handle_connection(mut stream: UnixStream, store: &Mutex<ResultStore>, shutdown: &AtomicBool) {
+/// peer closes, the server shuts down, a line exceeds the configured byte cap
+/// (typed `oversized` reject), or a partial line outlives the read deadline
+/// (typed `deadline` reject).
+fn handle_connection(mut stream: UnixStream, shared: &Shared) {
     let _ = stream.set_read_timeout(Some(READ_TIMEOUT));
+    let _ = stream.set_write_timeout(Some(shared.config.write_deadline));
+    let _connection = shared.metrics.connection_guard();
     let mut buffer: Vec<u8> = Vec::new();
+    // When the first byte of a still-incomplete line arrived; `None` while the
+    // buffer is empty. The read deadline is measured from here.
+    let mut partial_since: Option<Instant> = None;
     let mut chunk = [0u8; 4096];
+    let respond = |stream: &mut UnixStream, response: &ServeResponse| {
+        let rendered = response.render();
+        stream.write_all(rendered.as_bytes()).is_ok()
+            && stream.write_all(b"\n").is_ok()
+            && stream.flush().is_ok()
+    };
     loop {
         match stream.read(&mut chunk) {
             Ok(0) => return, // peer closed
             Ok(read) => {
+                if buffer.is_empty() {
+                    partial_since = Some(Instant::now());
+                }
                 buffer.extend_from_slice(&chunk[..read]);
                 while let Some(newline) = buffer.iter().position(|&byte| byte == b'\n') {
+                    if newline > shared.config.max_line_bytes {
+                        shared.metrics.note_oversized();
+                        let _ = respond(&mut stream, &reject_oversized(shared));
+                        return;
+                    }
                     let line: Vec<u8> = buffer.drain(..=newline).collect();
                     let line = String::from_utf8_lossy(&line[..newline]).into_owned();
                     if line.trim().is_empty() {
                         continue;
                     }
-                    let response = handle_request(&line, store, shutdown).render();
-                    if stream.write_all(response.as_bytes()).is_err()
-                        || stream.write_all(b"\n").is_err()
-                    {
+                    if !respond(&mut stream, &handle_request(&line, shared)) {
                         return;
                     }
-                    let _ = stream.flush();
+                }
+                // A lineless stream past the cap can never become a valid
+                // request; stop buffering it.
+                if buffer.len() > shared.config.max_line_bytes {
+                    shared.metrics.note_oversized();
+                    let _ = respond(&mut stream, &reject_oversized(shared));
+                    return;
+                }
+                if buffer.is_empty() {
+                    partial_since = None;
                 }
             }
             Err(error)
                 if error.kind() == ErrorKind::WouldBlock || error.kind() == ErrorKind::TimedOut =>
             {
                 // Idle connection; leave once the server is draining.
-                if shutdown.load(Ordering::SeqCst) {
+                if shared.shutdown.load(Ordering::SeqCst) {
                     return;
+                }
+                if let Some(since) = partial_since {
+                    if !buffer.is_empty() && since.elapsed() > shared.config.read_deadline {
+                        shared.metrics.note_deadline();
+                        let response = ServeResponse {
+                            reject: "deadline".to_string(),
+                            error: format!(
+                                "request line incomplete after {:?}",
+                                shared.config.read_deadline
+                            ),
+                            ..ServeResponse::default()
+                        };
+                        let _ = respond(&mut stream, &response);
+                        return;
+                    }
                 }
             }
             Err(_) => return,
@@ -265,8 +473,33 @@ fn handle_connection(mut stream: UnixStream, store: &Mutex<ResultStore>, shutdow
     }
 }
 
+/// The typed response for a request line (or lineless stream) over the byte cap.
+fn reject_oversized(shared: &Shared) -> ServeResponse {
+    ServeResponse {
+        reject: "oversized".to_string(),
+        error: format!(
+            "request line exceeds {} bytes",
+            shared.config.max_line_bytes
+        ),
+        ..ServeResponse::default()
+    }
+}
+
+/// The store state string of a response: `"none"` without a store file, else
+/// `"degraded"` while flushes are failing, else `"ok"`.
+fn store_state(shared: &Shared) -> String {
+    if !shared.store_attached {
+        "none".to_string()
+    } else if shared.metrics.degraded() {
+        "degraded".to_string()
+    } else {
+        "ok".to_string()
+    }
+}
+
 /// Answers one request line.
-fn handle_request(line: &str, store: &Mutex<ResultStore>, shutdown: &AtomicBool) -> ServeResponse {
+fn handle_request(line: &str, shared: &Shared) -> ServeResponse {
+    shared.metrics.note_request();
     let fail = |error: String| ServeResponse {
         error,
         ..ServeResponse::default()
@@ -278,7 +511,7 @@ fn handle_request(line: &str, store: &Mutex<ResultStore>, shutdown: &AtomicBool)
     };
     if let Some(value) = lookup(&fields, "shutdown") {
         if value.as_bool() == Some(true) {
-            shutdown.store(true, Ordering::SeqCst);
+            shared.shutdown.store(true, Ordering::SeqCst);
             return ServeResponse {
                 ok: true,
                 shutdown: true,
@@ -287,29 +520,70 @@ fn handle_request(line: &str, store: &Mutex<ResultStore>, shutdown: &AtomicBool)
         }
         return fail("`shutdown` must be `true` when present".to_string());
     }
-    let spec = match build_spec(&fields) {
+    // Status bypasses admission: it must answer precisely when the server is
+    // too loaded to take sweeps.
+    if lookup(&fields, "status").is_some() {
+        let health = lock_store(&shared.store).health();
+        let status = shared.metrics.snapshot(
+            store_state(shared),
+            health.records as u64,
+            health.damaged_lines as u64,
+            health.quarantined as u64,
+        );
+        return ServeResponse {
+            ok: true,
+            status: Some(status),
+            ..ServeResponse::default()
+        };
+    }
+    // Admission control: shed the sweep with a typed reject instead of queueing
+    // unbounded work. The guard holds the in-flight slot for the whole sweep.
+    let Some(_slot) = shared.metrics.try_admit(shared.config.max_in_flight) else {
+        return ServeResponse {
+            reject: "overloaded".to_string(),
+            error: format!("{} sweeps already in flight", shared.config.max_in_flight),
+            ..ServeResponse::default()
+        };
+    };
+    let mut spec = match build_spec(&fields) {
         Ok(spec) => spec,
         Err(message) => return fail(message),
     };
+    // The server's fault plan rides along into the sweep (panic/stall injection
+    // for the robustness tests; `None` in production).
+    if let Some(plan) = shared.config.faults.clone() {
+        spec.faults = Some(plan);
+    }
     // Snapshot under a brief lock; the sweep itself runs lock-free so overlapping
     // requests explore in parallel.
-    let snapshot = lock_store(store).clone();
+    let snapshot = lock_store(&shared.store).clone();
     match explore_with_store(&spec, Some(&snapshot)) {
         Ok((results, stats, fresh)) => {
-            let mut guard = lock_store(store);
+            let mut guard = lock_store(&shared.store);
             guard.merge(fresh);
-            if let Err(error) = guard.flush() {
-                return fail(error.to_string());
+            // Compute-through degradation: a failing flush marks the store
+            // degraded but the computed results still answer the request —
+            // the next successful flush clears the flag.
+            match guard.flush() {
+                Ok(()) => shared.metrics.set_degraded(false),
+                Err(error) => {
+                    eprintln!("explore-serve: store flush failed, serving degraded: {error}");
+                    shared.metrics.set_degraded(true);
+                }
             }
             drop(guard);
+            shared
+                .metrics
+                .note_sweep(spec.jobs().len() as u64, stats.total_store_hits() as u64);
             ServeResponse {
                 ok: true,
                 jobs: spec.jobs().len(),
                 points: results.points().len(),
                 store_hits: stats.total_store_hits(),
+                quarantined: results.quarantined().len(),
+                store: store_state(shared),
                 summary: results.render_summary(),
-                error: String::new(),
-                shutdown: false,
+                ..ServeResponse::default()
             }
         }
         Err(error) => fail(error.to_string()),
@@ -904,17 +1178,20 @@ mod tests {
         let response = ServeResponse {
             ok: true,
             jobs: 24,
-            points: 24,
+            points: 22,
             store_hits: 18,
+            quarantined: 2,
+            store: "degraded".to_string(),
             summary: "multi\nline \"summary\"".to_string(),
-            error: String::new(),
-            shutdown: false,
+            ..ServeResponse::default()
         };
         let parsed = ServeResponse::parse(&response.render()).expect("response parses");
         assert!(parsed.ok);
         assert_eq!(parsed.jobs, 24);
-        assert_eq!(parsed.points, 24);
+        assert_eq!(parsed.points, 22);
         assert_eq!(parsed.store_hits, 18);
+        assert_eq!(parsed.quarantined, 2);
+        assert_eq!(parsed.store, "degraded");
         assert_eq!(parsed.summary, response.summary);
         let failure = ServeResponse {
             error: "boom".to_string(),
@@ -923,11 +1200,92 @@ mod tests {
         let parsed = ServeResponse::parse(&failure.render()).expect("failure parses");
         assert!(!parsed.ok);
         assert_eq!(parsed.error, "boom");
+        assert_eq!(parsed.reject, "", "a failure is not a shed");
+        let shed = ServeResponse {
+            reject: "overloaded".to_string(),
+            error: "8 sweeps already in flight".to_string(),
+            ..ServeResponse::default()
+        };
+        let parsed = ServeResponse::parse(&shed.render()).expect("reject parses");
+        assert!(!parsed.ok);
+        assert_eq!(parsed.reject, "overloaded");
         let ack = ServeResponse {
             ok: true,
             shutdown: true,
             ..ServeResponse::default()
         };
         assert!(ServeResponse::parse(&ack.render()).unwrap().shutdown);
+    }
+
+    #[test]
+    fn status_responses_roundtrip_with_full_precision_hit_rate() {
+        let status = ServeStatus {
+            requests: 10,
+            completed: 7,
+            in_flight: 1,
+            queue_depth: 2,
+            rejected_overload: 3,
+            rejected_oversized: 1,
+            rejected_deadline: 1,
+            jobs: 48,
+            store_hits: 36,
+            hit_rate: 0.75,
+            store: "ok".to_string(),
+            records: 40,
+            damaged_lines: 1,
+            quarantined: 2,
+        };
+        let response = ServeResponse {
+            ok: true,
+            status: Some(status.clone()),
+            ..ServeResponse::default()
+        };
+        let parsed = ServeResponse::parse(&response.render()).expect("status parses");
+        assert!(parsed.ok);
+        assert_eq!(parsed.status, Some(status));
+    }
+
+    /// Satellite regression: a request thread panicking while it holds the store
+    /// lock poisons the mutex, and `lock_store` must recover the guard — with the
+    /// records intact — so the *next* request still answers instead of panicking
+    /// the whole server.
+    #[test]
+    fn poisoned_store_lock_recovers_and_requests_still_answer() {
+        let store = Arc::new(Mutex::new(ResultStore::in_memory()));
+        let poisoner = Arc::clone(&store);
+        let _ = std::thread::spawn(move || {
+            let _guard = poisoner.lock().expect("first lock is clean");
+            panic!("injected panic while holding the store lock");
+        })
+        .join();
+        assert!(store.lock().is_err(), "the mutex is actually poisoned");
+        let guard = lock_store(&store);
+        assert!(guard.is_empty(), "the store data survives the poisoning");
+        drop(guard);
+        let shared = Shared {
+            store: Mutex::new(ResultStore::in_memory()),
+            metrics: ServeMetrics::new(false),
+            shutdown: AtomicBool::new(false),
+            store_attached: false,
+            config: ServeConfig::new("/tmp/unused.sock"),
+        };
+        // Poison the shared server store the same way...
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _guard = shared.store.lock().expect("first lock is clean");
+            panic!("injected panic while holding the server store lock");
+        }));
+        assert!(result.is_err());
+        // ...and a full request through the normal path still answers.
+        let response = handle_request(
+            r#"{"sources":[{"design":"x_squared"}],"flows":["conventional"],"threads":1}"#,
+            &shared,
+        );
+        assert!(response.ok, "request failed: {}", response.error);
+        assert_eq!(response.points, 1);
+        assert_eq!(response.store, "none");
+        let status = handle_request(r#"{"status":{}}"#, &shared);
+        let status = status.status.expect("status answers on a poisoned lock");
+        assert_eq!(status.requests, 2);
+        assert_eq!(status.completed, 1);
     }
 }

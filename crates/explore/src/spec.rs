@@ -245,6 +245,9 @@ pub struct ExplorationSpec {
     /// default) runs the purely analytic sweep, byte-identical to before the
     /// metric existed.
     pub(crate) sim_activity: Option<SimActivity>,
+    /// The fault-injection plan, when one is attached. `None` (the default) runs
+    /// with no injection hooks at all — the production path.
+    pub(crate) faults: Option<std::sync::Arc<crate::faults::FaultPlan>>,
 }
 
 impl ExplorationSpec {
@@ -287,6 +290,11 @@ impl ExplorationSpec {
     /// The simulated switching-activity metric, when one is requested.
     pub fn sim_activity(&self) -> Option<SimActivity> {
         self.sim_activity
+    }
+
+    /// The attached fault-injection plan, when one is attached (testing only).
+    pub fn faults(&self) -> Option<&std::sync::Arc<crate::faults::FaultPlan>> {
+        self.faults.as_ref()
     }
 
     /// Enumerates the job matrix in its canonical order: sources, then widths (for
@@ -403,6 +411,7 @@ impl Default for ExplorationSpecBuilder {
                 retain_artifacts: false,
                 store_path: None,
                 sim_activity: None,
+                faults: None,
             },
             threads: None,
         }
@@ -558,6 +567,16 @@ impl ExplorationSpecBuilder {
     /// byte-identically to before it existed.
     pub fn sim_activity(mut self, activity: SimActivity) -> Self {
         self.spec.sim_activity = Some(activity);
+        self
+    }
+
+    /// Attaches a deterministic [`FaultPlan`](crate::faults::FaultPlan) (default:
+    /// none): job evaluations, store reads and store flushes then consult the
+    /// plan and fail at exactly the steps it names. A plan carries its own step
+    /// counters, so attach a **fresh** plan per run when replaying a scenario.
+    /// Production sweeps never attach one.
+    pub fn faults(mut self, plan: std::sync::Arc<crate::faults::FaultPlan>) -> Self {
+        self.spec.faults = Some(plan);
         self
     }
 

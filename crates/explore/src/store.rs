@@ -57,9 +57,18 @@
 //! every line carrying its own chained checksum. Loading **never fails on content**:
 //! a missing file is an empty store, a wrong header (old version, foreign file) is
 //! detected and the store rebuilt from empty ([`ResultStore::rebuilt`]), and any
-//! line that fails to parse or checksum is skipped and counted
-//! ([`ResultStore::skipped_lines`]) — a truncated concurrent write costs at most the
-//! truncated line.
+//! line that fails to parse or checksum is skipped, counted
+//! ([`ResultStore::damaged_lines`]) and **quarantined** to a sidecar file
+//! ([`quarantine_path`]) so the evidence of a torn or corrupted write survives the
+//! next canonical flush. A file whose final line is cut mid-record (no trailing
+//! newline) is additionally flagged as a torn tail ([`ResultStore::torn_tail`]) —
+//! the signature of a process killed mid-flush. A truncated write therefore costs
+//! at most the truncated line, and the loss is visible, never silent.
+//!
+//! For crash-safety testing, a [`FaultPlan`] can be attached
+//! ([`ResultStore::load_with_faults`]): every read and write of the memo file then
+//! consults the plan first, so a suite can kill a flush at an exact step and
+//! assert the recovery — see [`crate::faults`].
 //!
 //! [`ResultStore::flush`] is atomic and merge-convergent: it re-reads the file,
 //! unions the on-disk records into its own (ties broken by the deterministic
@@ -70,6 +79,7 @@
 //! are independent of which process flushed last.
 
 use crate::error::ExploreError;
+use crate::faults::{FaultPlan, WriteFault};
 use dpsyn_baselines::Flow;
 use dpsyn_designs::Design;
 use dpsyn_netlist::{NetId, Netlist, StructuralHasher};
@@ -78,6 +88,7 @@ use std::fmt;
 use std::fs;
 use std::io::Write;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 /// Header line of the memo file; the version suffix guards the record layout.
 pub const STORE_FORMAT: &str = "dpsyn-eval-store v2";
@@ -445,58 +456,115 @@ fn store_error(path: &Path, message: impl fmt::Display) -> ExploreError {
 }
 
 /// What one read of a memo file found.
+#[derive(Default)]
 struct LoadedFile {
     records: BTreeMap<EvalKey, StoredEval>,
     /// The file existed but carried a foreign or stale header.
     rebuilt: bool,
-    /// Record lines that failed to parse or checksum.
-    skipped_lines: usize,
+    /// The raw text of every record line that failed to parse or checksum.
+    damaged: Vec<String>,
+    /// The file's final line was cut mid-record (no trailing newline and the
+    /// partial line fails to parse) — the signature of a mid-flush kill.
+    torn_tail: bool,
 }
 
 /// Reads a memo file; missing files and corrupt content never fail — only a true
-/// I/O error (permissions, hardware) does.
-fn read_file(path: &Path) -> Result<LoadedFile, ExploreError> {
+/// I/O error (permissions, hardware, or an injected read fault) does.
+fn read_file(path: &Path, faults: Option<&FaultPlan>) -> Result<LoadedFile, ExploreError> {
+    if let Some(reason) = faults.and_then(FaultPlan::next_store_read_fault) {
+        return Err(store_error(path, reason));
+    }
     let text = match fs::read_to_string(path) {
         Ok(text) => text,
         Err(error) if error.kind() == std::io::ErrorKind::NotFound => {
-            return Ok(LoadedFile {
-                records: BTreeMap::new(),
-                rebuilt: false,
-                skipped_lines: 0,
-            })
+            return Ok(LoadedFile::default())
         }
         Err(error) => return Err(store_error(path, error)),
     };
-    let mut lines = text.lines();
-    if lines.next() != Some(STORE_FORMAT) {
+    let lines: Vec<&str> = text.lines().collect();
+    if lines.first().copied() != Some(STORE_FORMAT) {
         // Stale version or foreign file: rebuild from empty rather than guessing.
         return Ok(LoadedFile {
-            records: BTreeMap::new(),
             rebuilt: true,
-            skipped_lines: 0,
+            ..LoadedFile::default()
         });
     }
-    let mut records = BTreeMap::new();
-    let mut skipped_lines = 0;
-    for line in lines {
+    let complete_tail = text.ends_with('\n');
+    let mut loaded = LoadedFile::default();
+    for (index, line) in lines.iter().enumerate().skip(1) {
         if line.trim().is_empty() {
             continue;
         }
         match parse_line(line) {
             Some((key, value)) => {
-                records
+                loaded
+                    .records
                     .entry(key)
                     .and_modify(|resident| *resident = merged(*resident, value))
                     .or_insert(value);
             }
-            None => skipped_lines += 1,
+            None => {
+                // A complete final line that parses fine but lacks its trailing
+                // newline is benign; a *failing* final partial line is a tear.
+                if index == lines.len() - 1 && !complete_tail {
+                    loaded.torn_tail = true;
+                }
+                loaded.damaged.push((*line).to_string());
+            }
         }
     }
-    Ok(LoadedFile {
-        records,
-        rebuilt: false,
-        skipped_lines,
-    })
+    Ok(loaded)
+}
+
+/// The sidecar file damaged lines of the memo file at `path` are quarantined to.
+pub fn quarantine_path(path: &Path) -> PathBuf {
+    let file_name = path
+        .file_name()
+        .and_then(|name| name.to_str())
+        .unwrap_or("store");
+    path.with_file_name(format!("{file_name}.quarantine"))
+}
+
+/// Appends `damaged` lines to the quarantine sidecar (deduplicated — reloading
+/// the same damaged file never duplicates its evidence) and returns the sidecar's
+/// total line count. Quarantining is best-effort: a sidecar write failure must
+/// never turn a salvageable load into an error.
+fn quarantine_damaged(path: &Path, damaged: &[String]) -> usize {
+    let sidecar = quarantine_path(path);
+    let existing = fs::read_to_string(&sidecar).unwrap_or_default();
+    let mut lines: std::collections::BTreeSet<&str> = existing
+        .lines()
+        .filter(|line| !line.trim().is_empty())
+        .collect();
+    let before = lines.len();
+    for line in damaged {
+        lines.insert(line.as_str());
+    }
+    if lines.len() != before {
+        let mut out = String::new();
+        for line in &lines {
+            out.push_str(line);
+            out.push('\n');
+        }
+        let _ = fs::write(&sidecar, out);
+    }
+    lines.len()
+}
+
+/// A snapshot of a store's integrity counters, surfaced by sweep stats and the
+/// server's `status` response.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StoreHealth {
+    /// Records currently held.
+    pub records: usize,
+    /// Whether the last load found a stale/foreign file and rebuilt from empty.
+    pub rebuilt: bool,
+    /// Record lines the last load skipped (parse or checksum failures).
+    pub damaged_lines: usize,
+    /// Whether the last load found the file cut mid-record (mid-flush kill).
+    pub torn_tail: bool,
+    /// Total lines in the quarantine sidecar after the last load.
+    pub quarantined: usize,
 }
 
 /// The persistent result store: an in-memory record map plus (optionally) the memo
@@ -507,7 +575,11 @@ pub struct ResultStore {
     path: Option<PathBuf>,
     records: BTreeMap<EvalKey, StoredEval>,
     rebuilt: bool,
-    skipped_lines: usize,
+    damaged_lines: usize,
+    torn_tail: bool,
+    quarantined: usize,
+    /// Fault-injection plan every file read/write consults; `None` in production.
+    faults: Option<Arc<FaultPlan>>,
 }
 
 impl ResultStore {
@@ -518,27 +590,66 @@ impl ResultStore {
             path: None,
             records: BTreeMap::new(),
             rebuilt: false,
-            skipped_lines: 0,
+            damaged_lines: 0,
+            torn_tail: false,
+            quarantined: 0,
+            faults: None,
+        }
+    }
+
+    /// An empty store that *keeps* `path` as its backing file without touching
+    /// the filesystem. The server's degraded mode starts from this when the memo
+    /// file cannot be loaded: sweeps compute through in memory, and every flush
+    /// retries the real file — so the store recovers the moment the path does.
+    pub fn empty_at(path: impl Into<PathBuf>, faults: Option<Arc<FaultPlan>>) -> Self {
+        ResultStore {
+            path: Some(path.into()),
+            faults,
+            ..ResultStore::in_memory()
         }
     }
 
     /// Loads (or initializes) the store at `path`. A missing file yields an empty
     /// store; a stale or foreign file is detected and rebuilt from empty
-    /// ([`rebuilt`](Self::rebuilt) reports it); corrupt lines are skipped and
-    /// counted.
+    /// ([`rebuilt`](Self::rebuilt) reports it); corrupt lines are skipped,
+    /// counted and quarantined to the [`quarantine_path`] sidecar.
     ///
     /// # Errors
     ///
     /// Returns [`ExploreError::Store`] only for true I/O failures (permissions,
     /// hardware) — never for content.
     pub fn load(path: impl Into<PathBuf>) -> Result<Self, ExploreError> {
+        Self::load_with_faults(path, None)
+    }
+
+    /// [`load`](Self::load) with a fault-injection plan attached: this load and
+    /// every later [`flush`](Self::flush) consult the plan before touching the
+    /// memo file. See [`crate::faults`].
+    ///
+    /// # Errors
+    ///
+    /// As [`load`](Self::load), plus the plan's injected read faults.
+    pub fn load_with_faults(
+        path: impl Into<PathBuf>,
+        faults: Option<Arc<FaultPlan>>,
+    ) -> Result<Self, ExploreError> {
         let path = path.into();
-        let loaded = read_file(&path)?;
+        let loaded = read_file(&path, faults.as_deref())?;
+        let quarantined = if loaded.damaged.is_empty() {
+            fs::read_to_string(quarantine_path(&path))
+                .map(|text| text.lines().filter(|line| !line.trim().is_empty()).count())
+                .unwrap_or(0)
+        } else {
+            quarantine_damaged(&path, &loaded.damaged)
+        };
         Ok(ResultStore {
             path: Some(path),
             records: loaded.records,
             rebuilt: loaded.rebuilt,
-            skipped_lines: loaded.skipped_lines,
+            damaged_lines: loaded.damaged.len(),
+            torn_tail: loaded.torn_tail,
+            quarantined,
+            faults,
         })
     }
 
@@ -552,9 +663,33 @@ impl ResultStore {
         self.rebuilt
     }
 
-    /// Record lines the last load skipped (parse or checksum failures).
-    pub fn skipped_lines(&self) -> usize {
-        self.skipped_lines
+    /// Record lines the last load skipped (parse or checksum failures); each one
+    /// is preserved in the [`quarantine_path`] sidecar.
+    pub fn damaged_lines(&self) -> usize {
+        self.damaged_lines
+    }
+
+    /// Whether the last load found the file cut mid-record — the signature of a
+    /// process killed mid-flush. The torn line is counted in
+    /// [`damaged_lines`](Self::damaged_lines) and quarantined like any other.
+    pub fn torn_tail(&self) -> bool {
+        self.torn_tail
+    }
+
+    /// Total lines held by the quarantine sidecar after the last load.
+    pub fn quarantined(&self) -> usize {
+        self.quarantined
+    }
+
+    /// Snapshot of the store's integrity counters.
+    pub fn health(&self) -> StoreHealth {
+        StoreHealth {
+            records: self.records.len(),
+            rebuilt: self.rebuilt,
+            damaged_lines: self.damaged_lines,
+            torn_tail: self.torn_tail,
+            quarantined: self.quarantined,
+        }
     }
 
     /// Number of memoized records.
@@ -604,11 +739,12 @@ impl ResultStore {
         let Some(path) = self.path.clone() else {
             return Ok(());
         };
+        let faults = self.faults.clone();
         for _ in 0..FLUSH_ATTEMPTS {
-            let on_disk = read_file(&path)?;
+            let on_disk = read_file(&path, faults.as_deref())?;
             self.merge(on_disk.records);
             self.write_atomic(&path)?;
-            let reread = read_file(&path)?;
+            let reread = read_file(&path, faults.as_deref())?;
             let converged = self.records.iter().all(|(key, value)| {
                 reread
                     .records
@@ -626,6 +762,13 @@ impl ResultStore {
     }
 
     fn write_atomic(&self, path: &Path) -> Result<(), ExploreError> {
+        let fault = self
+            .faults
+            .as_deref()
+            .and_then(FaultPlan::next_store_write_fault);
+        if matches!(fault, Some(WriteFault::Error)) {
+            return Err(store_error(path, "injected store write fault: I/O error"));
+        }
         let file_name = path
             .file_name()
             .and_then(|name| name.to_str())
@@ -638,16 +781,39 @@ impl ResultStore {
             out.push_str(&format_line(key, value));
             out.push('\n');
         }
+        // An injected torn write truncates the payload and still renames it into
+        // place (the tear lands in the real memo file — the data loss of a kill
+        // right after the rename); a crash-before-rename writes the full temp
+        // file and leaves it orphaned. Both then report the injected error, as a
+        // killed process would leave its caller with a failed flush.
+        let payload = match fault {
+            Some(WriteFault::Torn { keep_bytes }) => &out.as_bytes()[..keep_bytes.min(out.len())],
+            _ => out.as_bytes(),
+        };
         let write = || -> std::io::Result<()> {
             let mut file = fs::File::create(&temp)?;
-            file.write_all(out.as_bytes())?;
+            file.write_all(payload)?;
             file.sync_all()?;
+            if matches!(fault, Some(WriteFault::CrashBeforeRename)) {
+                return Ok(());
+            }
             fs::rename(&temp, path)
         };
         write().map_err(|error| {
             let _ = fs::remove_file(&temp);
             store_error(path, error)
-        })
+        })?;
+        match fault {
+            Some(WriteFault::Torn { .. }) => Err(store_error(
+                path,
+                "injected store write fault: torn write (killed mid-flush)",
+            )),
+            Some(WriteFault::CrashBeforeRename) => Err(store_error(
+                path,
+                "injected store write fault: crash before rename",
+            )),
+            _ => Ok(()),
+        }
     }
 }
 

@@ -172,5 +172,17 @@ pub(crate) fn render_summary(results: &ExplorationResults) -> String {
         }
         text.push('\n');
     }
+    // Healthy sweeps render exactly the historical text; the quarantine section
+    // appears only when the engine actually quarantined jobs.
+    if !results.quarantined().is_empty() {
+        let _ = writeln!(text, "quarantined jobs ({}):", results.quarantined().len());
+        for job in results.quarantined() {
+            let _ = writeln!(
+                text,
+                "  [{:>4}] {:<52} {} attempt(s): {}",
+                job.index, job.label, job.attempts, job.reason,
+            );
+        }
+    }
     text
 }

@@ -212,7 +212,7 @@ fn corrupt_and_stale_memo_files_rebuild_instead_of_failing() {
     std::fs::write(&path, lines.join("\n")).expect("write tampered store");
     let reloaded = ResultStore::load(&path).expect("tampered store loads");
     assert!(!reloaded.rebuilt(), "the header is fine");
-    assert_eq!(reloaded.skipped_lines(), 1, "one line failed its checksum");
+    assert_eq!(reloaded.damaged_lines(), 1, "one line failed its checksum");
     assert_eq!(reloaded.len(), 1, "the healthy record survives");
 
     // An exploration against the truncated store rebuilds the lost results.
@@ -224,7 +224,7 @@ fn corrupt_and_stale_memo_files_rebuild_instead_of_failing() {
     let (results, _) = explore_with_stats(&spec).expect("sweep over tampered store succeeds");
     assert_eq!(results.points().len(), 48);
     let rebuilt = ResultStore::load(&path).expect("rebuilt store loads");
-    assert_eq!(rebuilt.skipped_lines(), 0, "the flush rewrote clean lines");
+    assert_eq!(rebuilt.damaged_lines(), 0, "the flush rewrote clean lines");
     let _ = std::fs::remove_file(&path);
 }
 
@@ -386,7 +386,7 @@ fn concurrent_flushes_merge_to_one_deterministic_file() {
     );
     let merged = ResultStore::load(&path_ab).expect("merged store loads");
     assert_eq!(merged.len(), 12, "the union holds every distinct key");
-    assert_eq!(merged.skipped_lines(), 0);
+    assert_eq!(merged.damaged_lines(), 0);
     assert!(merged.lookup(&sample_key(0)).is_some());
     assert!(merged.lookup(&sample_key(11)).is_some());
     assert!(STORE_FORMAT.starts_with("dpsyn-eval-store"));
